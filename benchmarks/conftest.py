@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the measured rows next to the published ones (run with ``-s`` to see
+them).  Fault injection results are cached on disk so the benches
+measure the experiments, not repeated injection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import DEFAULT_CACHE, load_or_generate
+
+
+@pytest.fixture(scope="session")
+def hardened86():
+    return load_or_generate(path=DEFAULT_CACHE)
+
+
+def print_table(title: str, rows: list[dict], paper_rows: list[dict] | None = None):
+    """Render measured (and paper) rows for the bench output."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  measured:", row)
+    if paper_rows:
+        for row in paper_rows:
+            print("  paper:   ", row)

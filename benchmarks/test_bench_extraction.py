@@ -1,0 +1,60 @@
+"""Section 3.1/3.2 statistics: the extraction pipeline's percentages.
+
+Paper values: >34% internal functions; 51.1% man-page coverage; 1.2%
+of pages list no headers; 7.7% list wrong headers; 96.0% of functions
+resolved to a prototype.
+"""
+
+from repro.extract import Extractor
+from repro.syslib import build_environment
+
+from conftest import print_table
+
+PAPER = {
+    "internal_pct": ">34",
+    "man_coverage_pct": 51.1,
+    "man_no_headers_pct": 1.2,
+    "man_wrong_headers_pct": 7.7,
+    "found_pct": 96.0,
+}
+
+
+def test_section3_extraction_statistics(benchmark):
+    environment = build_environment()
+
+    def run():
+        return Extractor(environment).run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = report.stats.summary()
+    print_table("Section 3 extraction statistics", [summary], [PAPER])
+    benchmark.extra_info.update(summary)
+
+    assert report.stats.internal_fraction > 0.34
+    assert abs(report.stats.man_coverage - 0.511) < 0.005
+    assert abs(report.stats.man_wrong_header_fraction - 0.077) < 0.005
+    assert abs(report.stats.found_fraction - 0.960) < 0.005
+
+
+def test_symbol_extraction_throughput(benchmark):
+    """Phase-1 front-end cost: objdump parse + name filtering."""
+    from repro.syslib import parse_objdump, extract_external_names
+
+    environment = build_environment()
+    text = environment.symbol_table.objdump_output()
+
+    def run():
+        return extract_external_names(parse_objdump(text))
+
+    names = benchmark(run)
+    assert len(names) == len(environment.external_names)
+
+
+def test_header_search_cost(benchmark):
+    """Per-function prototype location (man-first with fallback)."""
+    environment = build_environment()
+    extractor = Extractor(environment)
+    extractor.run()  # warm the header parse cache
+
+    result = benchmark(lambda: extractor.extract_function("asctime"))
+    assert result.prototype is not None

@@ -1,0 +1,80 @@
+"""Table 1: error-return-code classification over the 86 functions.
+
+Paper values: No Return Code 8 (9.3%), Consistent 39 (45.3%),
+Inconsistent 2 (2.3%), No Error Return Code Found 37 (43.0%).
+"""
+
+from collections import Counter
+
+from repro.libc.catalog import (
+    BALLISTA_SET,
+    CONSISTENT,
+    INCONSISTENT,
+    NONE_FOUND,
+    VOID,
+)
+
+from conftest import print_table
+
+PAPER_ROWS = [
+    {"class": "No Return Code", "count": 8, "pct": 9.3},
+    {"class": "Consistent Error Return Code", "count": 39, "pct": 45.3},
+    {"class": "Inconsistent Error Return Code", "count": 2, "pct": 2.3},
+    {"class": "No Error Return Code Found", "count": 37, "pct": 43.0},
+]
+
+_LABELS = {
+    VOID: "No Return Code",
+    CONSISTENT: "Consistent Error Return Code",
+    INCONSISTENT: "Inconsistent Error Return Code",
+    NONE_FOUND: "No Error Return Code Found",
+}
+
+
+def test_table1_error_return_code_classes(benchmark, hardened86):
+    names = {spec.name for spec in BALLISTA_SET}
+
+    def classify():
+        return Counter(
+            hardened86.declarations[name].errno_class for name in names
+        )
+
+    counts = benchmark.pedantic(classify, rounds=1, iterations=1)
+    total = sum(counts.values())
+    rows = [
+        {
+            "class": _LABELS[kind],
+            "count": counts[kind],
+            "pct": round(100 * counts[kind] / total, 1),
+        }
+        for kind in (VOID, CONSISTENT, INCONSISTENT, NONE_FOUND)
+    ]
+    print_table("Table 1: error return code determination", rows, PAPER_ROWS)
+    for row, paper in zip(rows, PAPER_ROWS):
+        benchmark.extra_info[row["class"]] = row["count"]
+        assert row["count"] == paper["count"], row["class"]
+
+
+def test_table1_inconsistent_functions_are_fdopen_freopen(hardened86, benchmark):
+    """The paper names the two inconsistent functions explicitly."""
+
+    def find():
+        return sorted(
+            name
+            for name, decl in hardened86.declarations.items()
+            if decl.errno_class == INCONSISTENT
+        )
+
+    inconsistent = benchmark.pedantic(find, rounds=1, iterations=1)
+    print("\ninconsistent-errno functions:", inconsistent)
+    assert inconsistent == ["fdopen", "freopen"]
+
+
+def test_table1_fflush_is_the_should_set_errno_case(hardened86, benchmark):
+    """"Only one of these 37 functions, fflush, is supposed to set
+    errno." — fflush must land in the none-found class."""
+
+    def lookup():
+        return hardened86.declarations["fflush"].errno_class
+
+    assert benchmark.pedantic(lookup, rounds=1, iterations=1) == NONE_FOUND

@@ -1,0 +1,119 @@
+"""Table 2: wrapper execution overhead on tar, gzip, gcc and ps2pdf.
+
+Paper values:
+
+========  ==============  =============  =============  =============
+app       wrapped f/sec   time in lib    checking ovh   execution ovh
+========  ==============  =============  =============  =============
+tar       3545            1.05%          0.16%          3.14%
+gzip      43              0.01%          0.0003%        1.12%
+gcc       388998          10.20%         1.72%          16.1%
+ps2pdf    378659          7.96%          1.88%          5.67%
+========  ==============  =============  =============  =============
+
+Absolute rates depend on the 2002 hardware and a C-speed libc; the
+reproduction preserves the *orderings* — gzip everywhere cheapest,
+gcc the heaviest library user with the largest overhead — and the
+qualitative magnitudes (sub-percent overhead for compute-bound apps,
+double digits for call-intensive ones).
+"""
+
+import pytest
+
+from repro.apps import GccApp, GzipApp, Ps2pdfApp, TarApp, table2_row
+
+from conftest import print_table
+
+PAPER_ROWS = [
+    {"app": "tar", "wrapped_calls_per_sec": 3545, "time_in_library_pct": 1.05,
+     "checking_overhead_pct": 0.16, "execution_overhead_pct": 3.14},
+    {"app": "gzip", "wrapped_calls_per_sec": 43, "time_in_library_pct": 0.01,
+     "checking_overhead_pct": 0.0003, "execution_overhead_pct": 1.12},
+    {"app": "gcc", "wrapped_calls_per_sec": 388998, "time_in_library_pct": 10.20,
+     "checking_overhead_pct": 1.72, "execution_overhead_pct": 16.1},
+    {"app": "ps2pdf", "wrapped_calls_per_sec": 378659, "time_in_library_pct": 7.96,
+     "checking_overhead_pct": 1.88, "execution_overhead_pct": 5.67},
+]
+
+
+@pytest.fixture(scope="module")
+def table2(hardened86):
+    apps = (TarApp(), GzipApp(), GccApp(), Ps2pdfApp())
+    return {
+        app.profile.name: table2_row(app, hardened86.declarations, repeats=2)
+        for app in apps
+    }
+
+
+def test_table2_full(table2, benchmark):
+    rows = [row.as_dict() for row in table2.values()]
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print_table("Table 2: execution overhead", rows, PAPER_ROWS)
+    for row in rows:
+        benchmark.extra_info[row["app"]] = row
+
+
+def test_table2_call_rate_ordering(table2, benchmark):
+    """gzip << tar << {gcc, ps2pdf}; gcc above ps2pdf."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rate = {name: row.wrapped_calls_per_sec for name, row in table2.items()}
+    assert rate["gzip"] < rate["tar"] < rate["ps2pdf"] < rate["gcc"]
+
+
+def test_table2_library_time_ordering(table2, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    frac = {name: row.time_in_library_pct for name, row in table2.items()}
+    assert frac["gzip"] < frac["tar"] < frac["gcc"]
+    assert frac["gzip"] < frac["ps2pdf"] < frac["gcc"] * 2
+
+
+def test_table2_checking_overhead_tracks_library_pressure(table2, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    check = {name: row.checking_overhead_pct for name, row in table2.items()}
+    assert check["gzip"] < check["tar"] < check["gcc"]
+    assert check["gzip"] < 1.0  # compute-bound apps pay almost nothing
+
+
+def test_table2_execution_overhead_ordering(table2, benchmark):
+    """Paper ordering: gzip 1.12 < tar 3.14 < ps2pdf 5.67 < gcc 16.1."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    overhead = {name: row.execution_overhead_pct for name, row in table2.items()}
+    assert overhead["gzip"] < overhead["tar"] < overhead["gcc"]
+    assert overhead["ps2pdf"] < overhead["gcc"] * 1.5
+
+
+def test_minimal_wrapper_costs_less_than_robust(hardened86, benchmark):
+    """Section 2's wrapper-variety claim: "a process owned by an
+    ordinary user may use only a minimal wrapper to prevent system
+    crashes without much performance overhead" — the MINIMAL policy
+    must check measurably less than ROBUST on a call-intensive app."""
+    from repro.apps import GccApp, run_application
+    from repro.wrapper import WrapperPolicy
+
+    app = GccApp(tokens=60)
+
+    def measure():
+        robust = run_application(app, hardened86.declarations, WrapperPolicy.ROBUST)
+        minimal = run_application(app, hardened86.declarations, WrapperPolicy.MINIMAL)
+        return robust, minimal
+
+    robust, minimal = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\ncheck time: robust {robust.check_seconds * 1000:.1f}ms vs "
+        f"minimal {minimal.check_seconds * 1000:.1f}ms"
+    )
+    assert minimal.check_seconds < robust.check_seconds
+
+
+def test_wrapper_per_call_overhead_micro(hardened86, benchmark):
+    """Microbenchmark: one fully checked asctime call through the
+    robustness wrapper."""
+    from repro.libc.runtime import standard_runtime
+    from repro.wrapper import WrapperLibrary
+
+    runtime = standard_runtime()
+    wrapper = WrapperLibrary(hardened86.declarations)
+    tm = runtime.space.map_region(44).base
+
+    outcome = benchmark(lambda: wrapper.call("asctime", [tm], runtime))
+    assert outcome.returned

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Bit-flip robustness evaluation (the paper's section 9 future work).
+
+Starts from *valid* calls and flips one bit at a time — in argument
+values (register corruption) and in the memory the arguments point to
+(object corruption) — then compares crash rates unwrapped vs wrapped.
+
+The result refines the Ballista picture: value corruption is stopped
+completely (a flipped pointer either still satisfies the robust type
+or is rejected), while flips deep inside opaque structures remain the
+wrapper's blind spot, exactly the corrupted-structure caveat of the
+paper's section 6.
+
+Run:  python examples/bitflip_campaign.py
+"""
+
+from repro.core import HealersPipeline
+from repro.injector import BitFlipCampaign, GOLDEN_CALLS
+
+
+def main() -> None:
+    functions = sorted(GOLDEN_CALLS)
+    print(f"phase 1: fault injection for {', '.join(functions)} ...")
+    hardened = HealersPipeline(functions=functions).run()
+
+    print(f"\n{'function':10s} {'flips':>6s}   "
+          f"{'unwrapped':>10s} {'full-auto':>10s} {'semi-auto':>10s}   residual cause")
+    totals = {"unwrapped": [0, 0], "full": [0, 0], "semi": [0, 0]}
+    for name in functions:
+        campaign = BitFlipCampaign(name)
+        unwrapped = campaign.run()
+        full = campaign.run(wrapper=hardened.wrapper(), configuration="full")
+        semi = campaign.run(wrapper=hardened.wrapper(semi_auto=True),
+                            configuration="semi")
+        residual = {r.spec.kind for r in semi.results if r.status == "crash"}
+        cause = ",".join(sorted(residual)) or "-"
+        print(f"{name:10s} {unwrapped.total:6d}   "
+              f"{unwrapped.crash_rate:10.1%} {full.crash_rate:10.1%} "
+              f"{semi.crash_rate:10.1%}   {cause}")
+        for key, report in (("unwrapped", unwrapped), ("full", full), ("semi", semi)):
+            totals[key][0] += report.count("crash")
+            totals[key][1] += report.total
+
+    print("\noverall crash rates:")
+    for key, (crashes, total) in totals.items():
+        print(f"  {key:10s} {crashes:4d}/{total} = {crashes / total:.1%}")
+
+    print(
+        "\nvalue flips (corrupted pointers/scalars) are eliminated entirely;\n"
+        "the remaining failures are single-bit corruption *inside* opaque\n"
+        "FILE/DIR structures — the integrity gap the paper concedes for\n"
+        "corrupted data structures in accessible memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

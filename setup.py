@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Keeps ``pip install -e .`` working on minimal environments whose
+setuptools lacks PEP 660 editable-wheel support (no ``wheel``
+package): pip falls back to ``setup.py develop``.  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

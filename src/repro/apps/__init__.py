@@ -1,0 +1,26 @@
+"""Synthetic application workloads for the Table 2 evaluation."""
+
+from repro.apps.runner import RunMetrics, Table2Row, run_application, table2_row
+from repro.apps.workloads import (
+    ALL_APPS,
+    AppProfile,
+    Application,
+    GccApp,
+    GzipApp,
+    Ps2pdfApp,
+    TarApp,
+)
+
+__all__ = [
+    "ALL_APPS",
+    "AppProfile",
+    "Application",
+    "GccApp",
+    "GzipApp",
+    "Ps2pdfApp",
+    "RunMetrics",
+    "Table2Row",
+    "TarApp",
+    "run_application",
+    "table2_row",
+]

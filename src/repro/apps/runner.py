@@ -1,0 +1,156 @@
+"""Workload runner and the Table 2 metric computation.
+
+For each application the paper reports four numbers:
+
+* ``#wrapped func/sec`` — wrapped-call frequency, from the
+  *measurement wrapper* (section 7);
+* ``time in library``  — fraction of execution spent inside wrapped
+  C functions (measurement wrapper);
+* ``checking overhead`` — fraction of execution spent in the
+  robustness wrapper's argument checks;
+* ``execution overhead`` — wall-clock slowdown of the robust wrapper
+  versus running unwrapped (including the per-process wrapper load
+  cost, which is why 5-process gcc pays extra).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.apps.workloads import Application
+from repro.declarations.model import FunctionDeclaration
+from repro.libc.catalog import BY_NAME
+from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.sandbox import Sandbox
+from repro.wrapper import CheckConfig, WrapperLibrary, WrapperPolicy
+
+
+@dataclass
+class RunMetrics:
+    """Raw measurements of one application run."""
+
+    wall_seconds: float
+    libc_calls: int
+    library_seconds: float
+    check_seconds: float
+    load_seconds: float = 0.0
+
+    @property
+    def calls_per_second(self) -> float:
+        return self.libc_calls / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def library_fraction(self) -> float:
+        return self.library_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def checking_fraction(self) -> float:
+        return self.check_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+
+@dataclass
+class Table2Row:
+    """One application's row of Table 2."""
+
+    app: str
+    wrapped_calls_per_sec: float
+    time_in_library_pct: float
+    checking_overhead_pct: float
+    execution_overhead_pct: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "app": self.app,
+            "wrapped_calls_per_sec": round(self.wrapped_calls_per_sec),
+            "time_in_library_pct": round(self.time_in_library_pct, 2),
+            "checking_overhead_pct": round(self.checking_overhead_pct, 4),
+            "execution_overhead_pct": round(self.execution_overhead_pct, 2),
+        }
+
+
+def run_application(
+    app: Application,
+    declarations: Optional[dict[str, FunctionDeclaration]] = None,
+    policy: WrapperPolicy = WrapperPolicy.ROBUST,
+    wrapped: bool = True,
+    runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
+) -> RunMetrics:
+    """Execute one application once, per its process profile."""
+    total_calls = 0
+    library_seconds = 0.0
+    check_seconds = 0.0
+    load_seconds = 0.0
+    started = time.perf_counter()
+    for _ in range(app.profile.processes):
+        runtime = runtime_factory()
+        app.prepare(runtime)
+        if wrapped and declarations is not None:
+            load_started = time.perf_counter()
+            wrapper = WrapperLibrary(declarations, policy=policy, check_config=CheckConfig())
+            load_seconds += time.perf_counter() - load_started
+
+            def call(name: str, *args):
+                outcome = wrapper.call(name, list(args), runtime)
+                return outcome.return_value
+
+            app.run(call, runtime)
+            total_calls += wrapper.stats.calls
+            library_seconds += wrapper.stats.library_seconds
+            check_seconds += wrapper.stats.check_seconds
+        else:
+            sandbox = Sandbox()
+            state = {"calls": 0, "lib": 0.0}
+
+            def call(name: str, *args):
+                state["calls"] += 1
+                t0 = time.perf_counter()
+                outcome = sandbox.call(BY_NAME[name].model, list(args), runtime)
+                state["lib"] += time.perf_counter() - t0
+                return outcome.return_value
+
+            app.run(call, runtime)
+            total_calls += state["calls"]
+            library_seconds += state["lib"]
+    wall = time.perf_counter() - started
+    return RunMetrics(wall, total_calls, library_seconds, check_seconds, load_seconds)
+
+
+def table2_row(
+    app: Application,
+    declarations: dict[str, FunctionDeclaration],
+    repeats: int = 3,
+) -> Table2Row:
+    """Compute one application's Table 2 row (best-of-N timing)."""
+    measures = [
+        run_application(app, declarations, WrapperPolicy.MEASURE)
+        for _ in range(repeats)
+    ]
+    robust = [
+        run_application(app, declarations, WrapperPolicy.ROBUST)
+        for _ in range(repeats)
+    ]
+    plain = [run_application(app, wrapped=False) for _ in range(repeats)]
+
+    measure = min(measures, key=lambda m: m.wall_seconds)
+    protected = min(robust, key=lambda m: m.wall_seconds)
+    baseline = min(plain, key=lambda m: m.wall_seconds)
+    # Execution overhead is computed from the wrapper-attributable
+    # components (argument checking, per-process wrapper loading, and
+    # any extra time spent around library calls) over the unwrapped
+    # wall clock.  Differencing raw wall clocks instead would drown
+    # the small overheads in application-compute timing jitter.
+    extra = (
+        protected.check_seconds
+        + protected.load_seconds
+        + max(protected.library_seconds - baseline.library_seconds, 0.0)
+    )
+    overhead = extra / baseline.wall_seconds if baseline.wall_seconds else 0.0
+    return Table2Row(
+        app=app.profile.name,
+        wrapped_calls_per_sec=measure.calls_per_second,
+        time_in_library_pct=100 * measure.library_fraction,
+        checking_overhead_pct=100 * protected.checking_fraction,
+        execution_overhead_pct=100 * max(overhead, 0.0),
+    )

@@ -1,0 +1,51 @@
+"""Ballista-style robustness testing (the paper's evaluation vehicle)."""
+
+from repro.ballista.harness import (
+    BallistaHarness,
+    BallistaReport,
+    BallistaTest,
+    DEFAULT_TEST_CAP,
+    TestRecord,
+)
+from repro.ballista.report_text import (
+    bar,
+    render_comparison_table,
+    render_figure6,
+    render_report,
+)
+from repro.ballista.pools import (
+    DIR_POOL,
+    FD_POOL,
+    FILE_POOL,
+    FUNCPTR_POOL,
+    INT_POOL,
+    POINTER_POOL,
+    PoolValue,
+    REAL_POOL,
+    SIZE_POOL,
+    STRING_POOL,
+    pool_for,
+)
+
+__all__ = [
+    "BallistaHarness",
+    "BallistaReport",
+    "BallistaTest",
+    "DEFAULT_TEST_CAP",
+    "DIR_POOL",
+    "FD_POOL",
+    "FILE_POOL",
+    "FUNCPTR_POOL",
+    "INT_POOL",
+    "POINTER_POOL",
+    "PoolValue",
+    "REAL_POOL",
+    "SIZE_POOL",
+    "STRING_POOL",
+    "TestRecord",
+    "bar",
+    "pool_for",
+    "render_comparison_table",
+    "render_figure6",
+    "render_report",
+]

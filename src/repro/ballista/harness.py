@@ -1,0 +1,223 @@
+"""The Ballista-style robustness test harness (paper section 6).
+
+Re-creates the evaluation setup: for each of the 86 POSIX functions,
+enumerate test cases from per-argument value pools, execute each in an
+isolated runtime, and classify the outcome on the simplified CRASH
+scale the paper's Figure 6 uses:
+
+* **Crash** — segmentation fault, hang, or abort (the failures the
+  wrapper must prevent);
+* **Errno set** — the call returned and reported the problem;
+* **Silent** — the call returned without signalling anything.
+
+The same test list can be replayed three ways: direct calls
+(unwrapped), through the fully automated wrapper, and through the
+semi-automatically hardened wrapper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.ballista.pools import PoolValue, pool_for
+from repro.cdecl import DeclarationParser, typedef_table
+from repro.libc.catalog import BALLISTA_SET, BY_NAME, FunctionSpec
+from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.sandbox import CallOutcome, CallStatus, Sandbox
+from repro.wrapper.wrapper import WrapperLibrary
+
+#: Per-function cap on enumerated tests; calibrated together with
+#: ``total_target`` so the full 86-function sweep can be thinned to
+#: exactly the paper's 11995 tests (cap 420 enumerates ~12k).
+DEFAULT_TEST_CAP = 420
+
+
+@dataclass(frozen=True)
+class BallistaTest:
+    """One test case: the function plus one pool value per argument."""
+
+    __test__ = False  # not a pytest collection target
+
+    function: str
+    values: tuple[PoolValue, ...]
+
+    @property
+    def label(self) -> str:
+        inner = ", ".join(v.label for v in self.values)
+        return f"{self.function}({inner})"
+
+
+@dataclass
+class TestRecord:
+    """Outcome of one executed test."""
+
+    __test__ = False  # not a pytest collection target
+
+    test: BallistaTest
+    status: str  # "crash" | "errno" | "silent"
+    detail: str = ""
+
+
+@dataclass
+class BallistaReport:
+    """Aggregated results of one full sweep."""
+
+    configuration: str
+    records: list[TestRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    @property
+    def crash_rate(self) -> float:
+        return self.count("crash") / self.total if self.total else 0.0
+
+    @property
+    def errno_rate(self) -> float:
+        return self.count("errno") / self.total if self.total else 0.0
+
+    @property
+    def silent_rate(self) -> float:
+        return self.count("silent") / self.total if self.total else 0.0
+
+    def crashing_functions(self) -> list[str]:
+        return sorted({r.test.function for r in self.records if r.status == "crash"})
+
+    def crashes_by_function(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self.records:
+            if record.status == "crash":
+                out[record.test.function] = out.get(record.test.function, 0) + 1
+        return out
+
+    def summary_row(self) -> dict[str, object]:
+        return {
+            "configuration": self.configuration,
+            "tests": self.total,
+            "errno_set_pct": round(100 * self.errno_rate, 2),
+            "silent_pct": round(100 * self.silent_rate, 2),
+            "crash_pct": round(100 * self.crash_rate, 2),
+            "crashing_functions": len(self.crashing_functions()),
+        }
+
+
+class BallistaHarness:
+    """Enumerates and executes the Ballista test suite."""
+
+    def __init__(
+        self,
+        functions: Optional[Sequence[FunctionSpec]] = None,
+        runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
+        test_cap: int = DEFAULT_TEST_CAP,
+        total_target: Optional[int] = None,
+    ) -> None:
+        self.functions = list(functions or BALLISTA_SET)
+        self.runtime_factory = runtime_factory
+        self.test_cap = test_cap
+        self.total_target = total_target
+        self.parser = DeclarationParser(typedef_table())
+        self._tests: Optional[list[BallistaTest]] = None
+
+    # ------------------------------------------------------------------
+    def tests(self) -> list[BallistaTest]:
+        """The deterministic test list (cached)."""
+        if self._tests is None:
+            tests: list[BallistaTest] = []
+            for spec in self.functions:
+                tests.extend(self._tests_for(spec))
+            if self.total_target is not None and len(tests) > self.total_target:
+                tests = _thin(tests, self.total_target)
+            self._tests = tests
+        return self._tests
+
+    def _tests_for(self, spec: FunctionSpec) -> list[BallistaTest]:
+        prototype = self.parser.parse_prototype(spec.prototype)
+        pools = []
+        for parameter in prototype.ftype.parameters:
+            resolved = self.parser.resolve(parameter.ctype)
+            pools.append(pool_for(parameter, resolved, parameter.ctype))
+        if not pools:
+            return [BallistaTest(spec.name, ())]
+        # The paper re-runs the tests "for which these functions
+        # exhibit robustness violations": every test carries at least
+        # one exceptional value.
+        combos = [
+            combo
+            for combo in itertools.product(*pools)
+            if any(value.exceptional for value in combo)
+        ]
+        if len(combos) > self.test_cap:
+            stride = len(combos) / self.test_cap
+            chosen = []
+            next_pick = 0.0
+            for index, combo in enumerate(combos):
+                if index >= next_pick:
+                    chosen.append(combo)
+                    next_pick += stride
+                if len(chosen) >= self.test_cap:
+                    break
+        else:
+            chosen = combos
+        return [BallistaTest(spec.name, tuple(combo)) for combo in chosen]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        wrapper: Optional[WrapperLibrary] = None,
+        configuration: str = "unwrapped",
+        step_budget: int = 1_000_000,
+    ) -> BallistaReport:
+        """Execute every test; each runs in a fork of a base runtime."""
+        report = BallistaReport(configuration)
+        sandbox = Sandbox(step_budget=step_budget)
+        base = self.runtime_factory()
+        for test in self.tests():
+            runtime = base.fork()
+            if wrapper is not None:
+                # Each test is a fresh forked process image; tracking
+                # tables from previous tests refer to addresses that
+                # the fork re-uses, so they must not leak across tests.
+                wrapper.state.file_table.clear()
+                wrapper.state.dir_table.clear()
+            values = []
+            for pool_value in test.values:
+                value = pool_value.build(runtime)
+                values.append(value)
+                if wrapper is not None and pool_value.seed == "file":
+                    wrapper.state.seed_file(value)
+                elif wrapper is not None and pool_value.seed == "dir":
+                    wrapper.state.seed_dir(value)
+            spec = BY_NAME[test.function]
+            if wrapper is not None:
+                outcome = wrapper.call(test.function, values, runtime)
+            else:
+                outcome = sandbox.call(spec.model, values, runtime)
+            report.records.append(TestRecord(test, *_classify(outcome)))
+        return report
+
+
+def _classify(outcome: CallOutcome) -> tuple[str, str]:
+    if outcome.status is not CallStatus.RETURNED:
+        return "crash", outcome.describe()
+    if outcome.errno_was_set:
+        return "errno", ""
+    return "silent", ""
+
+
+def _thin(tests: list[BallistaTest], target: int) -> list[BallistaTest]:
+    """Uniformly thin the test list to exactly ``target`` entries."""
+    if len(tests) <= target:
+        return tests
+    stride = len(tests) / (len(tests) - target)
+    drop: set[int] = set()
+    mark = 0.0
+    while len(drop) < len(tests) - target:
+        drop.add(int(mark) % len(tests))
+        mark += stride
+    return [t for i, t in enumerate(tests) if i not in drop]

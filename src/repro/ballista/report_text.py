@@ -1,0 +1,58 @@
+"""Text rendering of evaluation results (the Figure 6 bar chart).
+
+Shared by the CLI, the examples and the benches so the reproduction's
+outputs look like the paper's figure rather than raw dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ballista.harness import BallistaReport
+
+#: The categories of Figure 6, in stacking order.
+CATEGORIES = (("errno", "Errno set"), ("silent", "Silent"), ("crash", "Crash"))
+
+
+def bar(percentage: float, width: int = 40, fill: str = "#") -> str:
+    filled = round(percentage / 100 * width)
+    filled = min(max(filled, 0), width)
+    return fill * filled + "." * (width - filled)
+
+
+def render_report(report: BallistaReport, width: int = 40) -> str:
+    """One configuration's stacked breakdown."""
+    lines = [f"{report.configuration} ({report.total} tests)"]
+    for key, label in CATEGORIES:
+        count = report.count(key)
+        pct = 100 * count / report.total if report.total else 0.0
+        lines.append(f"  {label:10s} {pct:6.2f}% |{bar(pct, width)}| {count}")
+    crashing = report.crashing_functions()
+    lines.append(f"  crashing functions: {len(crashing)}")
+    return "\n".join(lines)
+
+
+def render_figure6(reports: Sequence[BallistaReport], width: int = 40) -> str:
+    """The whole figure: one block per configuration, plus the
+    headline crash-rate progression."""
+    blocks = [render_report(report, width) for report in reports]
+    progression = " -> ".join(
+        f"{100 * report.crash_rate:.2f}%" for report in reports
+    )
+    blocks.append(f"crash rate progression: {progression}")
+    return "\n\n".join(blocks)
+
+
+def render_comparison_table(
+    rows: Sequence[dict], paper_rows: Sequence[dict], keys: Sequence[str]
+) -> str:
+    """Side-by-side measured-vs-paper table for arbitrary row dicts."""
+    header = f"{'metric':28s} " + " ".join(f"{k[:12]:>14s}" for k in keys)
+    lines = [header]
+    for measured, paper in zip(rows, paper_rows):
+        label = str(measured.get("configuration") or measured.get("app") or "?")
+        got = " ".join(f"{measured.get(k, '-')!s:>14s}" for k in keys)
+        want = " ".join(f"{paper.get(k, '-')!s:>14s}" for k in keys)
+        lines.append(f"{label + ' (measured)':28s} {got}")
+        lines.append(f"{label + ' (paper)':28s} {want}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""C declaration substrate: type model, lexer and prototype parser.
+
+Replaces the CINT interpreter the paper used for extracting function
+type information from header files.
+"""
+
+from repro.cdecl.ctypes_model import (
+    CHAR,
+    CHAR_PTR,
+    CONST_CHAR,
+    CONST_CHAR_PTR,
+    CONST_VOID_PTR,
+    DOUBLE,
+    INT,
+    LONG,
+    SIZE_T,
+    UNSIGNED,
+    UNSIGNED_LONG,
+    VOID,
+    VOID_PTR,
+    ArrayType,
+    BaseType,
+    CType,
+    FunctionPrototype,
+    FunctionType,
+    Parameter,
+    PointerType,
+    make_prototype,
+)
+from repro.cdecl.lexer import LexError, Token, TokenKind, tokenize
+from repro.cdecl.parser import DeclarationParser, ParseError
+from repro.cdecl.typedefs import POSIX_TYPEDEFS, STRUCT_SIZES, sizeof, typedef_table
+
+__all__ = [
+    "ArrayType",
+    "BaseType",
+    "CHAR",
+    "CHAR_PTR",
+    "CONST_CHAR",
+    "CONST_CHAR_PTR",
+    "CONST_VOID_PTR",
+    "CType",
+    "DOUBLE",
+    "DeclarationParser",
+    "FunctionPrototype",
+    "FunctionType",
+    "INT",
+    "LONG",
+    "LexError",
+    "POSIX_TYPEDEFS",
+    "Parameter",
+    "ParseError",
+    "PointerType",
+    "SIZE_T",
+    "STRUCT_SIZES",
+    "Token",
+    "TokenKind",
+    "UNSIGNED",
+    "UNSIGNED_LONG",
+    "VOID",
+    "VOID_PTR",
+    "make_prototype",
+    "sizeof",
+    "tokenize",
+    "typedef_table",
+]

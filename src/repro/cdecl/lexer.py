@@ -1,0 +1,136 @@
+"""Tokenizer for C declarations.
+
+A deliberately small lexer: it understands exactly the subset of C that
+appears in POSIX header prototypes and man-page SYNOPSIS sections —
+identifiers, keywords, integer literals, punctuation and the ellipsis.
+Comments and preprocessor lines are stripped before tokenization.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    PUNCT = "punct"
+    ELLIPSIS = "ellipsis"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "auto",
+        "char",
+        "const",
+        "double",
+        "enum",
+        "extern",
+        "float",
+        "inline",
+        "int",
+        "long",
+        "register",
+        "restrict",
+        "short",
+        "signed",
+        "static",
+        "struct",
+        "union",
+        "unsigned",
+        "void",
+        "volatile",
+        "_Bool",
+        "_Noreturn",
+    }
+)
+
+PUNCTUATION = ("(", ")", "[", "]", "{", "}", "*", ",", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+class LexError(ValueError):
+    """Input contained a character the declaration lexer cannot handle."""
+
+    def __init__(self, text: str, position: int) -> None:
+        snippet = text[position : position + 20]
+        super().__init__(f"unexpected input at offset {position}: {snippet!r}")
+        self.position = position
+
+
+_COMMENT_BLOCK = re.compile(r"/\*.*?\*/", re.S)
+_COMMENT_LINE = re.compile(r"//[^\n]*")
+_PREPROCESSOR = re.compile(r"^[ \t]*#[^\n]*$", re.M)
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER = re.compile(r"0[xX][0-9a-fA-F]+|\d+")
+
+
+def strip_noise(source: str) -> str:
+    """Remove comments and preprocessor directives."""
+    source = _COMMENT_BLOCK.sub(" ", source)
+    source = _COMMENT_LINE.sub(" ", source)
+    source = _PREPROCESSOR.sub(" ", source)
+    return source
+
+
+def tokenize(source: str, tolerant: bool = False) -> list[Token]:
+    """Tokenize a declaration (or a whole header body).
+
+    With ``tolerant=True``, characters the lexer does not understand
+    become one-character PUNCT tokens instead of raising; the parser's
+    per-declaration error recovery then skips just the declaration
+    containing them.  Header parsing uses tolerant mode, single
+    prototypes use strict mode.
+    """
+    return list(iter_tokens(source, tolerant))
+
+
+def iter_tokens(source: str, tolerant: bool = False) -> Iterator[Token]:
+    text = strip_noise(source)
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if text.startswith("...", position):
+            yield Token(TokenKind.ELLIPSIS, "...", position)
+            position += 3
+            continue
+        match = _IDENT.match(text, position)
+        if match:
+            word = match.group()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, word, position)
+            position = match.end()
+            continue
+        match = _NUMBER.match(text, position)
+        if match:
+            yield Token(TokenKind.NUMBER, match.group(), position)
+            position = match.end()
+            continue
+        if char in PUNCTUATION:
+            yield Token(TokenKind.PUNCT, char, position)
+            position += 1
+            continue
+        if tolerant:
+            yield Token(TokenKind.PUNCT, char, position)
+            position += 1
+            continue
+        raise LexError(text, position)
+    yield Token(TokenKind.END, "", length)

@@ -1,0 +1,428 @@
+"""Recursive-descent parser for C declarations.
+
+Replaces the CINT C/C++ interpreter the paper used to extract "extended
+run-time type information".  It parses the prototype subset of C found
+in POSIX headers: declaration specifiers (qualifiers, multi-keyword
+scalars, struct/union/enum tags, typedef names), pointer/array/function
+declarators including function-pointer parameters, and variadic
+parameter lists.
+
+Header parsing is tolerant: a declaration that fails to parse is
+skipped up to the next top-level ``;`` so that one exotic construct
+does not hide every other prototype in the file — important because
+the extraction pipeline measures *how many* prototypes it can recover.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cdecl.ctypes_model import (
+    ArrayType,
+    BaseType,
+    CType,
+    FunctionPrototype,
+    FunctionType,
+    Parameter,
+    PointerType,
+)
+from repro.cdecl.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    """The declaration could not be parsed."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (at {token.kind.value} {token.text!r})")
+        self.token = token
+
+
+#: Multi-keyword scalar spellings, canonicalized.
+_SCALAR_CANON = {
+    ("char",): "char",
+    ("signed", "char"): "signed char",
+    ("unsigned", "char"): "unsigned char",
+    ("short",): "short",
+    ("short", "int"): "short",
+    ("signed", "short"): "short",
+    ("signed", "short", "int"): "short",
+    ("unsigned", "short"): "unsigned short",
+    ("unsigned", "short", "int"): "unsigned short",
+    ("int",): "int",
+    ("signed",): "int",
+    ("signed", "int"): "int",
+    ("unsigned",): "unsigned int",
+    ("unsigned", "int"): "unsigned int",
+    ("long",): "long",
+    ("long", "int"): "long",
+    ("signed", "long"): "long",
+    ("signed", "long", "int"): "long",
+    ("unsigned", "long"): "unsigned long",
+    ("unsigned", "long", "int"): "unsigned long",
+    ("long", "long"): "long long",
+    ("long", "long", "int"): "long long",
+    ("signed", "long", "long"): "long long",
+    ("unsigned", "long", "long"): "unsigned long long",
+    ("unsigned", "long", "long", "int"): "unsigned long long",
+    ("float",): "float",
+    ("double",): "double",
+    ("long", "double"): "long double",
+    ("void",): "void",
+    ("_Bool",): "_Bool",
+}
+
+_SCALAR_WORDS = frozenset(
+    {"char", "short", "int", "long", "float", "double", "void", "signed", "unsigned", "_Bool"}
+)
+_QUALIFIERS = frozenset({"const", "volatile", "restrict"})
+_STORAGE = frozenset({"extern", "static", "inline", "auto", "register", "_Noreturn"})
+_TAGS = frozenset({"struct", "union", "enum"})
+
+
+class _Cursor:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self.index += 1
+        return token
+
+    def at_punct(self, text: str) -> bool:
+        return self.current.kind is TokenKind.PUNCT and self.current.text == text
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.current.kind is TokenKind.KEYWORD and self.current.text in words
+
+    def expect_punct(self, text: str) -> Token:
+        if not self.at_punct(text):
+            raise ParseError(f"expected {text!r}", self.current)
+        return self.advance()
+
+
+class DeclarationParser:
+    """Parses prototypes; knows the typedef names it may encounter.
+
+    Args:
+        typedefs: mapping of typedef name to its resolved
+            :class:`CType`.  Names present in the mapping are accepted
+            in type-specifier position; the parsed type keeps the
+            typedef spelling (as a :class:`BaseType`) because the
+            wrapper generator emits the original spelling, while the
+            resolved view is available via :meth:`resolve`.
+    """
+
+    def __init__(self, typedefs: Optional[dict[str, CType]] = None) -> None:
+        self.typedefs: dict[str, CType] = dict(typedefs or {})
+
+    # -- public API ----------------------------------------------------
+    def parse_prototype(self, source: str) -> FunctionPrototype:
+        """Parse a single prototype such as
+        ``char *asctime(const struct tm *tp);``."""
+        cursor = _Cursor(tokenize(source))
+        prototype = self._parse_one(cursor)
+        if prototype is None:
+            raise ParseError("not a function prototype", cursor.current)
+        if cursor.at_punct(";"):
+            cursor.advance()
+        if cursor.current.kind is not TokenKind.END:
+            raise ParseError("trailing input after prototype", cursor.current)
+        return prototype
+
+    def parse_header(self, source: str) -> list[FunctionPrototype]:
+        """Extract every parseable prototype from a header body."""
+        cursor = _Cursor(tokenize(source, tolerant=True))
+        prototypes: list[FunctionPrototype] = []
+        while cursor.current.kind is not TokenKind.END:
+            checkpoint = cursor.index
+            try:
+                prototype = self._parse_one(cursor)
+            except ParseError:
+                cursor.index = checkpoint
+                self._skip_declaration(cursor)
+                continue
+            if cursor.at_punct(";"):
+                cursor.advance()
+            elif cursor.at_punct("{"):
+                # Function definition or struct body: skip it.
+                self._skip_braces(cursor)
+            else:
+                self._skip_declaration(cursor)
+                continue
+            if prototype is not None:
+                prototypes.append(prototype)
+        return prototypes
+
+    def resolve(self, ctype: CType) -> CType:
+        """Replace typedef names by their underlying types, deeply."""
+        if isinstance(ctype, BaseType):
+            resolved = self.typedefs.get(ctype.name)
+            if resolved is None:
+                return ctype
+            resolved = self.resolve(resolved)
+            if ctype.const and isinstance(resolved, BaseType):
+                return BaseType(resolved.name, const=True)
+            return resolved
+        if isinstance(ctype, PointerType):
+            return PointerType(self.resolve(ctype.pointee), ctype.const)
+        if isinstance(ctype, ArrayType):
+            return ArrayType(self.resolve(ctype.element), ctype.length)
+        if isinstance(ctype, FunctionType):
+            params = tuple(
+                Parameter(self.resolve(p.ctype), p.name) for p in ctype.parameters
+            )
+            return FunctionType(self.resolve(ctype.return_type), params, ctype.variadic)
+        return ctype
+
+    # -- declaration parsing -------------------------------------------
+    def _parse_one(self, cursor: _Cursor) -> Optional[FunctionPrototype]:
+        """Parse one external declaration; returns the prototype when
+        the declaration declares a function, else None (e.g. a variable
+        or a typedef, which is recorded as a side effect)."""
+        is_typedef = False
+        if cursor.current.kind is TokenKind.IDENT and cursor.current.text == "typedef":
+            is_typedef = True
+            cursor.advance()
+        base = self._parse_specifiers(cursor)
+        if cursor.at_punct(";"):
+            # Bare "struct tm;" style declaration.
+            return None
+        name, ctype = self._parse_declarator(cursor, base)
+        if is_typedef:
+            if name:
+                self.typedefs[name] = ctype
+            return None
+        if isinstance(ctype, FunctionType) and name:
+            return FunctionPrototype(name, ctype)
+        return None
+
+    def _parse_specifiers(self, cursor: _Cursor) -> CType:
+        const = False
+        scalar_words: list[str] = []
+        tag_type: Optional[str] = None
+        typedef_name: Optional[str] = None
+        saw_any = False
+        while True:
+            token = cursor.current
+            if token.kind is TokenKind.KEYWORD:
+                word = token.text
+                if word in _QUALIFIERS:
+                    const = const or word == "const"
+                    cursor.advance()
+                    saw_any = True
+                    continue
+                if word in _STORAGE:
+                    cursor.advance()
+                    saw_any = True
+                    continue
+                if word in _TAGS:
+                    cursor.advance()
+                    tag_token = cursor.current
+                    if tag_token.kind is not TokenKind.IDENT:
+                        raise ParseError("expected tag name", tag_token)
+                    cursor.advance()
+                    tag_type = f"{word} {tag_token.text}"
+                    if cursor.at_punct("{"):
+                        self._skip_braces(cursor)
+                    saw_any = True
+                    continue
+                if word in _SCALAR_WORDS:
+                    scalar_words.append(word)
+                    cursor.advance()
+                    saw_any = True
+                    continue
+                raise ParseError("unexpected keyword in specifiers", token)
+            if (
+                token.kind is TokenKind.IDENT
+                and not scalar_words
+                and tag_type is None
+                and typedef_name is None
+                and self._looks_like_type_name(cursor)
+            ):
+                typedef_name = token.text
+                cursor.advance()
+                saw_any = True
+                continue
+            break
+        if not saw_any:
+            raise ParseError("expected declaration specifiers", cursor.current)
+        if tag_type is not None:
+            return BaseType(tag_type, const=const)
+        if typedef_name is not None:
+            return BaseType(typedef_name, const=const)
+        canon = _SCALAR_CANON.get(tuple(scalar_words))
+        if canon is None:
+            canon = _SCALAR_CANON.get(tuple(sorted(scalar_words)))
+        if canon is None:
+            raise ParseError(
+                f"unknown scalar spelling {' '.join(scalar_words)!r}", cursor.current
+            )
+        return BaseType(canon, const=const)
+
+    def _looks_like_type_name(self, cursor: _Cursor) -> bool:
+        """Decide whether an identifier in specifier position is a type.
+
+        Known typedefs always qualify.  Otherwise we use the classic
+        heuristic: an identifier followed by another identifier or a
+        ``*`` must be a type name (``FILE *fp``, ``size_t n``).
+        """
+        token = cursor.current
+        if token.text in self.typedefs:
+            return True
+        next_token = cursor.tokens[cursor.index + 1]
+        if next_token.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            return True
+        return next_token.kind is TokenKind.PUNCT and next_token.text in ("*", "(")
+
+    # -- declarators -----------------------------------------------------
+    def _parse_declarator(
+        self, cursor: _Cursor, base: CType, abstract: bool = False
+    ) -> tuple[str, CType]:
+        """Parse a (possibly abstract) declarator; returns (name, type)."""
+        wrap = self._parse_pointer_prefix(cursor)
+        name, inner_wrap = self._parse_direct(cursor, abstract)
+        return name, inner_wrap(wrap(base))
+
+    def _parse_pointer_prefix(self, cursor: _Cursor) -> Callable[[CType], CType]:
+        wrap: Callable[[CType], CType] = lambda t: t
+        while cursor.at_punct("*"):
+            cursor.advance()
+            pointer_const = False
+            while cursor.at_keyword("const", "volatile", "restrict"):
+                pointer_const = pointer_const or cursor.current.text == "const"
+                cursor.advance()
+            prev = wrap
+            wrap = lambda t, prev=prev, c=pointer_const: PointerType(prev(t), const=c)
+        return wrap
+
+    def _parse_direct(
+        self, cursor: _Cursor, abstract: bool
+    ) -> tuple[str, Callable[[CType], CType]]:
+        name = ""
+        inner: Optional[Callable[[CType], CType]] = None
+        if cursor.current.kind is TokenKind.IDENT:
+            name = cursor.advance().text
+        elif cursor.at_punct("(") and self._is_nested_declarator(cursor):
+            cursor.advance()
+            name, nested = self._parse_declarator_deferred(cursor)
+            cursor.expect_punct(")")
+            inner = nested
+        elif not abstract and not cursor.at_punct("(") and not cursor.at_punct("["):
+            raise ParseError("expected declarator name", cursor.current)
+
+        suffix: Callable[[CType], CType] = lambda t: t
+        while True:
+            if cursor.at_punct("("):
+                params, variadic = self._parse_parameter_list(cursor)
+                prev = suffix
+                suffix = lambda t, prev=prev, p=params, v=variadic: prev(
+                    FunctionType(t, tuple(p), v)
+                )
+                continue
+            if cursor.at_punct("["):
+                cursor.advance()
+                length: Optional[int] = None
+                if cursor.current.kind is TokenKind.NUMBER:
+                    length = int(cursor.advance().text, 0)
+                elif cursor.current.kind is TokenKind.IDENT:
+                    cursor.advance()  # e.g. [PATH_MAX]; treated as unsized
+                cursor.expect_punct("]")
+                prev = suffix
+                suffix = lambda t, prev=prev, n=length: prev(ArrayType(t, n))
+                continue
+            break
+
+        if inner is None:
+            return name, suffix
+        return name, lambda t, s=suffix, i=inner: i(s(t))
+
+    def _parse_declarator_deferred(
+        self, cursor: _Cursor
+    ) -> tuple[str, Callable[[CType], CType]]:
+        """Parse the inside of a parenthesized declarator, deferring the
+        base type (standard inside-out C declarator construction)."""
+        wrap = self._parse_pointer_prefix(cursor)
+        name, inner = self._parse_direct(cursor, abstract=True)
+        return name, lambda t, w=wrap, i=inner: i(w(t))
+
+    def _is_nested_declarator(self, cursor: _Cursor) -> bool:
+        """Disambiguate ``(*fp)(...)`` from a parameter list ``(int)``."""
+        next_token = cursor.tokens[cursor.index + 1]
+        if next_token.kind is TokenKind.PUNCT and next_token.text == "*":
+            return True
+        return False
+
+    def _parse_parameter_list(self, cursor: _Cursor) -> tuple[list[Parameter], bool]:
+        cursor.expect_punct("(")
+        parameters: list[Parameter] = []
+        variadic = False
+        if cursor.at_punct(")"):
+            cursor.advance()
+            return parameters, variadic
+        if cursor.at_keyword("void") and self._peek_is_punct(cursor, 1, ")"):
+            cursor.advance()
+            cursor.expect_punct(")")
+            return parameters, variadic
+        while True:
+            if cursor.current.kind is TokenKind.ELLIPSIS:
+                cursor.advance()
+                variadic = True
+                break
+            base = self._parse_specifiers(cursor)
+            pname, ptype = self._parse_declarator(cursor, base, abstract=True)
+            parameters.append(Parameter(ptype, pname))
+            if cursor.at_punct(","):
+                cursor.advance()
+                continue
+            break
+        cursor.expect_punct(")")
+        return parameters, variadic
+
+    @staticmethod
+    def _peek_is_punct(cursor: _Cursor, offset: int, text: str) -> bool:
+        token = cursor.tokens[cursor.index + offset]
+        return token.kind is TokenKind.PUNCT and token.text == text
+
+    # -- error recovery --------------------------------------------------
+    @staticmethod
+    def _skip_declaration(cursor: _Cursor) -> None:
+        """Skip to just past the next top-level ``;``.
+
+        Only brace depth matters: a ``;`` can occur inside ``{}``
+        (struct bodies) but never inside a parameter list, so ignoring
+        paren depth lets recovery escape unbalanced parentheses in
+        malformed declarations.
+        """
+        depth = 0
+        while cursor.current.kind is not TokenKind.END:
+            token = cursor.advance()
+            if token.kind is TokenKind.PUNCT:
+                if token.text == "{":
+                    depth += 1
+                elif token.text == "}":
+                    depth = max(0, depth - 1)
+                elif token.text == ";" and depth == 0:
+                    return
+
+    @staticmethod
+    def _skip_braces(cursor: _Cursor) -> None:
+        """Skip a balanced ``{ ... }`` block (struct body, function
+        body).  The trailing ``;`` is left for the caller: consuming it
+        here would make a struct definition bleed into the *next*
+        declaration's specifiers."""
+        depth = 0
+        while cursor.current.kind is not TokenKind.END:
+            token = cursor.advance()
+            if token.kind is TokenKind.PUNCT:
+                if token.text == "{":
+                    depth += 1
+                elif token.text == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break

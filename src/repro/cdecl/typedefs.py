@@ -1,0 +1,111 @@
+"""Standard POSIX typedefs known to the extraction pipeline.
+
+Real headers define these via long chains of ``__`` types; the
+reproduction resolves them directly to their LP64 underlying types.
+``FILE`` and ``DIR`` stay opaque record types, exactly as an extraction
+tool sees them (their layout is libc-private).
+"""
+
+from __future__ import annotations
+
+from repro.cdecl.ctypes_model import BaseType, CType, PointerType
+
+#: LP64 resolutions for the typedefs appearing in our POSIX surface.
+POSIX_TYPEDEFS: dict[str, CType] = {
+    "size_t": BaseType("unsigned long"),
+    "ssize_t": BaseType("long"),
+    "off_t": BaseType("long"),
+    "time_t": BaseType("long"),
+    "clock_t": BaseType("long"),
+    "pid_t": BaseType("int"),
+    "uid_t": BaseType("unsigned int"),
+    "gid_t": BaseType("unsigned int"),
+    "mode_t": BaseType("unsigned int"),
+    "speed_t": BaseType("unsigned int"),
+    "tcflag_t": BaseType("unsigned int"),
+    "cc_t": BaseType("unsigned char"),
+    "wchar_t": BaseType("int"),
+    "ptrdiff_t": BaseType("long"),
+    "intptr_t": BaseType("long"),
+    "uintptr_t": BaseType("unsigned long"),
+    "int32_t": BaseType("int"),
+    "uint32_t": BaseType("unsigned int"),
+    "int64_t": BaseType("long"),
+    "uint64_t": BaseType("unsigned long"),
+    # Opaque libc records: resolved to their struct tags, never to a
+    # layout — the type lattice treats them specially.
+    "FILE": BaseType("struct _IO_FILE"),
+    "DIR": BaseType("struct __dirstream"),
+    "fpos_t": BaseType("struct _G_fpos_t"),
+    "div_t": BaseType("struct __div_t"),
+    "ldiv_t": BaseType("struct __ldiv_t"),
+    "va_list": PointerType(BaseType("void")),
+}
+
+#: Sizes (bytes, LP64) of the records the libc models materialize.
+STRUCT_SIZES: dict[str, int] = {
+    "struct tm": 44,  # 9 ints + zone fields, matching the paper's 44
+    "struct _IO_FILE": 216,  # glibc 2.2 FILE size on IA-32 era systems
+    "struct __dirstream": 72,
+    "struct termios": 60,
+    "struct timespec": 16,
+    "struct timeval": 16,
+    "struct stat": 144,
+    "struct _G_fpos_t": 16,
+    "struct __div_t": 8,
+    "struct __ldiv_t": 16,
+}
+
+
+def typedef_table() -> dict[str, CType]:
+    """A fresh copy of the standard table (parsers mutate theirs)."""
+    return dict(POSIX_TYPEDEFS)
+
+
+def sizeof(ctype: CType) -> int:
+    """LP64 size of a C type; pointers are 8 bytes.
+
+    Used by the generators to size struct test buffers and by the
+    wrapper checks to know how many bytes an ``T*`` argument must make
+    accessible.
+    """
+    from repro.cdecl.ctypes_model import ArrayType, BaseType, FunctionType, PointerType
+
+    if isinstance(ctype, PointerType):
+        return 8
+    if isinstance(ctype, ArrayType):
+        return (ctype.length or 0) * sizeof(ctype.element)
+    if isinstance(ctype, FunctionType):
+        return 8
+    if isinstance(ctype, BaseType):
+        name = ctype.name
+        if name in STRUCT_SIZES:
+            return STRUCT_SIZES[name]
+        resolved = POSIX_TYPEDEFS.get(name)
+        if resolved is not None and resolved != ctype:
+            return sizeof(resolved)
+        scalar_sizes = {
+            "void": 1,
+            "char": 1,
+            "signed char": 1,
+            "unsigned char": 1,
+            "_Bool": 1,
+            "short": 2,
+            "unsigned short": 2,
+            "int": 4,
+            "unsigned int": 4,
+            "float": 4,
+            "long": 8,
+            "unsigned long": 8,
+            "long long": 8,
+            "unsigned long long": 8,
+            "double": 8,
+            "long double": 16,
+        }
+        if name in scalar_sizes:
+            return scalar_sizes[name]
+        if name.startswith(("struct ", "union ")):
+            return STRUCT_SIZES.get(name, 64)  # unknown records: safe default
+        if name.startswith("enum "):
+            return 4
+    raise ValueError(f"cannot compute sizeof({ctype})")

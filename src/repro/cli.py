@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the pipeline the way the real HEALERS tooling would be driven:
+
+* ``extract``            — section-3 front end statistics
+* ``inject FUNCTION...`` — run fault injectors, print declarations
+* ``harden``             — run the pipeline and write the C artifacts
+* ``ballista``           — the Figure-6 robustness evaluation
+* ``bitflips``           — the section-9 bit-flip campaign
+* ``diff``               — compare declaration bundles across releases
+* ``list``               — the simulated library's catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.libc.catalog import CATALOG
+
+    print(f"{'function':14s} {'headers':24s} {'evaluated':9s} prototype")
+    for spec in CATALOG:
+        in_set = "ballista" if spec.ballista else "-"
+        print(f"{spec.name:14s} {','.join(spec.headers):24s} {in_set:9s} "
+              f"{spec.prototype}")
+    print(f"\n{len(CATALOG)} functions "
+          f"({sum(1 for s in CATALOG if s.ballista)} in the evaluation set)")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.extract import Extractor
+    from repro.syslib import build_environment
+
+    report = Extractor(build_environment()).run()
+    for key, value in report.stats.summary().items():
+        print(f"{key:28s} {value}")
+    if args.verbose:
+        for name, fn in sorted(report.functions.items()):
+            proto = fn.prototype.render() if fn.prototype else "(not found)"
+            print(f"  {name:24s} [{fn.route.value}] {proto}")
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.declarations import apply_manual_edits, declaration_from_report
+    from repro.injector import inject_function
+    from repro.libc.catalog import BY_NAME
+
+    unknown = [n for n in args.functions if n not in BY_NAME]
+    if unknown:
+        print(f"unknown functions: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in args.functions:
+        report = inject_function(name)
+        declaration = declaration_from_report(report)
+        if args.semi_auto:
+            declaration = apply_manual_edits(declaration)
+        print(declaration.to_xml())
+        print(f"<!-- {report.calls_made} calls, {report.retries} retries, "
+              f"{report.crashes} crashes -->\n")
+    return 0
+
+
+def _cmd_harden(args: argparse.Namespace) -> int:
+    from repro.core import HealersPipeline
+    from repro.core.cache import save_declarations
+    from repro.wrapper import generate_checks_header
+
+    functions = args.functions or None
+    pipeline = HealersPipeline(
+        functions=functions,
+        progress=lambda name, report: print(
+            f"  {'UNSAFE' if report.unsafe else 'safe  '} {name}"
+        ),
+    )
+    hardened = pipeline.run()
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "healers_wrapper.c").write_text(
+        hardened.wrapper_source(semi_auto=args.semi_auto)
+    )
+    (out / "healers_checks.h").write_text(generate_checks_header())
+    save_declarations(hardened.declarations, out / "declarations.xml")
+    print(f"\nwrote {out}/healers_wrapper.c, healers_checks.h, declarations.xml")
+    print(f"{len(hardened.unsafe_functions())} unsafe / "
+          f"{len(hardened.safe_functions())} safe functions "
+          f"in {hardened.elapsed_seconds:.1f}s")
+    return 0
+
+
+def _cmd_ballista(args: argparse.Namespace) -> int:
+    from repro.ballista import BallistaHarness
+    from repro.core import HealersPipeline
+    from repro.core.cache import load_or_generate
+    from repro.libc.catalog import BY_NAME
+
+    if args.functions:
+        hardened = HealersPipeline(functions=args.functions).run()
+        harness = BallistaHarness(functions=[BY_NAME[n] for n in args.functions])
+    else:
+        hardened = load_or_generate()
+        harness = BallistaHarness(total_target=11995)
+    print(f"{len(harness.tests())} tests")
+    configurations = [("unwrapped", None)]
+    if not args.unwrapped_only:
+        configurations += [
+            ("full-auto", hardened.wrapper()),
+            ("semi-auto", hardened.wrapper(semi_auto=True)),
+        ]
+    from repro.ballista import render_figure6
+
+    reports = [
+        harness.run(wrapper=wrapper, configuration=label)
+        for label, wrapper in configurations
+    ]
+    print(render_figure6(reports))
+    if args.verbose:
+        for report in reports:
+            if report.count("crash"):
+                print(f"{report.configuration} crashing: "
+                      f"{report.crashing_functions()}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.cache import load_declarations
+    from repro.declarations import diff_declarations
+
+    old = load_declarations(Path(args.old))
+    new = load_declarations(Path(args.new))
+    diff = diff_declarations(old, new)
+    print(f"declaration diff: {diff.old_version} -> {diff.new_version}")
+    for change in diff.changed:
+        print(f"  {change.describe()}")
+    if not diff.changed:
+        print("  (no changes)")
+    print(f"summary: {diff.summary()}")
+    if diff.needs_regeneration:
+        print(f"wrappers to regenerate: {', '.join(diff.needs_regeneration)}")
+    return 0
+
+
+def _cmd_bitflips(args: argparse.Namespace) -> int:
+    from repro.core import HealersPipeline
+    from repro.injector import BitFlipCampaign, GOLDEN_CALLS
+
+    functions = args.functions or sorted(GOLDEN_CALLS)
+    hardened = HealersPipeline(functions=functions).run()
+    for name in functions:
+        campaign = BitFlipCampaign(name)
+        rows = [
+            campaign.run().summary_row(),
+            campaign.run(hardened.wrapper(), "full-auto").summary_row(),
+            campaign.run(hardened.wrapper(semi_auto=True), "semi-auto").summary_row(),
+        ]
+        for row in rows:
+            print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HEALERS reproduction: automated robustness wrappers "
+        "for C libraries (Fetzer & Xiao, DSN 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the simulated library catalog")
+
+    extract = sub.add_parser("extract", help="section-3 extraction statistics")
+    extract.add_argument("-v", "--verbose", action="store_true")
+
+    inject = sub.add_parser("inject", help="fault-inject functions, print declarations")
+    inject.add_argument("functions", nargs="+")
+    inject.add_argument("--semi-auto", action="store_true",
+                        help="apply the manual edits before printing")
+
+    harden = sub.add_parser("harden", help="run the pipeline, write C artifacts")
+    harden.add_argument("functions", nargs="*",
+                        help="functions to harden (default: the 86-function set)")
+    harden.add_argument("-o", "--output", default="healers_out")
+    harden.add_argument("--semi-auto", action="store_true")
+
+    ballista = sub.add_parser("ballista", help="run the Figure-6 evaluation")
+    ballista.add_argument("functions", nargs="*")
+    ballista.add_argument("--unwrapped-only", action="store_true")
+    ballista.add_argument("-v", "--verbose", action="store_true")
+
+    bitflips = sub.add_parser("bitflips", help="run the bit-flip campaign")
+    bitflips.add_argument("functions", nargs="*")
+
+    diff = sub.add_parser(
+        "diff", help="compare two declaration bundles (release adaptation)"
+    )
+    diff.add_argument("old", help="old declarations.xml")
+    diff.add_argument("new", help="new declarations.xml")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "extract": _cmd_extract,
+    "inject": _cmd_inject,
+    "harden": _cmd_harden,
+    "ballista": _cmd_ballista,
+    "bitflips": _cmd_bitflips,
+    "diff": _cmd_diff,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Disk cache for generated function declarations.
+
+Running the 86 fault injectors takes minutes; the benchmarks and the
+examples that only need phase-2 artifacts load declarations from an
+XML bundle instead (and regenerate it when missing) — mirroring how
+the real HEALERS persists function declarations between phases.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.pipeline import HardenedLibrary, HealersPipeline
+from repro.declarations import FunctionDeclaration, apply_all_manual_edits
+
+#: Default cache location, relative to the repository root.
+DEFAULT_CACHE = Path(__file__).resolve().parents[3] / ".healers_cache" / "declarations.xml"
+
+
+def save_declarations(
+    declarations: dict[str, FunctionDeclaration], path: Path
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    root = ET.Element("declarations")
+    for name in sorted(declarations):
+        root.append(ET.fromstring(declarations[name].to_xml()))
+    ET.indent(root)
+    path.write_text(ET.tostring(root, encoding="unicode"))
+
+
+def load_declarations(path: Path) -> dict[str, FunctionDeclaration]:
+    root = ET.fromstring(path.read_text())
+    out: dict[str, FunctionDeclaration] = {}
+    for element in root.findall("function"):
+        declaration = FunctionDeclaration.from_xml(ET.tostring(element, encoding="unicode"))
+        out[declaration.name] = declaration
+    return out
+
+
+def load_or_generate(
+    functions: Optional[Sequence[str]] = None,
+    path: Path = DEFAULT_CACHE,
+    force: bool = False,
+) -> HardenedLibrary:
+    """Load cached declarations covering ``functions``, or run the
+    pipeline and cache the result.
+
+    The cached bundle stores the *automated* declarations; manual
+    edits are re-applied on load (they are code, not data).
+    """
+    wanted = set(functions) if functions is not None else None
+    if path.exists() and not force:
+        declarations = load_declarations(path)
+        if wanted is None or wanted.issubset(declarations):
+            if wanted is not None:
+                declarations = {n: d for n, d in declarations.items() if n in wanted}
+            return HardenedLibrary(
+                declarations=declarations,
+                semi_auto_declarations=apply_all_manual_edits(declarations),
+            )
+    hardened = HealersPipeline(functions=sorted(wanted) if wanted else None).run()
+    existing: dict[str, FunctionDeclaration] = {}
+    if path.exists():
+        existing = load_declarations(path)
+    existing.update(hardened.declarations)
+    save_declarations(existing, path)
+    return hardened

@@ -1,0 +1,114 @@
+"""The HEALERS pipeline (paper Figure 1).
+
+Phase 1: extract function names and types, generate a fault injector
+per function, run it, and emit function declarations.  Phase 2:
+generate wrappers — both the C source artifact and the executable
+interposition wrapper used for evaluation.
+
+``HealersPipeline.run`` is the one-call public entry point:
+
+    >>> pipeline = HealersPipeline(functions=["asctime"])
+    >>> hardened = pipeline.run()
+    >>> wrapper = hardened.wrapper()
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.declarations import (
+    FunctionDeclaration,
+    apply_all_manual_edits,
+    declaration_from_report,
+)
+from repro.injector import FaultInjector, InjectionReport
+from repro.libc.catalog import BALLISTA_SET, BY_NAME, FunctionSpec
+from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.wrapper import CheckConfig, WrapperLibrary, WrapperPolicy
+from repro.wrapper.codegen import generate_wrapper_library
+
+
+@dataclass
+class HardenedLibrary:
+    """Phase-1 output plus wrapper factories."""
+
+    declarations: dict[str, FunctionDeclaration]
+    semi_auto_declarations: dict[str, FunctionDeclaration]
+    reports: dict[str, InjectionReport] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def wrapper(
+        self,
+        policy: WrapperPolicy = WrapperPolicy.ROBUST,
+        semi_auto: bool = False,
+        check_config: Optional[CheckConfig] = None,
+        relational: bool = True,
+    ) -> WrapperLibrary:
+        """Instantiate an executable wrapper over the declarations."""
+        declarations = self.semi_auto_declarations if semi_auto else self.declarations
+        return WrapperLibrary(
+            declarations,
+            policy=policy,
+            check_config=check_config,
+            relational=relational,
+        )
+
+    def wrapper_source(self, semi_auto: bool = False) -> str:
+        """The generated C shared-library source (Figure 5 artifact)."""
+        declarations = self.semi_auto_declarations if semi_auto else self.declarations
+        return generate_wrapper_library(declarations)
+
+    def unsafe_functions(self) -> list[str]:
+        return sorted(n for n, d in self.declarations.items() if d.unsafe)
+
+    def safe_functions(self) -> list[str]:
+        return sorted(n for n, d in self.declarations.items() if not d.unsafe)
+
+
+class HealersPipeline:
+    """Drives fault injection and declaration generation."""
+
+    def __init__(
+        self,
+        functions: Optional[Sequence[str]] = None,
+        runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
+        max_vectors: int = 1200,
+        progress: Optional[Callable[[str, InjectionReport], None]] = None,
+    ) -> None:
+        if functions is None:
+            self.specs: list[FunctionSpec] = list(BALLISTA_SET)
+        else:
+            self.specs = [BY_NAME[name] for name in functions]
+        self.runtime_factory = runtime_factory
+        self.max_vectors = max_vectors
+        self.progress = progress
+
+    def run(self) -> HardenedLibrary:
+        started = time.perf_counter()
+        reports: dict[str, InjectionReport] = {}
+        declarations: dict[str, FunctionDeclaration] = {}
+        for spec in self.specs:
+            injector = FaultInjector(
+                spec,
+                runtime_factory=self.runtime_factory,
+                max_vectors=self.max_vectors,
+            )
+            report = injector.run()
+            reports[spec.name] = report
+            declarations[spec.name] = declaration_from_report(report, spec.version)
+            if self.progress is not None:
+                self.progress(spec.name, report)
+        semi = apply_all_manual_edits(declarations)
+        return HardenedLibrary(
+            declarations=declarations,
+            semi_auto_declarations=semi,
+            reports=reports,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+def harden(functions: Optional[Sequence[str]] = None) -> HardenedLibrary:
+    """One-call convenience wrapper around the pipeline."""
+    return HealersPipeline(functions=functions).run()

@@ -1,0 +1,28 @@
+"""Function declarations: the phase-1/phase-2 interchange format."""
+
+from repro.declarations.diff import (
+    ChangeKind,
+    DeclarationChange,
+    DeclarationDiff,
+    diff_declarations,
+)
+from repro.declarations.manual_edits import apply_all_manual_edits, apply_manual_edits
+from repro.declarations.model import (
+    ArgumentDeclaration,
+    FunctionDeclaration,
+    declaration_from_report,
+    fallback_error_value,
+)
+
+__all__ = [
+    "ArgumentDeclaration",
+    "ChangeKind",
+    "DeclarationChange",
+    "DeclarationDiff",
+    "diff_declarations",
+    "FunctionDeclaration",
+    "apply_all_manual_edits",
+    "apply_manual_edits",
+    "declaration_from_report",
+    "fallback_error_value",
+]

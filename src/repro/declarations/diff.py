@@ -1,0 +1,136 @@
+"""Declaration diffing across library releases.
+
+Section 2: "new library releases are sometimes more robust than
+previous versions due to bug fixes, and sometimes less robust due to
+bugs introduced in new features.  Using an automated approach greatly
+simplifies what would otherwise be a labor intensive and error prone
+process of hardening each new release."
+
+After re-running the pipeline against a new release, this module
+reports exactly what changed — which functions got safer, which
+regressed, and which wrappers need regeneration — turning the paper's
+adaptation story into a reviewable artifact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.declarations.model import FunctionDeclaration
+
+
+class ChangeKind(enum.Enum):
+    ADDED = "added"
+    REMOVED = "removed"
+    SAFER = "safer"  # unsafe -> safe
+    LESS_SAFE = "less safe"  # safe -> unsafe
+    RETYPED = "retyped"  # robust argument types changed
+    ERRNO_CHANGED = "errno behaviour changed"
+    UNCHANGED = "unchanged"
+
+
+@dataclass(frozen=True)
+class DeclarationChange:
+    """One function's delta between two releases."""
+
+    name: str
+    kind: ChangeKind
+    details: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.details:
+            return f"{self.name}: {self.kind.value} ({'; '.join(self.details)})"
+        return f"{self.name}: {self.kind.value}"
+
+
+@dataclass
+class DeclarationDiff:
+    """The full delta between two declaration sets."""
+
+    old_version: str
+    new_version: str
+    changes: list[DeclarationChange] = field(default_factory=list)
+
+    def of_kind(self, kind: ChangeKind) -> list[DeclarationChange]:
+        return [c for c in self.changes if c.kind is kind]
+
+    @property
+    def changed(self) -> list[DeclarationChange]:
+        return [c for c in self.changes if c.kind is not ChangeKind.UNCHANGED]
+
+    @property
+    def needs_regeneration(self) -> list[str]:
+        """Functions whose wrapper must be regenerated."""
+        actionable = {
+            ChangeKind.ADDED,
+            ChangeKind.LESS_SAFE,
+            ChangeKind.RETYPED,
+            ChangeKind.ERRNO_CHANGED,
+        }
+        return sorted(c.name for c in self.changes if c.kind in actionable)
+
+    def summary(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for kind in ChangeKind:
+            count = len(self.of_kind(kind))
+            if count:
+                out[kind.value] = count
+        return out
+
+
+def _compare_one(
+    old: FunctionDeclaration, new: FunctionDeclaration
+) -> DeclarationChange:
+    if old.unsafe and not new.unsafe:
+        return DeclarationChange(old.name, ChangeKind.SAFER)
+    if not old.unsafe and new.unsafe:
+        return DeclarationChange(old.name, ChangeKind.LESS_SAFE)
+
+    details: list[str] = []
+    for index, (old_arg, new_arg) in enumerate(zip(old.arguments, new.arguments)):
+        if old_arg.robust_type != new_arg.robust_type:
+            details.append(
+                f"arg{index}: {old_arg.robust_type} -> {new_arg.robust_type}"
+            )
+    if len(old.arguments) != len(new.arguments):
+        details.append(
+            f"arity {len(old.arguments)} -> {len(new.arguments)}"
+        )
+    if details:
+        return DeclarationChange(old.name, ChangeKind.RETYPED, tuple(details))
+
+    if (old.errno_class, old.error_value_text) != (new.errno_class, new.error_value_text):
+        return DeclarationChange(
+            old.name,
+            ChangeKind.ERRNO_CHANGED,
+            (f"{old.errno_class}/{old.error_value_text} -> "
+             f"{new.errno_class}/{new.error_value_text}",),
+        )
+    return DeclarationChange(old.name, ChangeKind.UNCHANGED)
+
+
+def diff_declarations(
+    old: dict[str, FunctionDeclaration],
+    new: dict[str, FunctionDeclaration],
+    old_version: Optional[str] = None,
+    new_version: Optional[str] = None,
+) -> DeclarationDiff:
+    """Compare two releases' declaration sets."""
+
+    def version_of(decls: dict[str, FunctionDeclaration]) -> str:
+        return next(iter(decls.values())).version if decls else "?"
+
+    result = DeclarationDiff(
+        old_version=old_version or version_of(old),
+        new_version=new_version or version_of(new),
+    )
+    for name in sorted(set(old) | set(new)):
+        if name not in old:
+            result.changes.append(DeclarationChange(name, ChangeKind.ADDED))
+        elif name not in new:
+            result.changes.append(DeclarationChange(name, ChangeKind.REMOVED))
+        else:
+            result.changes.append(_compare_one(old[name], new[name]))
+    return result

@@ -1,0 +1,144 @@
+"""The semi-automated manual edits (paper section 6).
+
+"In the next step, we manually edited the generated function
+declarations to add robust argument types and some executable
+assertions (which we used to track directory structures).  With these
+additional checks we were able to eliminate all crash failures in the
+Ballista test."
+
+This module encodes those edits declaratively.  Assertion names refer
+to check plugins in :mod:`repro.wrapper.state`:
+
+* ``track_dir`` — the stateful DIR* table of section 5.2;
+* ``track_file`` — the analogous stateful FILE* table that catches
+  corrupted-but-fstat-passing streams;
+* ``strtok_state`` — rejects ``strtok(NULL, ...)`` with no saved scan
+  position.
+"""
+
+from __future__ import annotations
+
+from repro.declarations.model import FunctionDeclaration
+from repro.typelattice import registry
+
+#: stdio functions whose FILE* argument is at a given index.
+_FILE_ARG_FUNCTIONS = {
+    "fclose": 0,
+    "fflush": 0,
+    "fread": 3,
+    "fwrite": 3,
+    "fgets": 2,
+    "fputs": 1,
+    "fgetc": 0,
+    "fputc": 1,
+    "ungetc": 1,
+    "fseek": 0,
+    "ftell": 0,
+    "rewind": 0,
+    "setbuf": 0,
+    "setvbuf": 0,
+    "feof": 0,
+    "ferror": 0,
+    "clearerr": 0,
+    "fileno": 0,
+    "fprintf": 0,
+    "fscanf": 0,
+    "freopen": 2,
+}
+
+#: dirent functions whose DIR* argument is argument 0.
+_DIR_ARG_FUNCTIONS = ("readdir", "closedir", "rewinddir", "seekdir", "telldir")
+
+
+def apply_manual_edits(declaration: FunctionDeclaration) -> FunctionDeclaration:
+    """Return the manually hardened version of a declaration.
+
+    Unknown functions pass through unchanged — the edits are the small
+    hand-curated list of the paper, not a general mechanism.
+    """
+    name = declaration.name
+    edited = declaration
+
+    if name in _DIR_ARG_FUNCTIONS:
+        # POSIX has no DIR validity check; the executable assertion
+        # tracks pointers returned by opendir (section 5.2).
+        edited = edited.with_robust_type(0, registry.OPEN_DIR)
+        edited = edited.with_assertions("track_dir")
+
+    if name in _FILE_ARG_FUNCTIONS:
+        index = _FILE_ARG_FUNCTIONS[name]
+        if index < edited.arity:
+            current = edited.arguments[index].robust_type
+            target = (
+                registry.OPEN_FILE_NULL
+                if current.name.endswith("_NULL") or name == "fflush"
+                else registry.OPEN_FILE
+            )
+            edited = edited.with_robust_type(index, target)
+        edited = edited.with_assertions("track_file")
+
+    if name == "strtok":
+        # strtok writes NUL into the scanned string and resumes from
+        # saved state on NULL — both beyond per-argument inference.
+        edited = edited.with_robust_type(0, registry.WRITABLE_STRING_NULL)
+        edited = edited.with_assertions("strtok_state")
+
+    if name in ("strncpy", "strncat") and edited.arity >= 2:
+        # With n == 0 the source is never read, so NULL "succeeds" and
+        # the automated robust type degenerates; require a readable
+        # byte by hand (the relational dst-capacity check is automatic).
+        edited = edited.with_robust_type(1, registry.R_ARRAY(1))
+
+    if name == "strncmp":
+        # Both operands must be terminated strings; the bounded scan
+        # can succeed on garbage during injection when the first bytes
+        # differ, so inference alone stops at R_ARRAY[1].
+        edited = edited.with_robust_type(0, registry.CSTRING)
+        edited = edited.with_robust_type(1, registry.CSTRING)
+
+    if name == "tmpnam":
+        # L_tmpnam is 20 in our libc; the automated type bottoms out
+        # at W_ARRAY_NULL[1] because writable *strings* of any length
+        # also succeed.
+        edited = edited.with_robust_type(0, registry.W_ARRAY_NULL(20))
+
+    if name in ("qsort", "bsearch"):
+        # The comparator can evade per-argument fault attribution (it
+        # is only invoked for nmemb >= 2), and nmemb == 0 lets any base
+        # pointer "succeed"; strengthen both by hand.
+        comparator_index = edited.arity - 1
+        edited = edited.with_robust_type(comparator_index, registry.FUNCPTR)
+        if name == "qsort":
+            edited = edited.with_robust_type(0, registry.RW_ARRAY(1))
+        else:
+            edited = edited.with_robust_type(0, registry.R_ARRAY(1))
+            edited = edited.with_robust_type(1, registry.R_ARRAY(1))
+
+    if name == "freopen":
+        # freopen(NULL, mode, fp) legally changes a stream's mode
+        # without reading path or mode — that early exit makes both
+        # string arguments "succeed" as anything during injection.
+        edited = edited.with_robust_type(0, registry.CSTRING_NULL)
+        edited = edited.with_robust_type(1, registry.MODE_STRING)
+
+    if name in ("fprintf", "fscanf") and edited.arity >= 2:
+        # Directive-bearing formats with missing variadic arguments
+        # crash; restrict to directive-free formats (also blocks %n).
+        edited = edited.with_robust_type(1, registry.FORMAT_STRING)
+
+    if name in ("strtol", "strtoul", "strtod", "atoi", "atol", "atof"):
+        # An invalid base makes strtol return before touching nptr, so
+        # NULL "succeeds" during injection and the automated robust
+        # type degenerates to UNCONSTRAINED.  The conversion functions
+        # are the canonical "add robust argument types" manual edit.
+        edited = edited.with_robust_type(0, registry.CSTRING)
+        if name in ("strtol", "strtoul", "strtod") and edited.arity >= 2:
+            edited = edited.with_robust_type(1, registry.W_ARRAY_NULL(8))
+
+    return edited
+
+
+def apply_all_manual_edits(
+    declarations: dict[str, FunctionDeclaration],
+) -> dict[str, FunctionDeclaration]:
+    return {name: apply_manual_edits(decl) for name, decl in declarations.items()}

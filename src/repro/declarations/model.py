@@ -1,0 +1,220 @@
+"""Function declarations (paper section 3, Figure 2).
+
+A function declaration is the interchange format between phase 1 (the
+fault injectors) and phase 2 (the wrapper generator): name and
+version, C types, robust argument types, error return code, errno
+values, and the safe/unsafe attribute.  Declarations serialize to the
+paper's XML format and back, and carry the *executable assertions*
+added during manual editing (the semi-automated step of section 6).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.libc.catalog import CONSISTENT, NONE_FOUND, VOID
+from repro.libc.errno_codes import EINVAL, errno_name
+from repro.typelattice.instances import TypeInstance, parse_rendered
+
+
+@dataclass(frozen=True)
+class ArgumentDeclaration:
+    """One argument: its C type and its robust argument type.
+
+    ``ideal_type`` records the unrestricted robust type when it is
+    stronger than what the automated wrapper can check — the signal
+    that a manual edit could improve protection.
+    """
+
+    ctype: str
+    robust_type: TypeInstance
+    ideal_type: Optional[TypeInstance] = None
+
+    @property
+    def needs_manual_attention(self) -> bool:
+        return self.ideal_type is not None and self.ideal_type != self.robust_type
+
+
+@dataclass(frozen=True)
+class FunctionDeclaration:
+    """The complete declaration for one library function."""
+
+    name: str
+    version: str
+    return_type: str
+    arguments: tuple[ArgumentDeclaration, ...]
+    error_value: Optional[object]  # Python value returned on rejection
+    error_value_text: str  # C spelling, e.g. "NULL" or "-1"
+    errnos: tuple[int, ...]
+    attribute: str  # "safe" | "unsafe"
+    errno_class: str
+    #: names of executable assertions (wrapper check plugins) enabled
+    #: for this function; populated by manual edits.
+    assertions: tuple[str, ...] = ()
+    variadic: bool = False
+
+    @property
+    def unsafe(self) -> bool:
+        return self.attribute == "unsafe"
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    # -- XML (Figure 2) -------------------------------------------------
+    def to_xml(self) -> str:
+        root = ET.Element("function")
+        ET.SubElement(root, "name").text = self.name
+        ET.SubElement(root, "version").text = self.version
+        for argument in self.arguments:
+            arg_el = ET.SubElement(root, "argument")
+            ET.SubElement(arg_el, "ctype").text = argument.ctype
+            ET.SubElement(arg_el, "robust_type").text = argument.robust_type.render()
+            if argument.ideal_type is not None:
+                ET.SubElement(arg_el, "ideal_type").text = argument.ideal_type.render()
+        ET.SubElement(root, "return_type").text = self.return_type
+        ET.SubElement(root, "error_value").text = self.error_value_text
+        errors = ET.SubElement(root, "errors")
+        for code in self.errnos:
+            ET.SubElement(errors, "errno").text = errno_name(code)
+        ET.SubElement(root, "attribute").text = self.attribute
+        ET.SubElement(root, "errno_class").text = self.errno_class
+        if self.assertions:
+            assertions = ET.SubElement(root, "assertions")
+            for name in self.assertions:
+                ET.SubElement(assertions, "assert").text = name
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "FunctionDeclaration":
+        root = ET.fromstring(text)
+        if root.tag != "function":
+            raise ValueError("not a <function> declaration")
+        arguments = []
+        for arg_el in root.findall("argument"):
+            robust = _instance_from_text(arg_el.findtext("robust_type", "UNCONSTRAINED"))
+            ideal_text = arg_el.findtext("ideal_type")
+            ideal = _instance_from_text(ideal_text) if ideal_text else None
+            arguments.append(
+                ArgumentDeclaration(
+                    ctype=arg_el.findtext("ctype", ""),
+                    robust_type=robust,
+                    ideal_type=ideal,
+                )
+            )
+        error_text = root.findtext("error_value", "NULL")
+        errnos = tuple(
+            _errno_from_name(el.text or "") for el in root.findall("errors/errno")
+        )
+        return cls(
+            name=root.findtext("name", ""),
+            version=root.findtext("version", ""),
+            return_type=root.findtext("return_type", "int"),
+            arguments=tuple(arguments),
+            error_value=_python_error_value(error_text),
+            error_value_text=error_text,
+            errnos=errnos,
+            attribute=root.findtext("attribute", "unsafe"),
+            errno_class=root.findtext("errno_class", NONE_FOUND),
+            assertions=tuple(
+                el.text or "" for el in root.findall("assertions/assert")
+            ),
+        )
+
+    # -- edits -----------------------------------------------------------
+    def with_robust_type(self, index: int, robust: TypeInstance) -> "FunctionDeclaration":
+        """A copy with one argument's robust type replaced (manual
+        editing of the generated declaration)."""
+        arguments = list(self.arguments)
+        arguments[index] = replace(arguments[index], robust_type=robust)
+        return replace(self, arguments=tuple(arguments))
+
+    def with_assertions(self, *names: str) -> "FunctionDeclaration":
+        merged = tuple(dict.fromkeys(self.assertions + names))
+        return replace(self, assertions=merged)
+
+
+def _instance_from_text(text: str) -> TypeInstance:
+    name, param = parse_rendered(text)
+    return TypeInstance(name, param)
+
+
+def _errno_from_name(name: str) -> int:
+    from repro.libc.errno_codes import ERRNO_NAMES
+
+    for code, spelled in ERRNO_NAMES.items():
+        if spelled == name:
+            return code
+    try:
+        return int(name)
+    except ValueError:
+        return EINVAL
+
+
+def _python_error_value(text: str):
+    if text in ("NULL", "0"):
+        return 0
+    if text == "none":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return 0
+
+
+def fallback_error_value(return_type: str) -> tuple[object, str]:
+    """Error value for functions whose injector found none
+    (section 3.3's "No Error Return Code Found" class): NULL for
+    pointers, -1 for signed scalars, 0 for everything else."""
+    stripped = return_type.strip()
+    if stripped.endswith("*"):
+        return 0, "NULL"
+    if stripped == "void":
+        return None, "none"
+    if stripped in ("double", "float"):
+        return 0.0, "0.0"
+    if stripped.startswith("unsigned"):
+        return 0, "0"
+    return -1, "-1"
+
+
+def declaration_from_report(report, version: str = "GLIBC_2.2") -> FunctionDeclaration:
+    """Build a declaration from an injection report (the automated
+    path of Figure 1: Fault-Injector -> Function Declaration)."""
+    prototype = report.prototype
+    arguments = []
+    for parameter, robust in zip(prototype.ftype.parameters, report.robust_types):
+        ideal = robust.ideal if robust.ideal != robust.robust else None
+        arguments.append(
+            ArgumentDeclaration(
+                ctype=parameter.ctype.render().strip(),
+                robust_type=robust.robust,
+                ideal_type=ideal,
+            )
+        )
+    return_type = prototype.ftype.return_type.render()
+    if report.errno_class.kind == CONSISTENT:
+        value = report.errno_class.error_value
+        text = "NULL" if value == 0 and return_type.strip().endswith("*") else repr(value)
+        if isinstance(value, int) and not return_type.strip().endswith("*"):
+            text = str(value)
+    else:
+        value, text = fallback_error_value(return_type)
+    return FunctionDeclaration(
+        name=report.name,
+        version=version,
+        return_type=return_type,
+        arguments=tuple(arguments),
+        error_value=value,
+        error_value_text=text,
+        errnos=tuple(sorted(report.errno_class.errnos)) or (EINVAL,),
+        attribute="unsafe" if report.unsafe else "safe",
+        errno_class=report.errno_class.kind,
+        variadic=prototype.ftype.variadic,
+    )

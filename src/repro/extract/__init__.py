@@ -1,0 +1,18 @@
+"""Phase-1 extraction: names from symbol tables, prototypes from
+headers and manual pages (paper section 3)."""
+
+from repro.extract.pipeline import (
+    ExtractedFunction,
+    ExtractionReport,
+    ExtractionStats,
+    Extractor,
+    Route,
+)
+
+__all__ = [
+    "ExtractedFunction",
+    "ExtractionReport",
+    "ExtractionStats",
+    "Extractor",
+    "Route",
+]

@@ -1,0 +1,197 @@
+"""Phase-1 front end: function name and type extraction (section 3).
+
+Implements the paper's extraction strategy against the synthetic
+environment:
+
+1. ``objdump`` the shared library, keep global functions whose names
+   do not start with an underscore (section 3.1);
+2. for each function, consult its manual page first: parse the headers
+   its SYNOPSIS lists (plus everything they include) and look for the
+   prototype (section 3.2, "we nevertheless use the manual pages first
+   because we have a higher chance of success in case the function is
+   defined across multiple header files");
+3. if there is no page, the page lists no headers, the listed headers
+   are wrong, or the prototype is not found, fall back to an
+   exhaustive search through every header below the include path.
+
+The report carries the per-route accounting that reproduces the
+paper's percentages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cdecl import DeclarationParser, FunctionPrototype, typedef_table
+from repro.manpages.corpus import synopsis_headers
+from repro.syslib.symbols import extract_external_names
+from repro.syslib.synthetic import SyntheticEnvironment
+
+
+class Route(enum.Enum):
+    """How a function's prototype was (or wasn't) located."""
+
+    MAN_PAGE = "man page headers"
+    EXHAUSTIVE = "exhaustive header search"
+    NOT_FOUND = "not found"
+
+
+@dataclass
+class ExtractedFunction:
+    name: str
+    prototype: Optional[FunctionPrototype]
+    route: Route
+    headers_searched: int = 0
+
+
+@dataclass
+class ExtractionStats:
+    """The section 3.1/3.2 accounting."""
+
+    global_functions: int = 0
+    internal_functions: int = 0
+    external_functions: int = 0
+    with_man_page: int = 0
+    man_without_headers: int = 0
+    man_with_wrong_headers: int = 0
+    found_via_man: int = 0
+    found_via_search: int = 0
+    not_found: int = 0
+
+    @property
+    def internal_fraction(self) -> float:
+        if not self.global_functions:
+            return 0.0
+        return self.internal_functions / self.global_functions
+
+    @property
+    def man_coverage(self) -> float:
+        if not self.external_functions:
+            return 0.0
+        return self.with_man_page / self.external_functions
+
+    @property
+    def man_no_header_fraction(self) -> float:
+        if not self.with_man_page:
+            return 0.0
+        return self.man_without_headers / self.with_man_page
+
+    @property
+    def man_wrong_header_fraction(self) -> float:
+        if not self.with_man_page:
+            return 0.0
+        return self.man_with_wrong_headers / self.with_man_page
+
+    @property
+    def found_fraction(self) -> float:
+        if not self.external_functions:
+            return 0.0
+        return (self.found_via_man + self.found_via_search) / self.external_functions
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "internal_pct": round(100 * self.internal_fraction, 1),
+            "man_coverage_pct": round(100 * self.man_coverage, 1),
+            "man_no_headers_pct": round(100 * self.man_no_header_fraction, 1),
+            "man_wrong_headers_pct": round(100 * self.man_wrong_header_fraction, 1),
+            "found_pct": round(100 * self.found_fraction, 1),
+        }
+
+
+@dataclass
+class ExtractionReport:
+    functions: dict[str, ExtractedFunction] = field(default_factory=dict)
+    stats: ExtractionStats = field(default_factory=ExtractionStats)
+
+    def prototypes(self) -> dict[str, FunctionPrototype]:
+        return {
+            name: fn.prototype
+            for name, fn in self.functions.items()
+            if fn.prototype is not None
+        }
+
+
+class Extractor:
+    """Runs the extraction pipeline over a synthetic environment."""
+
+    def __init__(self, environment: SyntheticEnvironment) -> None:
+        self.environment = environment
+        self._prototype_index: Optional[dict[str, dict[str, FunctionPrototype]]] = None
+
+    # ------------------------------------------------------------------
+    def _header_prototypes(self, path: str) -> dict[str, FunctionPrototype]:
+        """Parse one header (cached) into name -> prototype."""
+        if self._prototype_index is None:
+            self._prototype_index = {}
+        cached = self._prototype_index.get(path)
+        if cached is not None:
+            return cached
+        text = self.environment.headers.read(path) or ""
+        parser = DeclarationParser(typedef_table())
+        prototypes = {p.name: p for p in parser.parse_header(text)}
+        self._prototype_index[path] = prototypes
+        return prototypes
+
+    def _search_headers(
+        self, name: str, paths: list[str]
+    ) -> Optional[FunctionPrototype]:
+        for path in paths:
+            prototype = self._header_prototypes(path).get(name)
+            if prototype is not None:
+                return prototype
+        return None
+
+    # ------------------------------------------------------------------
+    def extract_function(self, name: str) -> ExtractedFunction:
+        """Locate one function's prototype (man-first strategy)."""
+        corpus = self.environment.headers
+        page = self.environment.man_pages.page_for(name)
+        if page is not None:
+            listed = synopsis_headers(page)
+            if listed:
+                closure = corpus.transitive_closure(listed)
+                prototype = self._search_headers(name, closure)
+                if prototype is not None:
+                    return ExtractedFunction(
+                        name, prototype, Route.MAN_PAGE, len(closure)
+                    )
+        all_paths = corpus.paths()
+        prototype = self._search_headers(name, all_paths)
+        if prototype is not None:
+            return ExtractedFunction(name, prototype, Route.EXHAUSTIVE, len(all_paths))
+        return ExtractedFunction(name, None, Route.NOT_FOUND, len(all_paths))
+
+    def run(self) -> ExtractionReport:
+        """Full pipeline: names from the symbol table, then prototypes."""
+        report = ExtractionReport()
+        table = self.environment.symbol_table
+        stats = report.stats
+        stats.global_functions = len(table.global_functions())
+        stats.internal_functions = sum(
+            1 for s in table.global_functions() if s.is_internal
+        )
+        names = extract_external_names(table)
+        stats.external_functions = len(names)
+
+        for name in names:
+            page = self.environment.man_pages.page_for(name)
+            if page is not None:
+                stats.with_man_page += 1
+                listed = synopsis_headers(page)
+                if not listed:
+                    stats.man_without_headers += 1
+                else:
+                    closure = self.environment.headers.transitive_closure(listed)
+                    if self._search_headers(name, closure) is None:
+                        stats.man_with_wrong_headers += 1
+            extracted = self.extract_function(name)
+            report.functions[name] = extracted
+            if extracted.route is Route.MAN_PAGE:
+                stats.found_via_man += 1
+            elif extracted.route is Route.EXHAUSTIVE:
+                stats.found_via_search += 1
+            else:
+                stats.not_found += 1
+        return report

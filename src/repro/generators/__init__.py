@@ -1,0 +1,55 @@
+"""Test case generators for the adaptive fault injector."""
+
+from repro.generators.arrays import (
+    AdaptiveArrayTemplate,
+    FixedArrayGenerator,
+    MAX_ARRAY_SIZE,
+)
+from repro.generators.base import (
+    GARBAGE_BYTE,
+    GARBAGE_POINTER,
+    Materialized,
+    OWNERSHIP_SLACK,
+    TestCaseGenerator,
+    TestCaseTemplate,
+    ValueTemplate,
+    all_templates,
+)
+from repro.generators.files_gen import (
+    CORRUPT_POINTER,
+    DirPointerGenerator,
+    FilePointerGenerator,
+)
+from repro.generators.scalars import (
+    FdGenerator,
+    FuncPtrGenerator,
+    IntGenerator,
+    RealGenerator,
+    SizeGenerator,
+)
+from repro.generators.select import generators_for
+from repro.generators.strings_gen import CStringGenerator
+
+__all__ = [
+    "AdaptiveArrayTemplate",
+    "CORRUPT_POINTER",
+    "CStringGenerator",
+    "DirPointerGenerator",
+    "FdGenerator",
+    "FilePointerGenerator",
+    "FixedArrayGenerator",
+    "FuncPtrGenerator",
+    "GARBAGE_BYTE",
+    "GARBAGE_POINTER",
+    "IntGenerator",
+    "MAX_ARRAY_SIZE",
+    "Materialized",
+    "OWNERSHIP_SLACK",
+    "RealGenerator",
+    "SizeGenerator",
+    "TestCaseGenerator",
+    "TestCaseTemplate",
+    "ValueTemplate",
+    "all_templates",
+    "generators_for",
+]

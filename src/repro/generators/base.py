@@ -1,0 +1,114 @@
+"""Test case generator framework (paper sections 4.1–4.2).
+
+A *test case generator* produces a finite sequence of test cases for
+one argument.  Every test case is a pair ``(value, fundamental type)``.
+Generators participate in the adaptive loop through two hooks:
+
+* **ownership** — after a crash the injector asks each argument's
+  current test case whether the fault address "belongs to" it
+  (``owned_ranges``).  Ownership covers the test buffer itself, its
+  trailing guard zone, and — beyond the paper, needed because our
+  garbage fill is deterministic — addresses *derived from* the test
+  case's content (a wild pointer read out of a garbage buffer).
+* **adjustment** — the owning case may adjust itself (enlarge the
+  array) and have the call retried, "until the violation disappears or
+  another argument causes the violation".
+
+Materialization happens per call, in the (forked) runtime the call
+executes in, so crashing calls cannot corrupt later test state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.libc.runtime import LibcRuntime
+from repro.typelattice.instances import TypeInstance
+
+#: Deterministic garbage fill for test buffers.  Any pointer-sized
+#: read out of such a buffer yields GARBAGE_POINTER, which ownership
+#: checks recognize.
+GARBAGE_BYTE = 0xA5
+GARBAGE_POINTER = int.from_bytes(bytes([GARBAGE_BYTE]) * 8, "little")
+
+#: Guard-zone span appended to each owned buffer range.
+OWNERSHIP_SLACK = 4096
+
+
+@dataclass
+class Materialized:
+    """One concrete injected value, built inside a specific runtime."""
+
+    value: int | float
+    fundamental: TypeInstance
+    owned_ranges: tuple[tuple[int, int], ...] = ()
+
+    def owns(self, address: int) -> bool:
+        return any(start <= address < end for start, end in self.owned_ranges)
+
+
+class TestCaseTemplate:
+    """One entry of a generator's test case sequence.
+
+    Subclasses override :meth:`materialize`; adaptive templates also
+    override :meth:`adjust`.
+    """
+
+    label = "case"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        raise NotImplementedError
+
+    @property
+    def adjustable(self) -> bool:
+        return False
+
+    def adjust(self, fault, materialized: Materialized) -> bool:
+        """Adapt the template after an owned fault (a
+        :class:`~repro.memory.SegmentationFault`); True if the
+        injector should retry the call with the adjusted case."""
+        return False
+
+
+@dataclass
+class ValueTemplate(TestCaseTemplate):
+    """A plain scalar test case (no memory materialization)."""
+
+    value: int | float
+    fundamental: TypeInstance
+    label: str = ""
+    owned_ranges: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = f"{self.fundamental.render()}={self.value!r}"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        return Materialized(self.value, self.fundamental, self.owned_ranges)
+
+
+class TestCaseGenerator:
+    """Produces the test case sequence for one argument.
+
+    ``fresh()`` clones the generator so per-function adaptive state
+    (array growth) never leaks between functions or arguments.
+    """
+
+    name = "generator"
+
+    def templates(self) -> Sequence[TestCaseTemplate]:
+        raise NotImplementedError
+
+    def fresh(self) -> "TestCaseGenerator":
+        return self.__class__()
+
+
+def all_templates(generators: Iterable[TestCaseGenerator]) -> list[TestCaseTemplate]:
+    """Concatenate the sequences of several generators (an argument
+    may be covered by more than one generator, e.g. FILE* gets both
+    the file-pointer and the fixed-array generator)."""
+    out: list[TestCaseTemplate] = []
+    for generator in generators:
+        out.extend(generator.templates())
+    return out

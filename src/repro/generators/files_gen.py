@@ -1,0 +1,203 @@
+"""Specific test case generators for FILE* and DIR* arguments.
+
+The paper singles out FILE pointers as the canonical example of a
+*specific* generator layered over the generic pointer generator
+(section 4.2, Figure 4).  Ours materializes genuinely open streams in
+the simulated kernel, plus the two corruption variants that drive the
+evaluation's remaining-failure story:
+
+* ``CORRUPT_*`` — accessible, structurally plausible, but with smashed
+  internal pointers: passes every memory check, crashes the libc;
+* ``STALE_*`` — intact structure whose descriptor is dead: exercised
+  error paths (EBADF) rather than crashes.
+"""
+
+from __future__ import annotations
+
+from repro.generators.base import (
+    Materialized,
+    OWNERSHIP_SLACK,
+    TestCaseGenerator,
+    TestCaseTemplate,
+    ValueTemplate,
+)
+from repro.libc import fileio
+from repro.libc.dirent_fns import alloc_dir
+from repro.libc.kernel import CREATE, READ, TRUNC, WRITE
+from repro.libc.runtime import LibcRuntime
+from repro.memory import INVALID_POINTER, NULL
+from repro.sandbox.context import CallContext
+from repro.typelattice import registry
+from repro.typelattice.instances import TypeInstance
+from repro.typelattice.registry import DIR_SIZE, FILE_SIZE
+
+#: The smashed-pointer value planted inside corrupt structures; it is
+#: never mapped, and ownership ranges cover it for fault attribution.
+CORRUPT_POINTER = 0xBAD0_BAD0_0000
+
+#: Descriptor numbers guaranteed dead in any standard runtime.
+STALE_FD = 222
+
+
+def _context(runtime: LibcRuntime) -> CallContext:
+    """A scratch context for materialization-time libc calls."""
+    return CallContext(runtime, step_budget=10_000_000)
+
+
+class FileTemplate(TestCaseTemplate):
+    """An open FILE* with the given access mode."""
+
+    def __init__(self, mode: str, fundamental: TypeInstance) -> None:
+        self.mode = mode
+        self.fundamental = fundamental
+        self.label = f"{fundamental.render()}"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        ctx = _context(runtime)
+        flags = {"r": READ, "w": WRITE | CREATE | TRUNC, "r+": READ | WRITE | CREATE}[
+            self.mode
+        ]
+        # The read-write stream opens a file WITH content, so read
+        # paths (fgets/fread) actually store into their buffers during
+        # injection — an empty benign stream would mask those writes.
+        path = (
+            f"/tmp/gen_{id(self) % 9973}"
+            if self.mode == "w"
+            else "/tmp/input.txt"
+        )
+        fd = runtime.kernel.open(path, flags)
+        fp = fileio.alloc_file(ctx, fd, bool(flags & READ), bool(flags & WRITE))
+        return Materialized(
+            fp, self.fundamental, ((fp, fp + FILE_SIZE + OWNERSHIP_SLACK),)
+        )
+
+
+class CorruptFileTemplate(TestCaseTemplate):
+    """Valid descriptor, smashed buffer pointer: the "corrupted data
+    structure in accessible memory" of paper section 6."""
+
+    label = "CORRUPT_FILE"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        ctx = _context(runtime)
+        fd = runtime.kernel.open("/tmp/input.txt", READ)
+        fp = fileio.alloc_file(ctx, fd, True, True)
+        runtime.space.store_u64(fp + fileio.OFF_BUF, CORRUPT_POINTER)
+        runtime.space.store_u64(fp + fileio.OFF_BUF_END, CORRUPT_POINTER + 64)
+        ranges = (
+            (fp, fp + FILE_SIZE + OWNERSHIP_SLACK),
+            (CORRUPT_POINTER, CORRUPT_POINTER + OWNERSHIP_SLACK),
+        )
+        return Materialized(fp, registry.CORRUPT_FILE, ranges)
+
+
+class StaleFileTemplate(TestCaseTemplate):
+    """Intact FILE whose descriptor was never opened (EBADF paths)."""
+
+    label = "STALE_FILE"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        ctx = _context(runtime)
+        fp = fileio.alloc_file(ctx, STALE_FD, True, True)
+        return Materialized(
+            fp, registry.STALE_FILE, ((fp, fp + FILE_SIZE + OWNERSHIP_SLACK),)
+        )
+
+
+class FilePointerGenerator(TestCaseGenerator):
+    """Figure 4's generator for ``FILE*`` arguments."""
+
+    name = "file_pointer"
+
+    def __init__(self) -> None:
+        self._templates = [
+            ValueTemplate(
+                NULL, registry.NULL, "NULL", owned_ranges=((0, OWNERSHIP_SLACK),)
+            ),
+            ValueTemplate(
+                INVALID_POINTER,
+                registry.INVALID,
+                "INVALID",
+                owned_ranges=((INVALID_POINTER, INVALID_POINTER + OWNERSHIP_SLACK),),
+            ),
+            FileTemplate("r", registry.RONLY_FILE),
+            FileTemplate("r+", registry.RW_FILE),
+            FileTemplate("w", registry.WONLY_FILE),
+            CorruptFileTemplate(),
+            StaleFileTemplate(),
+        ]
+
+    def templates(self):
+        return self._templates
+
+
+class OpenDirTemplate(TestCaseTemplate):
+    """A genuine DIR stream over /tmp."""
+
+    label = "OPEN_DIR"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        ctx = _context(runtime)
+        names = [".", ".."] + runtime.kernel.list_directory("/tmp")
+        fd = runtime.kernel.open("/tmp", READ)
+        dirp = alloc_dir(ctx, names, fd)
+        return Materialized(
+            dirp, registry.OPEN_DIR, ((dirp, dirp + DIR_SIZE + OWNERSHIP_SLACK),)
+        )
+
+
+class CorruptDirTemplate(TestCaseTemplate):
+    """Valid descriptor, smashed entries pointer."""
+
+    label = "CORRUPT_DIR"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        from repro.libc import dirent_fns
+
+        ctx = _context(runtime)
+        fd = runtime.kernel.open("/tmp", READ)
+        dirp = alloc_dir(ctx, ["."], fd)
+        runtime.space.store_u64(dirp + dirent_fns.OFF_ENTRIES, CORRUPT_POINTER)
+        ranges = (
+            (dirp, dirp + DIR_SIZE + OWNERSHIP_SLACK),
+            (CORRUPT_POINTER, CORRUPT_POINTER + OWNERSHIP_SLACK),
+        )
+        return Materialized(dirp, registry.CORRUPT_DIR, ranges)
+
+
+class StaleDirTemplate(TestCaseTemplate):
+    """Intact DIR whose descriptor is dead."""
+
+    label = "STALE_DIR"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        ctx = _context(runtime)
+        dirp = alloc_dir(ctx, [".", "file"], STALE_FD + 1)
+        return Materialized(
+            dirp, registry.STALE_DIR, ((dirp, dirp + DIR_SIZE + OWNERSHIP_SLACK),)
+        )
+
+
+class DirPointerGenerator(TestCaseGenerator):
+    """Generator for ``DIR*`` arguments."""
+
+    name = "dir_pointer"
+
+    def __init__(self) -> None:
+        self._templates = [
+            ValueTemplate(
+                NULL, registry.NULL, "NULL", owned_ranges=((0, OWNERSHIP_SLACK),)
+            ),
+            ValueTemplate(
+                INVALID_POINTER,
+                registry.INVALID,
+                "INVALID",
+                owned_ranges=((INVALID_POINTER, INVALID_POINTER + OWNERSHIP_SLACK),),
+            ),
+            OpenDirTemplate(),
+            CorruptDirTemplate(),
+            StaleDirTemplate(),
+        ]
+
+    def templates(self):
+        return self._templates

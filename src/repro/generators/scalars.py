@@ -1,0 +1,183 @@
+"""Generic scalar test case generators: integers, sizes, descriptors,
+reals and function pointers.
+
+Integer values are chosen at the fundamental-type boundaries the
+registry defines (the paper's disjoint-splitting rule): small values
+inside the ctype table range [-128, 255], big values far outside.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.generators.base import (
+    Materialized,
+    OWNERSHIP_SLACK,
+    TestCaseGenerator,
+    TestCaseTemplate,
+    ValueTemplate,
+)
+from repro.libc.kernel import CREATE, READ, WRITE
+from repro.libc.runtime import LibcRuntime
+from repro.memory import INVALID_POINTER, NULL
+from repro.typelattice import registry
+
+
+class IntGenerator(TestCaseGenerator):
+    """Fundamentals INT_BIG_NEG .. INT_BIG_POS (boundary-split)."""
+
+    name = "int"
+
+    def __init__(self) -> None:
+        self._templates = [
+            ValueTemplate(-(2**31), registry.INT_BIG_NEG),
+            ValueTemplate(-1_000_000, registry.INT_BIG_NEG),
+            ValueTemplate(-100, registry.INT_SMALL_NEG),
+            ValueTemplate(-1, registry.INT_SMALL_NEG),
+            ValueTemplate(0, registry.INT_ZERO),
+            ValueTemplate(1, registry.INT_SMALL_POS),
+            ValueTemplate(2, registry.INT_SMALL_POS),
+            ValueTemplate(64, registry.INT_SMALL_POS),
+            ValueTemplate(255, registry.INT_SMALL_POS),
+            ValueTemplate(4096, registry.INT_BIG_POS),
+            ValueTemplate(2**30, registry.INT_BIG_POS),
+        ]
+
+    def templates(self):
+        return self._templates
+
+
+class SizeGenerator(TestCaseGenerator):
+    """size_t arguments: zero, plausible, absurd."""
+
+    name = "size"
+
+    def __init__(self) -> None:
+        self._templates = [
+            ValueTemplate(0, registry.SIZE_ZERO),
+            ValueTemplate(1, registry.SIZE_SMALL),
+            ValueTemplate(16, registry.SIZE_SMALL),
+            ValueTemplate(100, registry.SIZE_SMALL),
+            ValueTemplate(1024, registry.SIZE_SMALL),
+            ValueTemplate(2**31, registry.SIZE_HUGE),
+            ValueTemplate(2**40, registry.SIZE_HUGE),
+        ]
+
+    def templates(self):
+        return self._templates
+
+
+class _OpenFdTemplate(TestCaseTemplate):
+    """A live descriptor opened at materialization time."""
+
+    def __init__(self, mode: str, fundamental) -> None:
+        self.mode = mode
+        self.fundamental = fundamental
+        self.label = fundamental.render()
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        flags = {"r": READ, "w": WRITE | CREATE, "r+": READ | WRITE | CREATE}[self.mode]
+        path = "/tmp/input.txt" if self.mode == "r" else f"/tmp/fd_{id(self) % 9973}"
+        fd = runtime.kernel.open(path, flags)
+        return Materialized(fd, self.fundamental)
+
+
+class _ClosedFdTemplate(TestCaseTemplate):
+    """A descriptor that was valid once (open-then-close)."""
+
+    label = "FD_CLOSED"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        fd = runtime.kernel.open("/tmp/input.txt", READ)
+        runtime.kernel.close(fd)
+        return Materialized(fd, registry.FD_CLOSED)
+
+
+class _TtyFdTemplate(TestCaseTemplate):
+    """Descriptor 0 — the controlling terminal, needed for the
+    termios functions to have any succeeding test case."""
+
+    label = "FD_RONLY(tty)"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        return Materialized(0, registry.FD_RONLY)
+
+
+class FdGenerator(TestCaseGenerator):
+    """File descriptor arguments (C type int, semantically an fd)."""
+
+    name = "fd"
+
+    def __init__(self) -> None:
+        self._templates = [
+            _TtyFdTemplate(),
+            _OpenFdTemplate("r", registry.FD_RONLY),
+            _OpenFdTemplate("r+", registry.FD_RW),
+            _OpenFdTemplate("w", registry.FD_WONLY),
+            _ClosedFdTemplate(),
+            ValueTemplate(-1, registry.FD_NEGATIVE),
+            ValueTemplate(9999, registry.FD_HUGE),
+        ]
+
+    def templates(self):
+        return self._templates
+
+
+class RealGenerator(TestCaseGenerator):
+    """double/float arguments."""
+
+    name = "real"
+
+    def __init__(self) -> None:
+        self._templates = [
+            ValueTemplate(-2.5, registry.REAL_NEG),
+            ValueTemplate(0.0, registry.REAL_ZERO),
+            ValueTemplate(3.25, registry.REAL_POS),
+            ValueTemplate(math.nan, registry.REAL_NAN),
+            ValueTemplate(math.inf, registry.REAL_INF),
+        ]
+
+    def templates(self):
+        return self._templates
+
+
+class _ValidFuncPtrTemplate(TestCaseTemplate):
+    """Registers a genuine comparator (first-int compare) and injects
+    its code address."""
+
+    label = "VALID_FUNCPTR"
+
+    def materialize(self, runtime: LibcRuntime) -> Materialized:
+        def compare_bytes(ctx, a: int, b: int) -> int:
+            # Compares one byte so it is valid for any element size.
+            left = ctx.mem.load(a, 1)[0]
+            right = ctx.mem.load(b, 1)[0]
+            return (left > right) - (left < right)
+
+        pointer = runtime.register_funcptr(compare_bytes)
+        return Materialized(
+            pointer, registry.VALID_FUNCPTR, ((pointer, pointer + 16),)
+        )
+
+
+class FuncPtrGenerator(TestCaseGenerator):
+    """Function pointer arguments (qsort/bsearch comparators)."""
+
+    name = "funcptr"
+
+    def __init__(self) -> None:
+        self._templates = [
+            ValueTemplate(
+                NULL, registry.NULL, "NULL", owned_ranges=((0, OWNERSHIP_SLACK),)
+            ),
+            ValueTemplate(
+                INVALID_POINTER,
+                registry.INVALID,
+                "INVALID",
+                owned_ranges=((INVALID_POINTER, INVALID_POINTER + OWNERSHIP_SLACK),),
+            ),
+            _ValidFuncPtrTemplate(),
+        ]
+
+    def templates(self):
+        return self._templates

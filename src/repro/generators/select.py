@@ -1,0 +1,86 @@
+"""Generator selection (paper section 4.1).
+
+"The fault-injector generator uses the C argument type to select at
+least one test case generator for each argument of a function.  To be
+able to use the generator for an argument, the C type has to be
+castable to the C type of that argument."
+
+Selection looks at the *declared* (typedef) spelling for specificity
+(``FILE*`` gets the file-pointer generator) and falls back to the
+generic generators for the resolved C type, layering the fixed-array
+generator under every pointer type.
+"""
+
+from __future__ import annotations
+
+from repro.cdecl.ctypes_model import BaseType, CType, FunctionType, Parameter, PointerType
+from repro.generators.arrays import FixedArrayGenerator
+from repro.generators.base import TestCaseGenerator
+from repro.generators.files_gen import DirPointerGenerator, FilePointerGenerator
+from repro.generators.scalars import (
+    FdGenerator,
+    FuncPtrGenerator,
+    IntGenerator,
+    RealGenerator,
+    SizeGenerator,
+)
+from repro.generators.strings_gen import CStringGenerator
+
+#: Parameter names that mark an int argument as a file descriptor.
+FD_NAMES = frozenset({"fd", "fildes", "filedes", "filedesc"})
+
+#: Parameter names that mark an unsigned long as a byte count.
+SIZE_NAMES = frozenset({"size", "n", "nmemb", "len", "max", "maxsize", "count"})
+
+
+def generators_for(
+    parameter: Parameter, resolved: CType, declared: CType | None = None
+) -> list[TestCaseGenerator]:
+    """Select the test case generators for one argument.
+
+    Args:
+        parameter: the prototype parameter (provides the name hint).
+        resolved: the argument type with typedefs resolved.
+        declared: the original spelling (e.g. ``FILE *``); used to
+            recognize opaque typedef pointers.
+    """
+    declared = declared or parameter.ctype
+    spelled = _pointee_name(declared)
+
+    if isinstance(resolved, PointerType):
+        if isinstance(resolved.pointee, FunctionType):
+            return [FuncPtrGenerator()]
+        if spelled in ("FILE", "struct _IO_FILE"):
+            return [FilePointerGenerator(), FixedArrayGenerator()]
+        if spelled in ("DIR", "struct __dirstream"):
+            return [DirPointerGenerator(), FixedArrayGenerator()]
+        pointee = resolved.pointee
+        if isinstance(pointee, BaseType) and pointee.name in ("char", "signed char"):
+            return [CStringGenerator(), FixedArrayGenerator()]
+        return [FixedArrayGenerator()]
+
+    if isinstance(resolved, BaseType):
+        if resolved.is_floating:
+            return [RealGenerator()]
+        name = parameter.name.lower()
+        if name in FD_NAMES:
+            return [FdGenerator()]
+        if resolved.name == "unsigned long" and (
+            name in SIZE_NAMES or _spelled_size_t(declared)
+        ):
+            return [SizeGenerator()]
+        return [IntGenerator()]
+
+    # Arrays and function types decay to pointers in prototypes; if one
+    # slips through, treat it as a generic pointer.
+    return [FixedArrayGenerator()]
+
+
+def _pointee_name(ctype: CType) -> str:
+    if isinstance(ctype, PointerType) and isinstance(ctype.pointee, BaseType):
+        return ctype.pointee.name
+    return ""
+
+
+def _spelled_size_t(ctype: CType) -> bool:
+    return isinstance(ctype, BaseType) and ctype.name == "size_t"

@@ -1,0 +1,17 @@
+"""Synthetic header corpus (the /usr/include substrate)."""
+
+from repro.headers.corpus import (
+    HeaderCorpus,
+    NOISE_MACROS,
+    STRUCT_BODIES,
+    build_header,
+    types_header,
+)
+
+__all__ = [
+    "HeaderCorpus",
+    "NOISE_MACROS",
+    "STRUCT_BODIES",
+    "build_header",
+    "types_header",
+]

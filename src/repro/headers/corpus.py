@@ -1,0 +1,142 @@
+"""Synthetic system header corpus.
+
+Stands in for ``/usr/include`` on the paper's SUSE 7.2 system: header
+files with include guards, ``#include`` chains, typedefs, struct tags,
+macro noise and — most importantly — the function prototypes the
+extraction pipeline must locate.  The corpus deliberately reproduces
+the messiness of section 3.2: some functions are declared in multiple
+headers, some prototypes are spread across unexpected headers, and
+some functions are declared nowhere at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+import re
+
+_INCLUDE = re.compile(r"^\s*#\s*include\s*[<\"]([^>\"]+)[>\"]", re.M)
+
+_COMMON_PREAMBLE = """\
+/* Generated system header — HEALERS reproduction corpus. */
+#ifndef {guard}
+#define {guard} 1
+
+#include <sys/types.h>
+"""
+
+_TYPES_HEADER = """\
+#ifndef _SYS_TYPES_H
+#define _SYS_TYPES_H 1
+typedef unsigned long size_t;
+typedef long ssize_t;
+typedef long time_t;
+typedef long clock_t;
+typedef long off_t;
+typedef int pid_t;
+typedef unsigned int uid_t;
+typedef unsigned int gid_t;
+typedef unsigned int mode_t;
+typedef unsigned int speed_t;
+typedef unsigned int tcflag_t;
+typedef unsigned char cc_t;
+#endif
+"""
+
+
+@dataclass
+class HeaderCorpus:
+    """A set of header files addressable by include path."""
+
+    files: dict[str, str] = field(default_factory=dict)
+
+    def add(self, path: str, body: str) -> None:
+        self.files[path] = body
+
+    def paths(self) -> list[str]:
+        return sorted(self.files)
+
+    def read(self, path: str) -> Optional[str]:
+        return self.files.get(path)
+
+    def includes_of(self, path: str) -> list[str]:
+        text = self.files.get(path, "")
+        return [m for m in _INCLUDE.findall(text) if m in self.files]
+
+    def transitive_closure(self, paths: Iterable[str]) -> list[str]:
+        """The given headers plus everything they include, in BFS
+        order — the search space when following a man page's
+        SYNOPSIS."""
+        seen: list[str] = []
+        queue = [p for p in paths if p in self.files]
+        while queue:
+            path = queue.pop(0)
+            if path in seen:
+                continue
+            seen.append(path)
+            queue.extend(self.includes_of(path))
+        return seen
+
+
+def build_header(
+    guard_name: str,
+    prototypes: Iterable[str],
+    extra_includes: Iterable[str] = (),
+    noise_macros: Iterable[str] = (),
+    struct_bodies: Iterable[str] = (),
+) -> str:
+    """Compose one header file's text."""
+    guard = "_" + guard_name.upper().replace("/", "_").replace(".", "_")
+    parts = [_COMMON_PREAMBLE.format(guard=guard)]
+    for include in extra_includes:
+        parts.append(f"#include <{include}>")
+    for macro in noise_macros:
+        parts.append(f"#define {macro}")
+    for body in struct_bodies:
+        parts.append(body)
+    parts.append("")
+    for prototype in prototypes:
+        parts.append(f"extern {prototype}")
+    parts.append(f"\n#endif /* {guard} */")
+    return "\n".join(parts) + "\n"
+
+
+def types_header() -> str:
+    return _TYPES_HEADER
+
+
+#: struct definitions placed in their owning headers.
+STRUCT_BODIES = {
+    "time.h": (
+        "struct tm {\n"
+        "    int tm_sec; int tm_min; int tm_hour;\n"
+        "    int tm_mday; int tm_mon; int tm_year;\n"
+        "    int tm_wday; int tm_yday; int tm_isdst;\n"
+        "    long tm_gmtoff;\n"
+        "};"
+    ),
+    "stdio.h": "typedef struct _IO_FILE FILE;\ntypedef struct _G_fpos_t fpos_t;",
+    "dirent.h": (
+        "typedef struct __dirstream DIR;\n"
+        "struct dirent { unsigned long d_ino; char d_name[24]; };"
+    ),
+    "termios.h": (
+        "struct termios {\n"
+        "    tcflag_t c_iflag; tcflag_t c_oflag;\n"
+        "    tcflag_t c_cflag; tcflag_t c_lflag;\n"
+        "    cc_t c_cc[32]; speed_t c_ispeed; speed_t c_ospeed;\n"
+        "};"
+    ),
+}
+
+#: macro noise sprinkled into the real headers (exercises the
+#: parser's preprocessor stripping).
+NOISE_MACROS = {
+    "stdio.h": ("BUFSIZ 8192", "EOF (-1)", "L_tmpnam 20", "SEEK_SET 0"),
+    "stdlib.h": ("EXIT_SUCCESS 0", "EXIT_FAILURE 1", "RAND_MAX 2147483647"),
+    "string.h": ("__need_size_t 1",),
+    "ctype.h": ("_ISupper 256", "_ISlower 512"),
+    "time.h": ("CLOCKS_PER_SEC 1000000",),
+    "termios.h": ("TCSANOW 0", "B9600 13"),
+    "unistd.h": ("STDIN_FILENO 0", "STDOUT_FILENO 1"),
+}

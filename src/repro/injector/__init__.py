@@ -1,0 +1,37 @@
+"""Adaptive fault injection: per-function injector generation, robust
+argument type discovery, error-return-code classification, and the
+bit-flip campaign of the paper's future-work section."""
+
+from repro.injector.bitflips import (
+    BitFlipCampaign,
+    BitFlipReport,
+    BitFlipResult,
+    FlipSpec,
+    GOLDEN_CALLS,
+    enumerate_flips,
+)
+from repro.injector.injector import (
+    ErrnoClassification,
+    FaultInjector,
+    InjectionReport,
+    MAX_RETRIES,
+    MAX_VECTORS,
+    auto_checkable,
+    inject_function,
+)
+
+__all__ = [
+    "BitFlipCampaign",
+    "BitFlipReport",
+    "BitFlipResult",
+    "ErrnoClassification",
+    "FlipSpec",
+    "GOLDEN_CALLS",
+    "enumerate_flips",
+    "FaultInjector",
+    "InjectionReport",
+    "MAX_RETRIES",
+    "MAX_VECTORS",
+    "auto_checkable",
+    "inject_function",
+]

@@ -1,0 +1,355 @@
+"""The per-function fault injector (paper sections 3.3, 3.4, 4).
+
+For each library function the injector:
+
+1. selects test case generators per argument from the C type,
+2. runs a sequence of test case vectors through the sandbox, each in a
+   forked runtime (the paper's child process),
+3. adaptively adjusts test cases on owned faults and retries ("until
+   the violation disappears or another argument causes the
+   violation"),
+4. classifies the function's error-return-code behaviour (section 3.3),
+5. determines the safe/unsafe attribute (section 3.4), and
+6. computes the robust argument type of every argument (section 4.3).
+
+Vector enumeration is the cross product of the per-argument test case
+sequences, capped for high-arity functions by per-argument sweeps
+against benign co-arguments plus a deterministic sample of the
+remaining product — the reproduction's version of the paper's
+test-case reduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.cdecl import DeclarationParser, FunctionPrototype, typedef_table
+from repro.generators.base import Materialized, TestCaseGenerator, TestCaseTemplate
+from repro.generators.select import generators_for
+from repro.libc.catalog import (
+    CONSISTENT,
+    FunctionSpec,
+    INCONSISTENT,
+    NONE_FOUND,
+    VOID,
+)
+from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.sandbox import CallOutcome, CallStatus, Sandbox
+from repro.typelattice import (
+    AUTO_CHECKABLE,
+    Lattice,
+    RobustType,
+    TestResult,
+    VectorObservation,
+    compute_robust_vector,
+)
+
+#: Cap on enumerated vectors per function; beyond it the injector
+#: switches to sweeps + sampling.
+MAX_VECTORS = 1200
+
+#: Cap on adaptive retries of a single vector (generous enough for the
+#: full growth schedule of one argument plus a few interleavings).
+MAX_RETRIES = 96
+
+
+@dataclass
+class ErrnoClassification:
+    """Section 3.3's four error-return-code classes."""
+
+    kind: str
+    error_value: Optional[object] = None
+    errnos: frozenset[int] = frozenset()
+
+    def describe(self) -> str:
+        if self.kind == CONSISTENT:
+            return f"consistent (returns {self.error_value!r})"
+        return self.kind
+
+
+@dataclass
+class InjectionReport:
+    """Everything the injector learned about one function."""
+
+    name: str
+    prototype: FunctionPrototype
+    robust_types: list[RobustType]
+    errno_class: ErrnoClassification
+    unsafe: bool
+    vectors_run: int
+    calls_made: int
+    retries: int
+    crashes: int
+    hangs: int
+    observations: list[VectorObservation] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return not self.unsafe
+
+
+def auto_checkable(instance) -> bool:
+    """Checkability of the fully automated wrapper generator."""
+    return instance.name in AUTO_CHECKABLE
+
+
+class FaultInjector:
+    """Adaptive fault injector for one catalog function."""
+
+    def __init__(
+        self,
+        spec: FunctionSpec,
+        parser: Optional[DeclarationParser] = None,
+        runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
+        max_vectors: int = MAX_VECTORS,
+        checkable: Callable = auto_checkable,
+    ) -> None:
+        self.spec = spec
+        self.parser = parser or DeclarationParser(typedef_table())
+        self.prototype = self.parser.parse_prototype(spec.prototype)
+        self.runtime_factory = runtime_factory
+        self.max_vectors = max_vectors
+        self.checkable = checkable
+        self.generators: list[list[TestCaseGenerator]] = []
+        for parameter in self.prototype.ftype.parameters:
+            resolved = self.parser.resolve(parameter.ctype)
+            self.generators.append(generators_for(parameter, resolved, parameter.ctype))
+
+    # ------------------------------------------------------------------
+    def run(self) -> InjectionReport:
+        """Execute the full injection campaign for this function."""
+        templates_per_arg = [
+            [t for g in gens for t in g.templates()] for gens in self.generators
+        ]
+        sandbox = Sandbox()
+        base_runtime = self.runtime_factory()
+        observations: list[VectorObservation] = []
+        calls = retries = crashes = hangs = 0
+        returned_values: list[object] = []
+        errno_returns: list[tuple[object, int]] = []
+
+        vectors = list(self._enumerate_vectors(templates_per_arg))
+        for vector in vectors:
+            outcome, materialized, blamed, vector_retries, intermediate = (
+                self._run_vector(sandbox, base_runtime, vector)
+            )
+            calls += 1 + vector_retries
+            retries += vector_retries
+            # Adjusted-away attempts are part of the generator's test
+            # case sequence ("a posteriori we know the sequence") and
+            # enter the robust type computation as crashes.
+            observations.extend(intermediate)
+            crashes += len(intermediate)
+            fundamentals = tuple(m.fundamental for m in materialized)
+            result = self._classify_outcome(outcome)
+            if result is TestResult.FAILURE:
+                if outcome.status is CallStatus.HUNG:
+                    hangs += 1
+                else:
+                    crashes += 1
+            else:
+                returned_values.append(outcome.return_value)
+                if outcome.errno_was_set:
+                    errno_returns.append((outcome.return_value, outcome.errno))
+            observations.append(VectorObservation(fundamentals, result, blamed))
+
+        errno_class = self._classify_errno(errno_returns)
+        unsafe = crashes + hangs > 0
+        robust_types = self._compute_robust_types(observations)
+        return InjectionReport(
+            name=self.spec.name,
+            prototype=self.prototype,
+            robust_types=robust_types,
+            errno_class=errno_class,
+            unsafe=unsafe,
+            vectors_run=len(vectors),
+            calls_made=calls,
+            retries=retries,
+            crashes=crashes,
+            hangs=hangs,
+            observations=observations,
+        )
+
+    # ------------------------------------------------------------------
+    def _enumerate_vectors(
+        self, templates_per_arg: Sequence[Sequence[TestCaseTemplate]]
+    ) -> list[tuple[TestCaseTemplate, ...]]:
+        """Cross product when small; sweeps plus a deterministic
+        sample when the product explodes."""
+        if not templates_per_arg:
+            return [()]
+        product_size = 1
+        for templates in templates_per_arg:
+            product_size *= len(templates)
+        if product_size <= self.max_vectors:
+            return list(itertools.product(*templates_per_arg))
+
+        benign = [self._benign_template(ts) for ts in templates_per_arg]
+        vectors: list[tuple[TestCaseTemplate, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+
+        def push(vector: tuple[TestCaseTemplate, ...]) -> None:
+            key = tuple(id(t) for t in vector)
+            if key not in seen:
+                seen.add(key)
+                vectors.append(vector)
+
+        # Per-argument sweeps with benign co-arguments: the vectors the
+        # robust type computation most depends on.
+        for index, templates in enumerate(templates_per_arg):
+            for template in templates:
+                vector = list(benign)
+                vector[index] = template
+                push(tuple(vector))
+        # Deterministic stratified sample of the remaining product.
+        stride = max(1, product_size // max(1, self.max_vectors - len(vectors)))
+        for counter, vector in enumerate(itertools.product(*templates_per_arg)):
+            if len(vectors) >= self.max_vectors:
+                break
+            if counter % stride == 0:
+                push(vector)
+        return vectors
+
+    @staticmethod
+    def _benign_template(templates: Sequence[TestCaseTemplate]) -> TestCaseTemplate:
+        """The template most likely to be a valid argument; used to
+        hold co-arguments steady during sweeps."""
+        ranking = (
+            "STRING_RW",
+            "RW_FILE",
+            "OPEN_DIR",
+            "VALID_FUNCPTR",
+            "VALID_MODE",
+            "FD_RONLY(tty)",
+        )
+        for marker in ranking:
+            for template in templates:
+                if marker in template.label:
+                    return template
+        for template in templates:
+            label = template.label
+            if "RW_FIXED" in label:
+                return template
+            if label.startswith(("SIZE_SMALL=16", "INT_SMALL_POS=2")):
+                return template
+        return templates[0]
+
+    # ------------------------------------------------------------------
+    def _run_vector(
+        self,
+        sandbox: Sandbox,
+        base_runtime: LibcRuntime,
+        vector: tuple[TestCaseTemplate, ...],
+    ) -> tuple[
+        CallOutcome,
+        list[Materialized],
+        Optional[int],
+        int,
+        list[VectorObservation],
+    ]:
+        """Run one vector with the adaptive retry loop.
+
+        Returns the final outcome plus the observations for every
+        adjusted-away intermediate attempt (each was a real crashing
+        test case of the generator's sequence).
+        """
+        retries = 0
+        intermediate: list[VectorObservation] = []
+        while True:
+            runtime = base_runtime.fork()
+            materialized = [t.materialize(runtime) for t in vector]
+            outcome = sandbox.call(
+                self.spec.model, [m.value for m in materialized], runtime
+            )
+            if outcome.status is not CallStatus.CRASHED:
+                return outcome, materialized, None, retries, intermediate
+            blamed = self._attribute(materialized, outcome.fault_address)
+            if blamed is None:
+                return outcome, materialized, None, retries, intermediate
+            template = vector[blamed]
+            if retries >= MAX_RETRIES or not template.adjustable:
+                return outcome, materialized, blamed, retries, intermediate
+            if not template.adjust(outcome.fault, materialized[blamed]):
+                return outcome, materialized, blamed, retries, intermediate
+            intermediate.append(
+                VectorObservation(
+                    tuple(m.fundamental for m in materialized),
+                    TestResult.FAILURE,
+                    blamed,
+                )
+            )
+            retries += 1
+
+    @staticmethod
+    def _attribute(
+        materialized: Sequence[Materialized], fault_address: Optional[int]
+    ) -> Optional[int]:
+        """Which argument's test case owns the fault address?  "For at
+        most one of the generators this test will be true"; with equal
+        garbage patterns several can match, in which case the first
+        match wins deterministically."""
+        if fault_address is None:
+            return None
+        for index, case in enumerate(materialized):
+            if case.owns(fault_address):
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _classify_outcome(outcome: CallOutcome) -> TestResult:
+        if outcome.robustness_failure:
+            return TestResult.FAILURE
+        if outcome.errno_was_set:
+            return TestResult.ERROR
+        return TestResult.SUCCESS
+
+    def _classify_errno(
+        self, errno_returns: list[tuple[object, int]]
+    ) -> ErrnoClassification:
+        """Section 3.3's classification, discovered from observations."""
+        if self.prototype.ftype.return_type.is_void:
+            return ErrnoClassification(VOID)
+        if not errno_returns:
+            return ErrnoClassification(NONE_FOUND)
+        values = {value for value, _ in errno_returns}
+        errnos = frozenset(code for _, code in errno_returns)
+        if len(values) == 1:
+            return ErrnoClassification(CONSISTENT, next(iter(values)), errnos)
+        return ErrnoClassification(INCONSISTENT, errnos=errnos)
+
+    def _compute_robust_types(
+        self, observations: list[VectorObservation]
+    ) -> list[RobustType]:
+        if not self.prototype.ftype.parameters:
+            return []
+        sizes: set[int] = {1}
+        for obs in observations:
+            for fundamental in obs.fundamentals:
+                if fundamental.param is not None:
+                    sizes.add(fundamental.param)
+        lattice = Lattice.for_sizes(sizes)
+        lattices = [lattice] * self.prototype.ftype.arity
+        return compute_robust_vector(
+            observations, lattices=lattices, checkable=self.checkable
+        )
+
+
+def inject_function(
+    name: str,
+    runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
+    max_vectors: int = MAX_VECTORS,
+    checkable: Callable = auto_checkable,
+) -> InjectionReport:
+    """Convenience: build and run the injector for a catalog function."""
+    from repro.libc.catalog import BY_NAME
+
+    injector = FaultInjector(
+        BY_NAME[name],
+        runtime_factory=runtime_factory,
+        max_vectors=max_vectors,
+        checkable=checkable,
+    )
+    return injector.run()

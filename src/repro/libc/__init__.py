@@ -1,0 +1,41 @@
+"""The simulated C library (substitute for glibc 2.2).
+
+90+ POSIX function models operating on the simulated address space,
+each reproducing the real function's argument assumptions, crash
+behaviour and errno semantics, plus the kernel and process runtime
+they execute against.
+"""
+
+from repro.libc.catalog import (
+    BALLISTA_SET,
+    BY_NAME,
+    CATALOG,
+    CONSISTENT,
+    EXPECTED_NEVER_CRASH,
+    INCONSISTENT,
+    NONE_FOUND,
+    VOID,
+    FunctionSpec,
+    ballista_function_names,
+)
+from repro.libc.errno_codes import errno_name
+from repro.libc.kernel import Kernel, KernelError
+from repro.libc.runtime import LibcRuntime, standard_runtime
+
+__all__ = [
+    "BALLISTA_SET",
+    "BY_NAME",
+    "CATALOG",
+    "CONSISTENT",
+    "EXPECTED_NEVER_CRASH",
+    "FunctionSpec",
+    "INCONSISTENT",
+    "Kernel",
+    "KernelError",
+    "LibcRuntime",
+    "NONE_FOUND",
+    "VOID",
+    "ballista_function_names",
+    "errno_name",
+    "standard_runtime",
+]

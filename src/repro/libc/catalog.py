@@ -1,0 +1,223 @@
+"""Catalog of the simulated C library.
+
+Binds every exported function name to its prototype, its model, the
+header(s) declaring it, and reproduction metadata:
+
+* ``ballista``: whether the function belongs to the 86-function POSIX
+  subset the paper's evaluation re-tests (the functions previously
+  found to suffer crash failures under Linux, section 6);
+* ``paper_errno_class``: the error-return-code class the paper's
+  Table 1 accounting should land the function in.  This is *never*
+  consulted by the pipeline — the injector discovers the class on its
+  own — it exists so tests and the Table 1 bench can compare the
+  discovered classification against the paper's target distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.libc import (
+    ctype_fns,
+    dirent_fns,
+    fileio,
+    misc_fns,
+    stdlib_fns,
+    strings,
+    termios_fns,
+    timefns,
+    unistd_fns,
+)
+
+VOID = "no_return_code"
+CONSISTENT = "consistent"
+INCONSISTENT = "inconsistent"
+NONE_FOUND = "none_found"
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One exported libc function."""
+
+    name: str
+    prototype: str
+    model: Callable
+    headers: tuple[str, ...]
+    ballista: bool = True
+    paper_errno_class: str = NONE_FOUND
+    version: str = "GLIBC_2.2"
+    variadic: bool = False
+
+
+def _spec(
+    name: str,
+    prototype: str,
+    model: Callable,
+    headers: str | tuple[str, ...],
+    ballista: bool = True,
+    errno_class: str = NONE_FOUND,
+    variadic: bool = False,
+) -> FunctionSpec:
+    hdrs = (headers,) if isinstance(headers, str) else tuple(headers)
+    return FunctionSpec(
+        name=name,
+        prototype=prototype,
+        model=model,
+        headers=hdrs,
+        ballista=ballista,
+        paper_errno_class=errno_class,
+        variadic=variadic,
+    )
+
+
+CATALOG: tuple[FunctionSpec, ...] = (
+    # ------------------------------------------------------------- string.h
+    _spec("strcpy", "char *strcpy(char *dest, const char *src);", strings.libc_strcpy, "string.h"),
+    _spec("strncpy", "char *strncpy(char *dest, const char *src, size_t n);", strings.libc_strncpy, "string.h"),
+    _spec("strcat", "char *strcat(char *dest, const char *src);", strings.libc_strcat, "string.h"),
+    _spec("strncat", "char *strncat(char *dest, const char *src, size_t n);", strings.libc_strncat, "string.h"),
+    _spec("strcmp", "int strcmp(const char *s1, const char *s2);", strings.libc_strcmp, "string.h"),
+    _spec("strncmp", "int strncmp(const char *s1, const char *s2, size_t n);", strings.libc_strncmp, "string.h"),
+    _spec("strlen", "size_t strlen(const char *s);", strings.libc_strlen, "string.h"),
+    _spec("strchr", "char *strchr(const char *s, int c);", strings.libc_strchr, "string.h"),
+    _spec("strrchr", "char *strrchr(const char *s, int c);", strings.libc_strrchr, "string.h"),
+    _spec("strstr", "char *strstr(const char *haystack, const char *needle);", strings.libc_strstr, "string.h"),
+    _spec("strspn", "size_t strspn(const char *s, const char *accept);", strings.libc_strspn, "string.h"),
+    _spec("strcspn", "size_t strcspn(const char *s, const char *reject);", strings.libc_strcspn, "string.h"),
+    _spec("strpbrk", "char *strpbrk(const char *s, const char *accept);", strings.libc_strpbrk, "string.h"),
+    _spec("strtok", "char *strtok(char *str, const char *delim);", strings.libc_strtok, "string.h"),
+    _spec("strdup", "char *strdup(const char *s);", strings.libc_strdup, "string.h"),
+    _spec("memcpy", "void *memcpy(void *dest, const void *src, size_t n);", strings.libc_memcpy, "string.h"),
+    _spec("memmove", "void *memmove(void *dest, const void *src, size_t n);", strings.libc_memmove, "string.h"),
+    _spec("memset", "void *memset(void *s, int c, size_t n);", strings.libc_memset, "string.h"),
+    _spec("memcmp", "int memcmp(const void *s1, const void *s2, size_t n);", strings.libc_memcmp, "string.h"),
+    _spec("memchr", "void *memchr(const void *s, int c, size_t n);", strings.libc_memchr, "string.h"),
+    # ------------------------------------------------------------- stdio.h
+    _spec("fopen", "FILE *fopen(const char *path, const char *mode);", fileio.libc_fopen, "stdio.h", errno_class=CONSISTENT),
+    _spec("freopen", "FILE *freopen(const char *path, const char *mode, FILE *stream);", fileio.libc_freopen, "stdio.h", errno_class=INCONSISTENT),
+    _spec("fdopen", "FILE *fdopen(int fd, const char *mode);", fileio.libc_fdopen, "stdio.h", errno_class=INCONSISTENT),
+    _spec("fclose", "int fclose(FILE *stream);", fileio.libc_fclose, "stdio.h", errno_class=CONSISTENT),
+    _spec("fflush", "int fflush(FILE *stream);", fileio.libc_fflush, "stdio.h", errno_class=NONE_FOUND),
+    _spec("fread", "size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);", fileio.libc_fread, "stdio.h", errno_class=CONSISTENT),
+    _spec("fwrite", "size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);", fileio.libc_fwrite, "stdio.h", errno_class=CONSISTENT),
+    _spec("fgets", "char *fgets(char *s, int size, FILE *stream);", fileio.libc_fgets, "stdio.h", errno_class=CONSISTENT),
+    _spec("fputs", "int fputs(const char *s, FILE *stream);", fileio.libc_fputs, "stdio.h", errno_class=CONSISTENT),
+    _spec("fgetc", "int fgetc(FILE *stream);", fileio.libc_fgetc, "stdio.h", errno_class=CONSISTENT),
+    _spec("fputc", "int fputc(int c, FILE *stream);", fileio.libc_fputc, "stdio.h", errno_class=CONSISTENT),
+    _spec("ungetc", "int ungetc(int c, FILE *stream);", fileio.libc_ungetc, "stdio.h", errno_class=CONSISTENT),
+    _spec("fseek", "int fseek(FILE *stream, long offset, int whence);", fileio.libc_fseek, "stdio.h", errno_class=CONSISTENT),
+    _spec("ftell", "long ftell(FILE *stream);", fileio.libc_ftell, "stdio.h", errno_class=CONSISTENT),
+    _spec("rewind", "void rewind(FILE *stream);", fileio.libc_rewind, "stdio.h", errno_class=VOID),
+    _spec("setbuf", "void setbuf(FILE *stream, char *buf);", fileio.libc_setbuf, "stdio.h", errno_class=VOID),
+    _spec("setvbuf", "int setvbuf(FILE *stream, char *buf, int mode, size_t size);", fileio.libc_setvbuf, "stdio.h", errno_class=CONSISTENT),
+    _spec("feof", "int feof(FILE *stream);", fileio.libc_feof, "stdio.h", errno_class=NONE_FOUND),
+    _spec("ferror", "int ferror(FILE *stream);", fileio.libc_ferror, "stdio.h", errno_class=NONE_FOUND),
+    _spec("clearerr", "void clearerr(FILE *stream);", fileio.libc_clearerr, "stdio.h", errno_class=VOID),
+    _spec("fileno", "int fileno(FILE *stream);", fileio.libc_fileno, "stdio.h", errno_class=CONSISTENT),
+    _spec("fprintf", "int fprintf(FILE *stream, const char *format, ...);", fileio.libc_fprintf, "stdio.h", errno_class=CONSISTENT, variadic=True),
+    _spec("fscanf", "int fscanf(FILE *stream, const char *format, ...);", fileio.libc_fscanf, "stdio.h", errno_class=CONSISTENT, variadic=True),
+    _spec("tmpnam", "char *tmpnam(char *s);", fileio.libc_tmpnam, "stdio.h", errno_class=NONE_FOUND),
+    _spec("remove", "int remove(const char *pathname);", fileio.libc_remove, "stdio.h", errno_class=CONSISTENT),
+    _spec("rename", "int rename(const char *oldpath, const char *newpath);", fileio.libc_rename, "stdio.h", errno_class=CONSISTENT),
+    # ------------------------------------------------------------- time.h
+    _spec("asctime", "char *asctime(const struct tm *tm);", timefns.libc_asctime, "time.h", errno_class=CONSISTENT),
+    _spec("ctime", "char *ctime(const time_t *timep);", timefns.libc_ctime, "time.h", errno_class=CONSISTENT),
+    _spec("gmtime", "struct tm *gmtime(const time_t *timep);", timefns.libc_gmtime, "time.h", errno_class=CONSISTENT),
+    _spec("localtime", "struct tm *localtime(const time_t *timep);", timefns.libc_localtime, "time.h", errno_class=CONSISTENT),
+    _spec("mktime", "time_t mktime(struct tm *tm);", timefns.libc_mktime, "time.h", errno_class=CONSISTENT),
+    _spec("strftime", "size_t strftime(char *s, size_t max, const char *format, const struct tm *tm);", timefns.libc_strftime, "time.h", errno_class=CONSISTENT),
+    _spec("difftime", "double difftime(time_t time1, time_t time0);", timefns.libc_difftime, "time.h", errno_class=NONE_FOUND),
+    _spec("time", "time_t time(time_t *tloc);", timefns.libc_time, "time.h", errno_class=NONE_FOUND),
+    # ------------------------------------------------------------- dirent.h
+    _spec("opendir", "DIR *opendir(const char *name);", dirent_fns.libc_opendir, "dirent.h", errno_class=CONSISTENT),
+    _spec("readdir", "struct dirent *readdir(DIR *dirp);", dirent_fns.libc_readdir, "dirent.h", errno_class=CONSISTENT),
+    _spec("closedir", "int closedir(DIR *dirp);", dirent_fns.libc_closedir, "dirent.h", errno_class=CONSISTENT),
+    _spec("rewinddir", "void rewinddir(DIR *dirp);", dirent_fns.libc_rewinddir, "dirent.h", errno_class=VOID),
+    _spec("seekdir", "void seekdir(DIR *dirp, long loc);", dirent_fns.libc_seekdir, "dirent.h", errno_class=VOID),
+    _spec("telldir", "long telldir(DIR *dirp);", dirent_fns.libc_telldir, "dirent.h", errno_class=NONE_FOUND),
+    # ------------------------------------------------------------- termios.h
+    _spec("tcgetattr", "int tcgetattr(int fd, struct termios *termios_p);", termios_fns.libc_tcgetattr, "termios.h", errno_class=CONSISTENT),
+    _spec("tcsetattr", "int tcsetattr(int fd, int optional_actions, const struct termios *termios_p);", termios_fns.libc_tcsetattr, "termios.h", errno_class=CONSISTENT),
+    _spec("tcdrain", "int tcdrain(int fd);", termios_fns.libc_tcdrain, "termios.h", errno_class=CONSISTENT),
+    _spec("tcflush", "int tcflush(int fd, int queue_selector);", termios_fns.libc_tcflush, "termios.h", errno_class=CONSISTENT),
+    _spec("cfgetispeed", "speed_t cfgetispeed(const struct termios *termios_p);", termios_fns.libc_cfgetispeed, "termios.h", errno_class=NONE_FOUND),
+    _spec("cfgetospeed", "speed_t cfgetospeed(const struct termios *termios_p);", termios_fns.libc_cfgetospeed, "termios.h", errno_class=NONE_FOUND),
+    _spec("cfsetispeed", "int cfsetispeed(struct termios *termios_p, speed_t speed);", termios_fns.libc_cfsetispeed, "termios.h", errno_class=CONSISTENT),
+    _spec("cfsetospeed", "int cfsetospeed(struct termios *termios_p, speed_t speed);", termios_fns.libc_cfsetospeed, "termios.h", errno_class=CONSISTENT),
+    # ------------------------------------------------------------- stdlib.h
+    _spec("strtol", "long strtol(const char *nptr, char **endptr, int base);", stdlib_fns.libc_strtol, "stdlib.h", errno_class=CONSISTENT),
+    _spec("strtoul", "unsigned long strtoul(const char *nptr, char **endptr, int base);", stdlib_fns.libc_strtoul, "stdlib.h", errno_class=CONSISTENT),
+    _spec("malloc", "void *malloc(size_t size);", stdlib_fns.libc_malloc, "stdlib.h", errno_class=CONSISTENT),
+    _spec("realloc", "void *realloc(void *ptr, size_t size);", stdlib_fns.libc_realloc, "stdlib.h", errno_class=CONSISTENT),
+    _spec("free", "void free(void *ptr);", stdlib_fns.libc_free, "stdlib.h", errno_class=VOID),
+    _spec("qsort", "void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));", stdlib_fns.libc_qsort, "stdlib.h", errno_class=VOID),
+    _spec("setenv", "int setenv(const char *name, const char *value, int overwrite);", stdlib_fns.libc_setenv, "stdlib.h", errno_class=CONSISTENT),
+    _spec("abs", "int abs(int j);", stdlib_fns.libc_abs, "stdlib.h", errno_class=NONE_FOUND),
+    _spec("labs", "long labs(long j);", stdlib_fns.libc_labs, "stdlib.h", errno_class=NONE_FOUND),
+    _spec("rand", "int rand(void);", stdlib_fns.libc_rand, "stdlib.h", ballista=False, errno_class=NONE_FOUND),
+    _spec("srand", "void srand(unsigned int seed);", stdlib_fns.libc_srand, "stdlib.h", errno_class=VOID),
+    # ------------------------------------------------------------- ctype.h
+    _spec("isalpha", "int isalpha(int c);", ctype_fns.libc_isalpha, "ctype.h"),
+    _spec("isdigit", "int isdigit(int c);", ctype_fns.libc_isdigit, "ctype.h"),
+    _spec("isspace", "int isspace(int c);", ctype_fns.libc_isspace, "ctype.h"),
+    _spec("toupper", "int toupper(int c);", ctype_fns.libc_toupper, "ctype.h"),
+    _spec("tolower", "int tolower(int c);", ctype_fns.libc_tolower, "ctype.h"),
+    # ------------------------------------------------------------- unistd.h & friends
+    _spec("isatty", "int isatty(int fd);", misc_fns.libc_isatty, "unistd.h", errno_class=CONSISTENT),
+    _spec("umask", "mode_t umask(mode_t mask);", misc_fns.libc_umask, ("sys/stat.h", "sys/types.h"), errno_class=CONSISTENT),
+    # ----------------------------------------------------- extras (not in the
+    # 86-function Ballista evaluation subset, but exported by the library)
+    _spec("puts", "int puts(const char *s);", fileio.libc_puts, "stdio.h"),
+    _spec("tmpfile", "FILE *tmpfile(void);", fileio.libc_tmpfile, "stdio.h", ballista=False),
+    _spec("clock", "clock_t clock(void);", timefns.libc_clock, "time.h", ballista=False),
+    _spec("getpid", "pid_t getpid(void);", misc_fns.libc_getpid, "unistd.h", ballista=False),
+    _spec("calloc", "void *calloc(size_t nmemb, size_t size);", stdlib_fns.libc_calloc, "stdlib.h", ballista=False, errno_class=CONSISTENT),
+    _spec("atoi", "int atoi(const char *nptr);", stdlib_fns.libc_atoi, "stdlib.h", ballista=False),
+    _spec("atol", "long atol(const char *nptr);", stdlib_fns.libc_atol, "stdlib.h", ballista=False),
+    _spec("atof", "double atof(const char *nptr);", stdlib_fns.libc_atof, "stdlib.h", ballista=False),
+    _spec("strtod", "double strtod(const char *nptr, char **endptr);", stdlib_fns.libc_strtod, "stdlib.h", ballista=False),
+    _spec("getenv", "char *getenv(const char *name);", stdlib_fns.libc_getenv, "stdlib.h", ballista=False),
+    _spec("putenv", "int putenv(char *string);", stdlib_fns.libc_putenv, "stdlib.h", ballista=False, errno_class=CONSISTENT),
+    _spec("bsearch", "void *bsearch(const void *key, const void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));", stdlib_fns.libc_bsearch, "stdlib.h", ballista=False),
+    # -------------------------------------------------- unistd.h raw I/O
+    _spec("open", "int open(const char *pathname, int flags);", unistd_fns.libc_open, ("fcntl.h", "sys/stat.h"), ballista=False, errno_class=CONSISTENT),
+    _spec("close", "int close(int fd);", unistd_fns.libc_close, "unistd.h", ballista=False, errno_class=CONSISTENT),
+    _spec("read", "ssize_t read(int fd, void *buf, size_t count);", unistd_fns.libc_read, "unistd.h", ballista=False, errno_class=CONSISTENT),
+    _spec("write", "ssize_t write(int fd, const void *buf, size_t count);", unistd_fns.libc_write, "unistd.h", ballista=False, errno_class=CONSISTENT),
+    _spec("lseek", "off_t lseek(int fd, off_t offset, int whence);", unistd_fns.libc_lseek, "unistd.h", ballista=False, errno_class=CONSISTENT),
+    _spec("unlink", "int unlink(const char *pathname);", unistd_fns.libc_unlink, "unistd.h", ballista=False, errno_class=CONSISTENT),
+    _spec("access", "int access(const char *pathname, int mode);", unistd_fns.libc_access, "unistd.h", ballista=False, errno_class=CONSISTENT),
+    _spec("getcwd", "char *getcwd(char *buf, size_t size);", unistd_fns.libc_getcwd, "unistd.h", ballista=False, errno_class=CONSISTENT),
+    _spec("stat", "int stat(const char *pathname, struct stat *statbuf);", unistd_fns.libc_stat, ("sys/stat.h", "sys/types.h"), ballista=False, errno_class=CONSISTENT),
+    _spec("fstat", "int fstat(int fd, struct stat *statbuf);", unistd_fns.libc_fstat, ("sys/stat.h", "sys/types.h"), ballista=False, errno_class=CONSISTENT),
+    _spec("mkdir", "int mkdir(const char *pathname, mode_t mode);", unistd_fns.libc_mkdir, ("sys/stat.h", "sys/types.h"), ballista=False, errno_class=CONSISTENT),
+    _spec("sprintf", "int sprintf(char *str, const char *format, ...);", unistd_fns.libc_sprintf, "stdio.h", ballista=False, variadic=True),
+    _spec("snprintf", "int snprintf(char *str, size_t size, const char *format, ...);", unistd_fns.libc_snprintf, "stdio.h", ballista=False, variadic=True),
+)
+
+#: Fast lookup by name.
+BY_NAME: dict[str, FunctionSpec] = {spec.name: spec for spec in CATALOG}
+
+#: The 86 POSIX functions of the paper's robustness evaluation.
+BALLISTA_SET: tuple[FunctionSpec, ...] = tuple(s for s in CATALOG if s.ballista)
+
+#: Functions the paper found never to crash (9 of the 86): value-only
+#: arguments validated by the (robust) kernel or pure arithmetic.
+EXPECTED_NEVER_CRASH: frozenset[str] = frozenset(
+    {
+        "srand",
+        "abs",
+        "labs",
+        "difftime",
+        "isatty",
+        "umask",
+        "malloc",
+        "tcdrain",
+        "tcflush",
+    }
+)
+
+
+def ballista_function_names() -> list[str]:
+    return [spec.name for spec in BALLISTA_SET]

@@ -1,0 +1,88 @@
+"""Shared helpers for the simulated C library models.
+
+All models access memory exclusively through these helpers so that
+every byte touched is bounds- and protection-checked by the address
+space, and every loop accounts simulated work via ``ctx.step`` (the
+hang watchdog).
+"""
+
+from __future__ import annotations
+
+from repro.sandbox.context import CallContext
+
+#: C int limits (LP64: int is 32-bit, long is 64-bit).
+INT_MAX = 2**31 - 1
+INT_MIN = -(2**31)
+LONG_MAX = 2**63 - 1
+LONG_MIN = -(2**63)
+ULONG_MAX = 2**64 - 1
+EOF = -1
+
+
+def to_int32(value: int) -> int:
+    """Wrap a Python int to C ``int`` semantics."""
+    return ((value - INT_MIN) % (2**32)) + INT_MIN
+
+
+def to_int64(value: int) -> int:
+    return ((value - LONG_MIN) % (2**64)) + LONG_MIN
+
+
+def to_uint64(value: int) -> int:
+    return value % (2**64)
+
+
+def read_byte(ctx: CallContext, address: int) -> int:
+    ctx.step()
+    return ctx.mem.load(address, 1)[0]
+
+
+def write_byte(ctx: CallContext, address: int, value: int) -> None:
+    ctx.step()
+    ctx.mem.store(address, bytes([value & 0xFF]))
+
+
+def read_cstring(ctx: CallContext, address: int, limit: int | None = None) -> bytes:
+    """strlen-style scan: reads byte by byte until NUL, stepping the
+    watchdog, faulting at the first inaccessible byte."""
+    out = bytearray()
+    cursor = address
+    while limit is None or len(out) < limit:
+        byte = read_byte(ctx, cursor)
+        if byte == 0:
+            break
+        out.append(byte)
+        cursor += 1
+    return bytes(out)
+
+
+def write_cstring(ctx: CallContext, address: int, value: bytes) -> None:
+    cursor = address
+    for byte in value:
+        write_byte(ctx, cursor, byte)
+        cursor += 1
+    write_byte(ctx, cursor, 0)
+
+
+def copy_bytes(ctx: CallContext, dst: int, src: int, count: int) -> None:
+    """memcpy inner loop in page-sized chunks; faults carry the first
+    bad address, which is what fault attribution keys on."""
+    offset = 0
+    chunk = 4096
+    while offset < count:
+        step = min(chunk, count - offset)
+        payload = ctx.mem.load(src + offset, step)
+        ctx.mem.store(dst + offset, payload)
+        ctx.step(step)
+        offset += step
+
+
+def fill_bytes(ctx: CallContext, dst: int, value: int, count: int) -> None:
+    offset = 0
+    chunk = 4096
+    payload_chunk = bytes([value & 0xFF]) * chunk
+    while offset < count:
+        step = min(chunk, count - offset)
+        ctx.mem.store(dst + offset, payload_chunk[:step])
+        ctx.step(step)
+        offset += step

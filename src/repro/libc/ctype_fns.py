@@ -1,0 +1,89 @@
+"""Simulated ctype.h: table-driven character classification.
+
+glibc's ctype macros index a classification table with ``c + 128``;
+passing an ``int`` outside ``[-128, 255]`` reads outside the table —
+historically a real crash source flagged by Ballista.  The simulation
+maps a table region of exactly 384 bytes, so out-of-range arguments
+fault, and the robust argument type the injector discovers is the
+``CHAR_RANGE`` unified type.
+"""
+
+from __future__ import annotations
+
+from repro.memory import Protection, RegionKind
+from repro.sandbox.context import CallContext
+
+TABLE_LOW = -128
+TABLE_SIZE = 384  # indices -128 .. 255
+
+FLAG_ALPHA = 1
+FLAG_DIGIT = 2
+FLAG_SPACE = 4
+FLAG_UPPER = 8
+FLAG_LOWER = 16
+
+
+def _classify(byte: int) -> int:
+    flags = 0
+    char = chr(byte)
+    if char.isalpha() and byte < 128:
+        flags |= FLAG_ALPHA
+    if char.isdigit() and byte < 128:
+        flags |= FLAG_DIGIT
+    if char in " \t\n\r\v\f":
+        flags |= FLAG_SPACE
+    if "A" <= char <= "Z":
+        flags |= FLAG_UPPER
+    if "a" <= char <= "z":
+        flags |= FLAG_LOWER
+    return flags
+
+
+def ctype_table_base(ctx: CallContext) -> int:
+    """Map (once per runtime) and return the classification table."""
+    base = ctx.runtime.ctype_table_base
+    if base is not None and ctx.mem.region_at(base) is not None:
+        return base
+    region = ctx.mem.map_region(
+        TABLE_SIZE, Protection.READ, RegionKind.LIBC, "ctype table"
+    )
+    table = bytes(_classify((i + TABLE_LOW) % 256) for i in range(TABLE_SIZE))
+    region.poke(region.base, table)
+    ctx.runtime.ctype_table_base = region.base
+    return region.base
+
+
+def _lookup(ctx: CallContext, c: int) -> int:
+    """The unchecked table access: ``table[c + 128]``."""
+    base = ctype_table_base(ctx)
+    ctx.step()
+    return ctx.mem.load(base + c - TABLE_LOW, 1)[0]
+
+
+def libc_isalpha(ctx: CallContext, c: int) -> int:
+    """``int isalpha(int c)``"""
+    return 1 if _lookup(ctx, c) & FLAG_ALPHA else 0
+
+
+def libc_isdigit(ctx: CallContext, c: int) -> int:
+    """``int isdigit(int c)``"""
+    return 1 if _lookup(ctx, c) & FLAG_DIGIT else 0
+
+
+def libc_isspace(ctx: CallContext, c: int) -> int:
+    """``int isspace(int c)``"""
+    return 1 if _lookup(ctx, c) & FLAG_SPACE else 0
+
+
+def libc_toupper(ctx: CallContext, c: int) -> int:
+    """``int toupper(int c)``"""
+    if _lookup(ctx, c) & FLAG_LOWER:
+        return c - 32
+    return c
+
+
+def libc_tolower(ctx: CallContext, c: int) -> int:
+    """``int tolower(int c)``"""
+    if _lookup(ctx, c) & FLAG_UPPER:
+        return c + 32
+    return c

@@ -1,0 +1,126 @@
+"""Simulated dirent.h: directory streams.
+
+A ``DIR`` is a 72-byte heap block pointing at a separately allocated
+entries array.  As in glibc, nothing validates a ``DIR*`` argument —
+"POSIX does not define any function to verify that a pointer points to
+a valid directory structure" (paper section 5.2) — so garbage pointers
+crash inside ``readdir``/``closedir``, and only the *stateful* tracking
+added during manual editing can protect these functions.
+
+DIR layout:
+
+====== =================================================
+offset field
+====== =================================================
+0      u32 magic (``0xD15C0DE5``)
+8      u64 entries pointer (heap block of 32-byte slots)
+16     u64 entry count
+24     u64 position
+32     i32 descriptor
+====== =================================================
+
+Each entry slot: u64 inode + 24-byte NUL-padded name, so a
+``readdir`` result is itself a pointer into simulated memory (a
+``struct dirent*``).
+"""
+
+from __future__ import annotations
+
+from repro.libc import common
+from repro.libc.errno_codes import EBADF
+from repro.libc.kernel import KernelError, READ
+from repro.memory import NULL
+from repro.sandbox.context import CallContext
+from repro.typelattice.registry import DIR_SIZE
+
+DIR_MAGIC = 0xD15C0DE5
+OFF_MAGIC = 0
+OFF_ENTRIES = 8
+OFF_COUNT = 16
+OFF_POS = 24
+OFF_FD = 32
+
+ENTRY_SIZE = 32
+NAME_BYTES = 24
+
+
+def alloc_dir(ctx: CallContext, names: list[str], fd: int) -> int:
+    """Materialize a DIR stream and its entries block on the heap."""
+    entries = ctx.heap.malloc(max(len(names), 1) * ENTRY_SIZE)
+    for index, name in enumerate(names):
+        base = entries + index * ENTRY_SIZE
+        ctx.mem.store_u64(base, 1000 + index)  # inode
+        raw = name.encode()[: NAME_BYTES - 1]
+        ctx.mem.store(base + 8, raw + b"\x00" * (NAME_BYTES - len(raw)))
+    dirp = ctx.heap.malloc(DIR_SIZE)
+    ctx.mem.store_u32(dirp + OFF_MAGIC, DIR_MAGIC)
+    ctx.mem.store_u64(dirp + OFF_ENTRIES, entries)
+    ctx.mem.store_u64(dirp + OFF_COUNT, len(names))
+    ctx.mem.store_u64(dirp + OFF_POS, 0)
+    ctx.mem.store_i32(dirp + OFF_FD, fd)
+    return dirp
+
+
+def libc_opendir(ctx: CallContext, path: int) -> int:
+    """``DIR *opendir(const char *path)``"""
+    pathname = common.read_cstring(ctx, path).decode("latin-1")
+    try:
+        names = ctx.kernel.list_directory(pathname)
+        fd = ctx.kernel.open(pathname, READ)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return NULL
+    return alloc_dir(ctx, [".", ".."] + names, fd)
+
+
+def libc_readdir(ctx: CallContext, dirp: int) -> int:
+    """``struct dirent *readdir(DIR *dirp)`` — trusts the stream: it
+    dereferences the entries pointer and advances the position.  A
+    stream whose descriptor has died fails with EBADF; a garbage
+    stream crashes."""
+    fd = ctx.mem.load_i32(dirp + OFF_FD)
+    if ctx.kernel.fd_mode(fd) is None:
+        ctx.set_errno(EBADF)
+        return NULL
+    pos = ctx.mem.load_u64(dirp + OFF_POS)
+    count = ctx.mem.load_u64(dirp + OFF_COUNT)
+    if pos >= count:
+        return NULL
+    entries = ctx.mem.load_u64(dirp + OFF_ENTRIES)
+    entry = entries + pos * ENTRY_SIZE
+    ctx.mem.load(entry, ENTRY_SIZE)  # the unchecked dereference
+    ctx.mem.store_u64(dirp + OFF_POS, pos + 1)
+    ctx.step()
+    return entry
+
+
+def libc_closedir(ctx: CallContext, dirp: int) -> int:
+    """``int closedir(DIR *dirp)`` — frees both blocks and closes the
+    descriptor, trusting every field."""
+    entries = ctx.mem.load_u64(dirp + OFF_ENTRIES)
+    fd = ctx.mem.load_i32(dirp + OFF_FD)
+    ctx.heap.free(entries)
+    ctx.heap.free(dirp)
+    try:
+        ctx.kernel.close(fd)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    return 0
+
+
+def libc_rewinddir(ctx: CallContext, dirp: int) -> None:
+    """``void rewinddir(DIR *dirp)``"""
+    ctx.mem.load_u32(dirp + OFF_MAGIC)
+    ctx.mem.store_u64(dirp + OFF_POS, 0)
+
+
+def libc_seekdir(ctx: CallContext, dirp: int, loc: int) -> None:
+    """``void seekdir(DIR *dirp, long loc)`` — stores the position
+    without range checking (out-of-range positions poison readdir)."""
+    ctx.mem.store_u64(dirp + OFF_POS, loc % (2**64))
+
+
+def libc_telldir(ctx: CallContext, dirp: int) -> int:
+    """``long telldir(DIR *dirp)``"""
+    return ctx.mem.load_u64(dirp + OFF_POS)

@@ -1,0 +1,338 @@
+"""Simulated kernel: filesystem, file descriptors, terminal state.
+
+The C library models sit on top of this the way glibc sits on Linux
+syscalls.  The kernel is *robust* — syscalls validate descriptors and
+paths and fail with error codes.  In the paper's world the robustness
+problems live in the C library, which trusts its own in-memory
+structures (FILE buffers, DIR streams); the kernel interface never
+crashes the process.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.libc.errno_codes import (
+    EBADF,
+    EINVAL,
+    EISDIR,
+    EMFILE,
+    ENOENT,
+    ENOTDIR,
+    ENOTTY,
+    EROFS,
+)
+
+
+class KernelError(Exception):
+    """A failed syscall; carries the errno the caller should set."""
+
+    def __init__(self, errno: int, detail: str = "") -> None:
+        self.errno = errno
+        super().__init__(detail or f"syscall failed with errno {errno}")
+
+
+@dataclass
+class VNode:
+    """One filesystem node (regular file or directory)."""
+
+    name: str
+    is_dir: bool = False
+    data: bytearray = field(default_factory=bytearray)
+    children: dict[str, "VNode"] = field(default_factory=dict)
+    read_only: bool = False
+    is_tty: bool = False
+    inode: int = 0
+
+    def clone(self) -> "VNode":
+        node = VNode(
+            name=self.name,
+            is_dir=self.is_dir,
+            data=bytearray(self.data),
+            read_only=self.read_only,
+            is_tty=self.is_tty,
+            inode=self.inode,
+        )
+        node.children = {k: v.clone() for k, v in self.children.items()}
+        return node
+
+
+# open-mode flags (subset of O_RDONLY/O_WRONLY/O_RDWR semantics)
+READ = 0x1
+WRITE = 0x2
+APPEND = 0x4
+TRUNC = 0x8
+CREATE = 0x10
+
+
+@dataclass
+class OpenFile:
+    """One open file description (what an fd points to)."""
+
+    node: VNode
+    flags: int
+    offset: int = 0
+
+    @property
+    def readable(self) -> bool:
+        return bool(self.flags & READ)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & WRITE)
+
+
+@dataclass
+class TermiosState:
+    """Per-tty terminal settings (enough for the termios models)."""
+
+    input_speed: int = 38400
+    output_speed: int = 38400
+    control_flags: int = 0o2277
+    local_flags: int = 0o105073
+
+
+@dataclass
+class StatResult:
+    """The subset of ``struct stat`` the wrapper's fstat check uses."""
+
+    inode: int
+    size: int
+    is_dir: bool
+    is_tty: bool
+
+
+MAX_FDS = 256
+
+
+class Kernel:
+    """Filesystem + descriptor table + tty state."""
+
+    def __init__(self) -> None:
+        self.root = VNode("/", is_dir=True, inode=1)
+        self._next_inode = 2
+        self.fds: dict[int, OpenFile] = {}
+        self._next_fd = 3  # 0..2 reserved for std streams
+        self.termios: dict[int, TermiosState] = {}
+        self.environment: dict[bytes, bytes] = {}
+        self.now: int = 1_023_456_789  # deterministic "current time"
+        self._setup_std_streams()
+
+    # -- construction helpers -------------------------------------------
+    def _setup_std_streams(self) -> None:
+        tty = self._create_node("/dev/tty", is_dir=False)
+        tty.is_tty = True
+        self.fds[0] = OpenFile(tty, READ)
+        self.fds[1] = OpenFile(tty, WRITE)
+        self.fds[2] = OpenFile(tty, WRITE)
+        self.termios[0] = TermiosState()
+        self.termios[1] = TermiosState()
+        self.termios[2] = TermiosState()
+
+    def _create_node(self, path: str, is_dir: bool) -> VNode:
+        parent = self._walk(posixpath.dirname(path), create=True)
+        name = posixpath.basename(path)
+        node = VNode(name, is_dir=is_dir, inode=self._next_inode)
+        self._next_inode += 1
+        parent.children[name] = node
+        return node
+
+    def _walk(self, path: str, create: bool = False) -> VNode:
+        node = self.root
+        for part in [p for p in path.split("/") if p]:
+            child = node.children.get(part)
+            if child is None:
+                if not create:
+                    raise KernelError(ENOENT, f"no such path component {part!r}")
+                child = VNode(part, is_dir=True, inode=self._next_inode)
+                self._next_inode += 1
+                node.children[part] = child
+            node = child
+        return node
+
+    def add_file(self, path: str, data: bytes = b"", read_only: bool = False) -> VNode:
+        """Populate the filesystem (used by the standard runtime)."""
+        node = self._create_node(path, is_dir=False)
+        node.data = bytearray(data)
+        node.read_only = read_only
+        return node
+
+    def add_directory(self, path: str) -> VNode:
+        return self._walk(path, create=True)
+
+    # -- path syscalls -----------------------------------------------------
+    def lookup(self, path: str) -> VNode:
+        if not path:
+            raise KernelError(ENOENT, "empty path")
+        return self._walk(path)
+
+    def open(self, path: str, flags: int) -> int:
+        if len(self.fds) >= MAX_FDS:
+            raise KernelError(EMFILE)
+        try:
+            node = self.lookup(path)
+        except KernelError:
+            if not (flags & CREATE):
+                raise
+            node = self.add_file(path)
+        if node.is_dir and flags & WRITE:
+            raise KernelError(EISDIR)
+        if node.read_only and flags & WRITE:
+            raise KernelError(EROFS)
+        if flags & TRUNC and flags & WRITE:
+            node.data = bytearray()
+        fd = self._next_fd
+        while fd in self.fds:
+            fd += 1
+        self._next_fd = fd + 1
+        open_file = OpenFile(node, flags)
+        if flags & APPEND:
+            open_file.offset = len(node.data)
+        self.fds[fd] = open_file
+        if node.is_tty:
+            self.termios[fd] = TermiosState()
+        return fd
+
+    def unlink(self, path: str) -> None:
+        node = self.lookup(path)
+        if node.is_dir and node.children:
+            raise KernelError(ENOTDIR, "directory not empty")
+        parent = self._walk(posixpath.dirname(path))
+        parent.children.pop(posixpath.basename(path), None)
+
+    def rename(self, old: str, new: str) -> None:
+        node = self.lookup(old)
+        old_parent = self._walk(posixpath.dirname(old))
+        old_parent.children.pop(posixpath.basename(old), None)
+        new_parent = self._walk(posixpath.dirname(new), create=True)
+        node.name = posixpath.basename(new)
+        new_parent.children[node.name] = node
+
+    # -- descriptor syscalls -------------------------------------------------
+    def _descriptor(self, fd: int) -> OpenFile:
+        open_file = self.fds.get(fd)
+        if open_file is None:
+            raise KernelError(EBADF, f"bad file descriptor {fd}")
+        return open_file
+
+    def close(self, fd: int) -> None:
+        self._descriptor(fd)
+        del self.fds[fd]
+        self.termios.pop(fd, None)
+
+    def read(self, fd: int, count: int) -> bytes:
+        open_file = self._descriptor(fd)
+        if not open_file.readable:
+            raise KernelError(EBADF, "fd not open for reading")
+        data = bytes(open_file.node.data[open_file.offset : open_file.offset + count])
+        open_file.offset += len(data)
+        return data
+
+    def write(self, fd: int, payload: bytes) -> int:
+        open_file = self._descriptor(fd)
+        if not open_file.writable:
+            raise KernelError(EBADF, "fd not open for writing")
+        node = open_file.node
+        if node.is_tty:
+            return len(payload)  # tty output is discarded
+        end = open_file.offset + len(payload)
+        if len(node.data) < end:
+            node.data.extend(b"\x00" * (end - len(node.data)))
+        node.data[open_file.offset : end] = payload
+        open_file.offset = end
+        return len(payload)
+
+    def seek(self, fd: int, offset: int, whence: int) -> int:
+        open_file = self._descriptor(fd)
+        if whence == 0:
+            target = offset
+        elif whence == 1:
+            target = open_file.offset + offset
+        elif whence == 2:
+            target = len(open_file.node.data) + offset
+        else:
+            raise KernelError(EINVAL, f"bad whence {whence}")
+        if target < 0:
+            raise KernelError(EINVAL, "negative seek position")
+        open_file.offset = target
+        return target
+
+    def fstat(self, fd: int) -> StatResult:
+        open_file = self._descriptor(fd)
+        node = open_file.node
+        return StatResult(node.inode, len(node.data), node.is_dir, node.is_tty)
+
+    def stat(self, path: str) -> StatResult:
+        node = self.lookup(path)
+        return StatResult(node.inode, len(node.data), node.is_dir, node.is_tty)
+
+    def isatty(self, fd: int) -> bool:
+        return self._descriptor(fd).node.is_tty
+
+    def get_termios(self, fd: int) -> TermiosState:
+        self._descriptor(fd)
+        state = self.termios.get(fd)
+        if state is None:
+            raise KernelError(ENOTTY, "fd is not a terminal")
+        return state
+
+    def fd_mode(self, fd: int) -> Optional[tuple[bool, bool]]:
+        """(readable, writable) for a live fd, else None.  Used by the
+        wrapper's descriptor checks — equivalent to an fstat probe."""
+        open_file = self.fds.get(fd)
+        if open_file is None:
+            return None
+        return open_file.readable, open_file.writable
+
+    def list_directory(self, path: str) -> list[str]:
+        node = self.lookup(path)
+        if not node.is_dir:
+            raise KernelError(ENOTDIR, f"{path} is not a directory")
+        return sorted(node.children)
+
+    # -- process state ----------------------------------------------------------
+    def getenv(self, name: bytes) -> Optional[bytes]:
+        return self.environment.get(name)
+
+    def setenv(self, name: bytes, value: bytes) -> None:
+        self.environment[name] = value
+
+    def fork(self) -> "Kernel":
+        clone = Kernel.__new__(Kernel)
+        clone.root = self.root.clone()
+        clone._next_inode = self._next_inode
+        clone._next_fd = self._next_fd
+        clone.now = self.now
+        clone.environment = dict(self.environment)
+        clone.termios = {fd: TermiosState(**vars(st)) for fd, st in self.termios.items()}
+        # Re-resolve descriptor nodes in the cloned tree by path walk:
+        # descriptors keep their flags/offsets but point at the clones.
+        clone.fds = {}
+        paths = self._paths_by_node()
+        for fd, open_file in self.fds.items():
+            path = paths.get(id(open_file.node))
+            if path is None:
+                node = open_file.node.clone()
+            else:
+                node = clone._walk_existing(path)
+            clone.fds[fd] = OpenFile(node, open_file.flags, open_file.offset)
+        return clone
+
+    def _paths_by_node(self) -> dict[int, str]:
+        paths: dict[int, str] = {}
+
+        def visit(node: VNode, prefix: str) -> None:
+            paths[id(node)] = prefix or "/"
+            for name, child in node.children.items():
+                visit(child, f"{prefix}/{name}")
+
+        visit(self.root, "")
+        return paths
+
+    def _walk_existing(self, path: str) -> VNode:
+        node = self.root
+        for part in [p for p in path.split("/") if p]:
+            node = node.children[part]
+        return node

@@ -1,0 +1,43 @@
+"""Miscellaneous POSIX functions: descriptors, process attributes.
+
+These round out the never-crash set — they take only value arguments
+and validate them against the (robust) kernel.
+"""
+
+from __future__ import annotations
+
+from repro.libc.errno_codes import EBADF, EINVAL
+from repro.sandbox.context import CallContext
+
+
+def libc_isatty(ctx: CallContext, fd: int) -> int:
+    """``int isatty(int fd)`` — kernel-validated; bad descriptors give
+    0 with EBADF, never a crash."""
+    state = ctx.kernel.fd_mode(fd)
+    if state is None:
+        ctx.set_errno(EBADF)
+        return 0
+    try:
+        return 1 if ctx.kernel.isatty(fd) else 0
+    except Exception:  # pragma: no cover - kernel cannot fail here
+        return 0
+
+
+def libc_umask(ctx: CallContext, mask: int) -> int:
+    """``mode_t umask(mode_t mask)``.
+
+    POSIX umask cannot fail; our simulated libc is stricter and
+    rejects masks with bits outside 0o7777 with EINVAL, giving the
+    injector a consistent error-return-code observation.
+    """
+    if mask & ~0o7777:
+        ctx.set_errno(EINVAL)
+        return -1 % (2**32)
+    previous = ctx.runtime.umask_value
+    ctx.runtime.umask_value = mask
+    return previous
+
+
+def libc_getpid(ctx: CallContext) -> int:
+    """``pid_t getpid(void)``"""
+    return ctx.runtime.pid

@@ -1,0 +1,264 @@
+"""Simulated string.h: byte-exact models of the classic unsafe string
+functions.
+
+None of these validate their arguments — like their glibc originals
+they run until a NUL terminator or a count is exhausted, so invalid
+pointers, unterminated strings and undersized destination buffers
+crash with a fault at the precise overrun address.  None of them ever
+set errno (they form the bulk of Table 1's "no error return code
+found" class).
+"""
+
+from __future__ import annotations
+
+from repro.libc import common
+from repro.libc.errno_codes import ENOMEM
+from repro.memory import NULL
+from repro.sandbox.context import CallContext
+
+
+def libc_strcpy(ctx: CallContext, dst: int, src: int) -> int:
+    """``char *strcpy(char *dst, const char *src)``"""
+    cursor = 0
+    while True:
+        byte = common.read_byte(ctx, src + cursor)
+        common.write_byte(ctx, dst + cursor, byte)
+        if byte == 0:
+            return dst
+        cursor += 1
+
+
+def libc_strncpy(ctx: CallContext, dst: int, src: int, n: int) -> int:
+    """``char *strncpy(char *dst, const char *src, size_t n)`` —
+    always writes exactly ``n`` bytes (NUL padding), the behaviour
+    that makes a huge ``n`` run off any destination."""
+    cursor = 0
+    terminated = False
+    while cursor < n:
+        if terminated:
+            common.write_byte(ctx, dst + cursor, 0)
+        else:
+            byte = common.read_byte(ctx, src + cursor)
+            common.write_byte(ctx, dst + cursor, byte)
+            terminated = byte == 0
+        cursor += 1
+    return dst
+
+
+def libc_strcat(ctx: CallContext, dst: int, src: int) -> int:
+    """``char *strcat(char *dst, const char *src)``"""
+    end = dst
+    while common.read_byte(ctx, end) != 0:
+        end += 1
+    cursor = 0
+    while True:
+        byte = common.read_byte(ctx, src + cursor)
+        common.write_byte(ctx, end + cursor, byte)
+        if byte == 0:
+            return dst
+        cursor += 1
+
+
+def libc_strncat(ctx: CallContext, dst: int, src: int, n: int) -> int:
+    """``char *strncat(char *dst, const char *src, size_t n)``"""
+    end = dst
+    while common.read_byte(ctx, end) != 0:
+        end += 1
+    copied = 0
+    while copied < n:
+        byte = common.read_byte(ctx, src + copied)
+        if byte == 0:
+            break
+        common.write_byte(ctx, end + copied, byte)
+        copied += 1
+    common.write_byte(ctx, end + copied, 0)
+    return dst
+
+
+def libc_strcmp(ctx: CallContext, a: int, b: int) -> int:
+    """``int strcmp(const char *a, const char *b)``"""
+    cursor = 0
+    while True:
+        byte_a = common.read_byte(ctx, a + cursor)
+        byte_b = common.read_byte(ctx, b + cursor)
+        if byte_a != byte_b:
+            return 1 if byte_a > byte_b else -1
+        if byte_a == 0:
+            return 0
+        cursor += 1
+
+
+def libc_strncmp(ctx: CallContext, a: int, b: int, n: int) -> int:
+    """``int strncmp(const char *a, const char *b, size_t n)``"""
+    for cursor in range(n):
+        byte_a = common.read_byte(ctx, a + cursor)
+        byte_b = common.read_byte(ctx, b + cursor)
+        if byte_a != byte_b:
+            return 1 if byte_a > byte_b else -1
+        if byte_a == 0:
+            return 0
+    return 0
+
+
+def libc_strlen(ctx: CallContext, s: int) -> int:
+    """``size_t strlen(const char *s)``"""
+    length = 0
+    while common.read_byte(ctx, s + length) != 0:
+        length += 1
+    return length
+
+
+def libc_strchr(ctx: CallContext, s: int, c: int) -> int:
+    """``char *strchr(const char *s, int c)``"""
+    target = c & 0xFF
+    cursor = s
+    while True:
+        byte = common.read_byte(ctx, cursor)
+        if byte == target:
+            return cursor
+        if byte == 0:
+            return NULL
+        cursor += 1
+
+
+def libc_strrchr(ctx: CallContext, s: int, c: int) -> int:
+    """``char *strrchr(const char *s, int c)``"""
+    target = c & 0xFF
+    found = NULL
+    cursor = s
+    while True:
+        byte = common.read_byte(ctx, cursor)
+        if byte == target:
+            found = cursor
+        if byte == 0:
+            return found
+        cursor += 1
+
+
+def libc_strstr(ctx: CallContext, haystack: int, needle: int) -> int:
+    """``char *strstr(const char *haystack, const char *needle)``"""
+    needle_bytes = common.read_cstring(ctx, needle)
+    if not needle_bytes:
+        return haystack
+    hay = common.read_cstring(ctx, haystack)
+    index = hay.find(needle_bytes)
+    return haystack + index if index >= 0 else NULL
+
+
+def libc_strspn(ctx: CallContext, s: int, accept: int) -> int:
+    """``size_t strspn(const char *s, const char *accept)``"""
+    accept_set = set(common.read_cstring(ctx, accept))
+    count = 0
+    while True:
+        byte = common.read_byte(ctx, s + count)
+        if byte == 0 or byte not in accept_set:
+            return count
+        count += 1
+
+
+def libc_strcspn(ctx: CallContext, s: int, reject: int) -> int:
+    """``size_t strcspn(const char *s, const char *reject)``"""
+    reject_set = set(common.read_cstring(ctx, reject))
+    count = 0
+    while True:
+        byte = common.read_byte(ctx, s + count)
+        if byte == 0 or byte in reject_set:
+            return count
+        count += 1
+
+
+def libc_strpbrk(ctx: CallContext, s: int, accept: int) -> int:
+    """``char *strpbrk(const char *s, const char *accept)``"""
+    accept_set = set(common.read_cstring(ctx, accept))
+    cursor = s
+    while True:
+        byte = common.read_byte(ctx, cursor)
+        if byte == 0:
+            return NULL
+        if byte in accept_set:
+            return cursor
+        cursor += 1
+
+
+def libc_strtok(ctx: CallContext, s: int, delim: int) -> int:
+    """``char *strtok(char *s, const char *delim)`` — the stateful
+    classic.  With ``s == NULL`` it resumes from the saved pointer; a
+    first call with NULL dereferences the NULL save state and crashes,
+    exactly like glibc."""
+    delim_set = set(common.read_cstring(ctx, delim))
+    cursor = s if s != NULL else ctx.runtime.strtok_state
+    # Skip leading delimiters (dereferences cursor — crashes when both
+    # s and the saved state are NULL).
+    while True:
+        byte = common.read_byte(ctx, cursor)
+        if byte == 0:
+            ctx.runtime.strtok_state = cursor
+            return NULL
+        if byte not in delim_set:
+            break
+        cursor += 1
+    token_start = cursor
+    while True:
+        byte = common.read_byte(ctx, cursor)
+        if byte == 0:
+            ctx.runtime.strtok_state = cursor
+            return token_start
+        if byte in delim_set:
+            common.write_byte(ctx, cursor, 0)
+            ctx.runtime.strtok_state = cursor + 1
+            return token_start
+        cursor += 1
+
+
+def libc_strdup(ctx: CallContext, s: int) -> int:
+    """``char *strdup(const char *s)``"""
+    payload = common.read_cstring(ctx, s)
+    copy = ctx.heap.malloc(len(payload) + 1)
+    if copy == NULL:
+        ctx.set_errno(ENOMEM)
+        return NULL
+    common.write_cstring(ctx, copy, payload)
+    return copy
+
+
+def libc_memcpy(ctx: CallContext, dst: int, src: int, n: int) -> int:
+    """``void *memcpy(void *dst, const void *src, size_t n)``"""
+    common.copy_bytes(ctx, dst, src, n)
+    return dst
+
+
+def libc_memmove(ctx: CallContext, dst: int, src: int, n: int) -> int:
+    """``void *memmove(void *dst, const void *src, size_t n)`` —
+    overlap-safe but just as unchecked as memcpy."""
+    if n == 0:
+        return dst
+    payload = ctx.mem.load(src, n)
+    ctx.step(n)
+    ctx.mem.store(dst, payload)
+    ctx.step(n)
+    return dst
+
+
+def libc_memset(ctx: CallContext, dst: int, c: int, n: int) -> int:
+    """``void *memset(void *dst, int c, size_t n)``"""
+    common.fill_bytes(ctx, dst, c, n)
+    return dst
+
+
+def libc_memcmp(ctx: CallContext, a: int, b: int, n: int) -> int:
+    """``int memcmp(const void *a, const void *b, size_t n)``"""
+    for cursor in range(n):
+        byte_a = common.read_byte(ctx, a + cursor)
+        byte_b = common.read_byte(ctx, b + cursor)
+        if byte_a != byte_b:
+            return 1 if byte_a > byte_b else -1
+    return 0
+
+
+def libc_memchr(ctx: CallContext, s: int, c: int, n: int) -> int:
+    """``void *memchr(const void *s, int c, size_t n)``"""
+    target = c & 0xFF
+    for cursor in range(n):
+        if common.read_byte(ctx, s + cursor) == target:
+            return s + cursor
+    return NULL

@@ -1,0 +1,136 @@
+"""Simulated termios.h functions.
+
+``struct termios`` is 60 bytes.  The asymmetry the paper's injector
+discovered holds here by construction: ``cfsetispeed`` only *stores*
+the input speed field (write access suffices), while ``cfsetospeed``
+reads the control flags before rewriting them (read-write access
+required) — see section 6, "we discovered a few interesting things".
+
+termios layout: u32 iflag@0, u32 oflag@4, u32 cflag@8, u32 lflag@12,
+cc bytes @16..48, u32 ispeed@48, u32 ospeed@52.
+"""
+
+from __future__ import annotations
+
+from repro.libc.errno_codes import EINVAL
+from repro.libc.kernel import KernelError
+from repro.sandbox.context import CallContext
+
+OFF_IFLAG = 0
+OFF_OFLAG = 4
+OFF_CFLAG = 8
+OFF_LFLAG = 12
+OFF_ISPEED = 48
+OFF_OSPEED = 52
+
+TERMIOS_BYTES = 60
+
+#: Valid Bxxx baud-rate constants (the glibc encoding).
+VALID_SPEEDS = frozenset(
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0o10001, 0o10002}
+)
+CBAUD_MASK = 0o10017
+
+
+def libc_tcgetattr(ctx: CallContext, fd: int, termios_p: int) -> int:
+    """``int tcgetattr(int fd, struct termios *termios_p)`` — fills
+    all 60 bytes (an unchecked write into the caller's buffer)."""
+    try:
+        state = ctx.kernel.get_termios(fd)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    ctx.mem.store_u32(termios_p + OFF_IFLAG, 0)
+    ctx.mem.store_u32(termios_p + OFF_OFLAG, 0)
+    ctx.mem.store_u32(termios_p + OFF_CFLAG, state.control_flags)
+    ctx.mem.store_u32(termios_p + OFF_LFLAG, state.local_flags)
+    ctx.mem.store(termios_p + 16, bytes(32))
+    ctx.mem.store_u32(termios_p + OFF_ISPEED, state.input_speed)
+    ctx.mem.store_u32(termios_p + OFF_OSPEED, state.output_speed)
+    ctx.mem.store_u32(termios_p + 56, 0)  # trailing padding word
+    ctx.step(TERMIOS_BYTES)
+    return 0
+
+
+def libc_tcsetattr(ctx: CallContext, fd: int, actions: int, termios_p: int) -> int:
+    """``int tcsetattr(int fd, int actions, const struct termios *p)``"""
+    if actions not in (0, 1, 2):  # TCSANOW, TCSADRAIN, TCSAFLUSH
+        ctx.set_errno(EINVAL)
+        return -1
+    # Reads the whole structure before validating the descriptor —
+    # the argument order real termios implementations use, and the
+    # reason a bad pointer crashes even with a bad fd.
+    cflag = ctx.mem.load_u32(termios_p + OFF_CFLAG)
+    lflag = ctx.mem.load_u32(termios_p + OFF_LFLAG)
+    ctx.mem.load(termios_p, TERMIOS_BYTES)
+    ispeed = ctx.mem.load_u32(termios_p + OFF_ISPEED)
+    ospeed = ctx.mem.load_u32(termios_p + OFF_OSPEED)
+    ctx.step(TERMIOS_BYTES)
+    try:
+        state = ctx.kernel.get_termios(fd)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    state.control_flags = cflag
+    state.local_flags = lflag
+    state.input_speed = ispeed
+    state.output_speed = ospeed
+    return 0
+
+
+def libc_tcdrain(ctx: CallContext, fd: int) -> int:
+    """``int tcdrain(int fd)`` — kernel-validated, never crashes."""
+    try:
+        ctx.kernel.get_termios(fd)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    return 0
+
+
+def libc_tcflush(ctx: CallContext, fd: int, queue: int) -> int:
+    """``int tcflush(int fd, int queue_selector)``"""
+    if queue not in (0, 1, 2):  # TCIFLUSH, TCOFLUSH, TCIOFLUSH
+        ctx.set_errno(EINVAL)
+        return -1
+    try:
+        ctx.kernel.get_termios(fd)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    return 0
+
+
+def libc_cfgetispeed(ctx: CallContext, termios_p: int) -> int:
+    """``speed_t cfgetispeed(const struct termios *p)`` — a bare field
+    read; never sets errno."""
+    return ctx.mem.load_u32(termios_p + OFF_ISPEED)
+
+
+def libc_cfgetospeed(ctx: CallContext, termios_p: int) -> int:
+    """``speed_t cfgetospeed(const struct termios *p)``"""
+    return ctx.mem.load_u32(termios_p + OFF_OSPEED)
+
+
+def libc_cfsetispeed(ctx: CallContext, termios_p: int, speed: int) -> int:
+    """``int cfsetispeed(struct termios *p, speed_t speed)`` — *writes
+    only*: stores the input speed field without reading the structure
+    (the paper's write-access-only finding)."""
+    if speed not in VALID_SPEEDS:
+        ctx.set_errno(EINVAL)
+        return -1
+    ctx.mem.store_u32(termios_p + OFF_ISPEED, speed)
+    return 0
+
+
+def libc_cfsetospeed(ctx: CallContext, termios_p: int, speed: int) -> int:
+    """``int cfsetospeed(struct termios *p, speed_t speed)`` — *reads
+    and writes*: merges the speed into the control flags it first
+    loads (the paper's read+write finding)."""
+    if speed not in VALID_SPEEDS:
+        ctx.set_errno(EINVAL)
+        return -1
+    cflag = ctx.mem.load_u32(termios_p + OFF_CFLAG)
+    ctx.mem.store_u32(termios_p + OFF_CFLAG, (cflag & ~CBAUD_MASK) | speed)
+    ctx.mem.store_u32(termios_p + OFF_OSPEED, speed)
+    return 0

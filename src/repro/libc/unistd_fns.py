@@ -1,0 +1,221 @@
+"""Simulated unistd.h / sys/stat.h: descriptor-level I/O and paths.
+
+These round out the library beyond the paper's 86-function evaluation
+set.  The raw I/O calls are thin shims over the (robust) kernel — the
+crash surface is the user-supplied buffer, exactly as with their glibc
+counterparts — while ``getcwd`` and ``stat`` write caller-provided
+structures and so carry the classic undersized-buffer hazards.
+
+Flag constants follow Linux: O_RDONLY=0, O_WRONLY=1, O_RDWR=2,
+O_CREAT=0x40, O_TRUNC=0x200, O_APPEND=0x400.
+"""
+
+from __future__ import annotations
+
+from repro.libc import common
+from repro.libc.errno_codes import EBADF, EINVAL, ENOENT, ERANGE
+from repro.libc.kernel import APPEND, CREATE, KernelError, READ, TRUNC, WRITE
+from repro.memory import NULL
+from repro.sandbox.context import CallContext
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+#: fixed layout of our ``struct stat`` (144 bytes): inode u64 @8,
+#: size u64 @48, mode bits u32 @24.
+STAT_SIZE = 144
+OFF_ST_INO = 8
+OFF_ST_MODE = 24
+OFF_ST_SIZE = 48
+
+S_IFDIR = 0o040000
+S_IFREG = 0o100000
+S_IFCHR = 0o020000
+
+#: The simulated process's working directory (fixed).
+CWD = b"/home/user"
+
+
+def _kernel_flags(flags: int) -> int:
+    access = flags & 0x3
+    out = {O_RDONLY: READ, O_WRONLY: WRITE, O_RDWR: READ | WRITE}.get(access, READ)
+    if flags & O_CREAT:
+        out |= CREATE
+    if flags & O_TRUNC:
+        out |= TRUNC
+    if flags & O_APPEND:
+        out |= APPEND
+    return out
+
+
+def libc_open(ctx: CallContext, path: int, flags: int) -> int:
+    """``int open(const char *path, int flags)``"""
+    pathname = common.read_cstring(ctx, path).decode("latin-1")
+    try:
+        return ctx.kernel.open(pathname, _kernel_flags(flags))
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+
+
+def libc_close(ctx: CallContext, fd: int) -> int:
+    """``int close(int fd)`` — kernel-validated, never crashes."""
+    try:
+        ctx.kernel.close(fd)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    return 0
+
+
+def libc_read(ctx: CallContext, fd: int, buf: int, count: int) -> int:
+    """``ssize_t read(int fd, void *buf, size_t count)`` — the store
+    into ``buf`` is unchecked, like the real syscall wrapper's copy."""
+    try:
+        data = ctx.kernel.read(fd, count)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    ctx.mem.store(buf, data)
+    ctx.step(len(data))
+    return len(data)
+
+
+def libc_write(ctx: CallContext, fd: int, buf: int, count: int) -> int:
+    """``ssize_t write(int fd, const void *buf, size_t count)``"""
+    payload = ctx.mem.load(buf, count)
+    ctx.step(count)
+    try:
+        return ctx.kernel.write(fd, payload)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+
+
+def libc_lseek(ctx: CallContext, fd: int, offset: int, whence: int) -> int:
+    """``off_t lseek(int fd, off_t offset, int whence)``"""
+    try:
+        return ctx.kernel.seek(fd, common.to_int64(offset), whence)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+
+
+def libc_unlink(ctx: CallContext, path: int) -> int:
+    """``int unlink(const char *path)``"""
+    pathname = common.read_cstring(ctx, path).decode("latin-1")
+    try:
+        ctx.kernel.unlink(pathname)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    return 0
+
+
+def libc_access(ctx: CallContext, path: int, mode: int) -> int:
+    """``int access(const char *path, int mode)``"""
+    pathname = common.read_cstring(ctx, path).decode("latin-1")
+    try:
+        ctx.kernel.lookup(pathname)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    return 0
+
+
+def libc_getcwd(ctx: CallContext, buf: int, size: int) -> int:
+    """``char *getcwd(char *buf, size_t size)``
+
+    glibc semantics: NULL buf allocates; a too-small size is ERANGE; a
+    sufficient size writes through the caller's pointer unchecked.
+    """
+    needed = len(CWD) + 1
+    if buf == NULL:
+        if size != 0 and size < needed:
+            ctx.set_errno(ERANGE)
+            return NULL
+        pointer = ctx.heap.malloc(max(size, needed))
+        if pointer == NULL:
+            from repro.libc.errno_codes import ENOMEM
+
+            ctx.set_errno(ENOMEM)
+            return NULL
+        common.write_cstring(ctx, pointer, CWD)
+        return pointer
+    if size < needed:
+        ctx.set_errno(ERANGE)
+        return NULL
+    common.write_cstring(ctx, buf, CWD)
+    return buf
+
+
+def _fill_stat(ctx: CallContext, statbuf: int, stat_result) -> None:
+    ctx.mem.store(statbuf, bytes(STAT_SIZE))
+    ctx.mem.store_u64(statbuf + OFF_ST_INO, stat_result.inode)
+    mode = S_IFDIR if stat_result.is_dir else (
+        S_IFCHR if stat_result.is_tty else S_IFREG
+    )
+    ctx.mem.store_u32(statbuf + OFF_ST_MODE, mode | 0o644)
+    ctx.mem.store_u64(statbuf + OFF_ST_SIZE, stat_result.size)
+    ctx.step(STAT_SIZE)
+
+
+def libc_stat(ctx: CallContext, path: int, statbuf: int) -> int:
+    """``int stat(const char *path, struct stat *statbuf)`` — fills
+    all 144 bytes (the W_ARRAY[144] requirement)."""
+    pathname = common.read_cstring(ctx, path).decode("latin-1")
+    try:
+        result = ctx.kernel.stat(pathname)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    _fill_stat(ctx, statbuf, result)
+    return 0
+
+
+def libc_fstat(ctx: CallContext, fd: int, statbuf: int) -> int:
+    """``int fstat(int fd, struct stat *statbuf)``"""
+    try:
+        result = ctx.kernel.fstat(fd)
+    except KernelError as err:
+        ctx.set_errno(err.errno)
+        return -1
+    _fill_stat(ctx, statbuf, result)
+    return 0
+
+
+def libc_mkdir(ctx: CallContext, path: int, mode: int) -> int:
+    """``int mkdir(const char *path, mode_t mode)``"""
+    pathname = common.read_cstring(ctx, path).decode("latin-1")
+    try:
+        ctx.kernel.lookup(pathname)
+    except KernelError:
+        ctx.kernel.add_directory(pathname)
+        return 0
+    ctx.set_errno(EINVAL)
+    return -1
+
+
+def libc_sprintf(ctx: CallContext, s: int, fmt: int, *args: int) -> int:
+    """``int sprintf(char *str, const char *format, ...)`` — the
+    unbounded classic: writes however much the format expands to."""
+    from repro.libc.fileio import _format
+
+    payload = _format(ctx, fmt, args)
+    common.write_cstring(ctx, s, payload)
+    return len(payload)
+
+
+def libc_snprintf(ctx: CallContext, s: int, size: int, fmt: int, *args: int) -> int:
+    """``int snprintf(char *str, size_t size, const char *format, ...)``"""
+    from repro.libc.fileio import _format
+
+    payload = _format(ctx, fmt, args)
+    if size > 0:
+        truncated = payload[: size - 1]
+        common.write_cstring(ctx, s, truncated)
+    return len(payload)

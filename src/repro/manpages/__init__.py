@@ -1,0 +1,9 @@
+"""Synthetic manual pages and the SYNOPSIS parser."""
+
+from repro.manpages.corpus import (
+    ManPageCorpus,
+    render_page,
+    synopsis_headers,
+)
+
+__all__ = ["ManPageCorpus", "render_page", "synopsis_headers"]

@@ -1,0 +1,48 @@
+"""Simulated memory substrate for the HEALERS reproduction.
+
+Stands in for the hardware memory protection the paper relies on: a
+paged, guarded, byte-addressable address space whose faults carry exact
+fault addresses, plus a heap with the allocation table used by the
+wrapper's stateful checks.
+"""
+
+from repro.memory.address_space import (
+    ADDRESS_LIMIT,
+    FIRST_ADDRESS,
+    INVALID_POINTER,
+    NULL,
+    PAGE_SIZE,
+    AddressSpace,
+    page_of,
+    round_up_to_page,
+)
+from repro.memory.faults import (
+    AccessKind,
+    BusError,
+    MemoryError_,
+    OutOfMemory,
+    SegmentationFault,
+)
+from repro.memory.heap import Heap, HeapBlock
+from repro.memory.region import Protection, Region, RegionKind
+
+__all__ = [
+    "ADDRESS_LIMIT",
+    "FIRST_ADDRESS",
+    "INVALID_POINTER",
+    "NULL",
+    "PAGE_SIZE",
+    "AccessKind",
+    "AddressSpace",
+    "BusError",
+    "Heap",
+    "HeapBlock",
+    "MemoryError_",
+    "OutOfMemory",
+    "Protection",
+    "Region",
+    "RegionKind",
+    "SegmentationFault",
+    "page_of",
+    "round_up_to_page",
+]

@@ -1,0 +1,320 @@
+"""The simulated address space.
+
+This is the substrate that stands in for hardware memory protection in
+the paper.  All C library models (:mod:`repro.libc`) perform every load
+and store through an :class:`AddressSpace`, so an out-of-bounds access,
+a write through a read-only pointer, a NULL dereference or a
+use-after-free raises a :class:`~repro.memory.faults.SegmentationFault`
+carrying the exact fault address — precisely the information the
+adaptive fault injector needs for fault attribution (paper section
+4.1).
+
+Layout conventions:
+
+* address 0 (and the whole first page) is never mapped, so NULL
+  dereferences fault;
+* regions are allocated upwards from ``FIRST_ADDRESS`` with at least
+  one unmapped *guard page* between any two regions, so running off
+  the end of a buffer faults even for 1-byte overruns into the gap;
+* addresses are 64-bit and little-endian, matching the Linux/x86
+  systems the paper evaluated on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+from repro.memory.faults import AccessKind, OutOfMemory, SegmentationFault
+from repro.memory.region import Protection, Region, RegionKind
+
+PAGE_SIZE = 4096
+FIRST_ADDRESS = 0x1000_0000
+ADDRESS_LIMIT = 0x7FFF_FFFF_0000
+#: Largest single mapping the simulation will back with real memory;
+#: larger requests raise the simulated OutOfMemory (the paper's
+#: "or, we run out of memory" arm) instead of exhausting the host.
+MAX_REGION_SIZE = 1 << 26  # 64 MiB
+NULL = 0
+
+#: A conventional "invalid non-null pointer" used by test case
+#: generators for the INVALID fundamental type; it is never mapped.
+INVALID_POINTER = 0xDEAD_0000
+
+
+def page_of(address: int) -> int:
+    """Return the page number containing ``address``."""
+    return address // PAGE_SIZE
+
+
+def round_up_to_page(size: int) -> int:
+    return ((size + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+
+
+class AddressSpace:
+    """A sparse, guarded, byte-addressable simulated address space.
+
+    The implementation keeps regions in a list sorted by base address
+    and locates the region for an access with binary search, so lookups
+    are ``O(log n)`` in the number of live regions.
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self._bases: list[int] = []
+        self._regions: list[Region] = []
+        self._next_base = FIRST_ADDRESS
+        #: count of accesses, exposed for the performance benches
+        self.access_count = 0
+
+    # ------------------------------------------------------------------
+    # mapping management
+    # ------------------------------------------------------------------
+    def map_region(
+        self,
+        size: int,
+        prot: Protection = Protection.RW,
+        kind: RegionKind = RegionKind.TEST,
+        label: str = "",
+    ) -> Region:
+        """Map a fresh region of exactly ``size`` bytes.
+
+        The region is placed so that the byte immediately after its end
+        is unmapped: the surrounding guard gap is what lets the fault
+        injector "use hardware memory protection to make sure that an
+        access to an element after the last allocated element generates
+        a memory segmentation fault".
+        """
+        if size < 0:
+            raise ValueError("region size must be non-negative")
+        if size > MAX_REGION_SIZE:
+            raise OutOfMemory(size)
+        base = self._next_base
+        # Reserve the region plus a trailing guard page, rounded so
+        # every region starts on its own page.
+        reserved = round_up_to_page(max(size, 1)) + self.page_size
+        if base + reserved > ADDRESS_LIMIT:
+            raise OutOfMemory(size)
+        self._next_base = base + reserved
+        region = Region(base=base, size=size, prot=prot, kind=kind, label=label)
+        index = bisect.bisect_left(self._bases, base)
+        self._bases.insert(index, base)
+        self._regions.insert(index, region)
+        return region
+
+    def map_at_end_of_page(
+        self,
+        size: int,
+        prot: Protection = Protection.RW,
+        kind: RegionKind = RegionKind.TEST,
+        label: str = "",
+    ) -> Region:
+        """Map a region whose *end* coincides with a page boundary.
+
+        Mirrors the classic fault-injection trick of placing a buffer
+        flush against the end of a page so the very first byte past the
+        buffer faults.  With our per-region bounds checking any region
+        has this property, but the distinct base alignment is kept for
+        fidelity and for the page-probing ablation.
+        """
+        region = self.map_region(round_up_to_page(max(size, 1)), prot, kind, label)
+        # Shrink the region from the front so that it ends exactly on
+        # the original page boundary.
+        excess = region.size - size
+        region.base += excess
+        region.size = size
+        region.data = region.data[excess:] if size else bytearray()
+        index = self._regions.index(region)
+        self._bases[index] = region.base
+        return region
+
+    def unmap(self, region: Region) -> None:
+        """Remove a region entirely; subsequent accesses fault."""
+        index = bisect.bisect_left(self._bases, region.base)
+        if index >= len(self._regions) or self._regions[index] is not region:
+            raise ValueError("region is not mapped in this address space")
+        del self._bases[index]
+        del self._regions[index]
+
+    def protect(self, region: Region, prot: Protection) -> None:
+        """Change a live region's protection (simulated ``mprotect``)."""
+        region.prot = prot
+
+    def region_at(self, address: int) -> Optional[Region]:
+        """Return the region containing ``address`` or None."""
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        region = self._regions[index]
+        return region if region.contains(address) else None
+
+    def regions(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    @property
+    def region_count(self) -> int:
+        return len(self._regions)
+
+    # ------------------------------------------------------------------
+    # raw access
+    # ------------------------------------------------------------------
+    def _locate(self, address: int, count: int, access: AccessKind) -> Region:
+        if address == NULL:
+            raise SegmentationFault(address, access, "NULL dereference")
+        region = self.region_at(address)
+        if region is None:
+            raise SegmentationFault(address, access, "unmapped address")
+        return region
+
+    def load(self, address: int, count: int) -> bytes:
+        """Read ``count`` bytes, faulting on the first invalid byte."""
+        self.access_count += 1
+        if count == 0:
+            return b""
+        region = self._locate(address, count, AccessKind.READ)
+        return region.read(address, count)
+
+    def store(self, address: int, payload: bytes) -> None:
+        """Write ``payload``, faulting on the first invalid byte."""
+        self.access_count += 1
+        if not payload:
+            return
+        region = self._locate(address, len(payload), AccessKind.WRITE)
+        region.write(address, payload)
+
+    def is_accessible(self, address: int, count: int, access: AccessKind) -> bool:
+        """Non-faulting accessibility probe of a whole range."""
+        if count == 0:
+            return True
+        try:
+            region = self._locate(address, count, access)
+            region.check_access(address, count, access)
+        except SegmentationFault:
+            return False
+        return True
+
+    def is_readable(self, address: int, count: int) -> bool:
+        return self.is_accessible(address, count, AccessKind.READ)
+
+    def is_writable(self, address: int, count: int) -> bool:
+        return self.is_accessible(address, count, AccessKind.WRITE)
+
+    # ------------------------------------------------------------------
+    # typed accessors (little-endian, LP64)
+    # ------------------------------------------------------------------
+    def load_uint(self, address: int, size: int) -> int:
+        return int.from_bytes(self.load(address, size), "little")
+
+    def store_uint(self, address: int, size: int, value: int) -> None:
+        self.store(address, (value % (1 << (8 * size))).to_bytes(size, "little"))
+
+    def load_int(self, address: int, size: int) -> int:
+        return int.from_bytes(self.load(address, size), "little", signed=True)
+
+    def store_int(self, address: int, size: int, value: int) -> None:
+        lo, hi = -(1 << (8 * size - 1)), 1 << (8 * size - 1)
+        wrapped = ((value - lo) % (hi - lo)) + lo
+        self.store(address, wrapped.to_bytes(size, "little", signed=True))
+
+    def load_u8(self, address: int) -> int:
+        return self.load_uint(address, 1)
+
+    def store_u8(self, address: int, value: int) -> None:
+        self.store_uint(address, 1, value)
+
+    def load_u32(self, address: int) -> int:
+        return self.load_uint(address, 4)
+
+    def store_u32(self, address: int, value: int) -> None:
+        self.store_uint(address, 4, value)
+
+    def load_i32(self, address: int) -> int:
+        return self.load_int(address, 4)
+
+    def store_i32(self, address: int, value: int) -> None:
+        self.store_int(address, 4, value)
+
+    def load_u64(self, address: int) -> int:
+        return self.load_uint(address, 8)
+
+    def store_u64(self, address: int, value: int) -> None:
+        self.store_uint(address, 8, value)
+
+    def load_i64(self, address: int) -> int:
+        return self.load_int(address, 8)
+
+    def store_i64(self, address: int, value: int) -> None:
+        self.store_int(address, 8, value)
+
+    def load_pointer(self, address: int) -> int:
+        return self.load_u64(address)
+
+    def store_pointer(self, address: int, value: int) -> None:
+        self.store_u64(address, value)
+
+    # ------------------------------------------------------------------
+    # C string helpers
+    # ------------------------------------------------------------------
+    def read_cstring(self, address: int, limit: int | None = None) -> bytes:
+        """Read a NUL-terminated string starting at ``address``.
+
+        Reads byte-by-byte exactly like ``strlen`` would, so a string
+        that is not terminated before the end of its region faults at
+        the first byte past the region — the behaviour the injector
+        exploits to discover required buffer sizes.
+        """
+        out = bytearray()
+        cursor = address
+        while limit is None or len(out) < limit:
+            byte = self.load(cursor, 1)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+            cursor += 1
+        return bytes(out)
+
+    def write_cstring(self, address: int, value: bytes) -> None:
+        """Write ``value`` plus a terminating NUL byte-by-byte."""
+        cursor = address
+        for byte in value:
+            self.store(cursor, bytes([byte]))
+            cursor += 1
+        self.store(cursor, b"\x00")
+
+    def cstring_length(self, address: int) -> int:
+        """``strlen`` against simulated memory (may fault)."""
+        return len(self.read_cstring(address))
+
+    # ------------------------------------------------------------------
+    # convenience allocation helpers for tests / generators
+    # ------------------------------------------------------------------
+    def alloc_bytes(
+        self,
+        payload: bytes,
+        prot: Protection = Protection.RW,
+        kind: RegionKind = RegionKind.TEST,
+        label: str = "",
+    ) -> Region:
+        """Map a region exactly the size of ``payload`` holding it."""
+        region = self.map_region(len(payload), prot, kind, label)
+        region.poke(region.base, payload)
+        return region
+
+    def alloc_cstring(
+        self,
+        value: bytes | str,
+        prot: Protection = Protection.RW,
+        kind: RegionKind = RegionKind.TEST,
+        label: str = "",
+    ) -> Region:
+        """Map a region holding a NUL-terminated string."""
+        raw = value.encode() if isinstance(value, str) else value
+        return self.alloc_bytes(raw + b"\x00", prot, kind, label)
+
+    def fork(self) -> "AddressSpace":
+        """Deep copy, modelling the paper's child-process isolation."""
+        clone = AddressSpace(self.page_size)
+        clone._next_base = self._next_base
+        clone._bases = list(self._bases)
+        clone._regions = [region.clone() for region in self._regions]
+        return clone

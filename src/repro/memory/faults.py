@@ -1,0 +1,79 @@
+"""Simulated hardware faults raised by the address space.
+
+The HEALERS fault injector relies on two properties of real hardware
+memory protection:
+
+* an access to an unmapped or protected page raises a segmentation
+  fault *synchronously*, and
+* the fault carries the exact address that was accessed, which the
+  injector uses to attribute the fault to the test case generator that
+  produced the offending argument (paper section 4.1).
+
+``SegmentationFault`` models both properties for the simulated address
+space.  It is an ordinary Python exception, so the sandbox (the
+equivalent of the paper's child process) can intercept it without
+terminating the injector.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessKind(enum.Enum):
+    """The kind of memory access that triggered a fault."""
+
+    READ = "read"
+    WRITE = "write"
+    FREE = "free"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class MemoryError_(Exception):
+    """Base class for all simulated memory errors."""
+
+
+class SegmentationFault(MemoryError_):
+    """Simulated SIGSEGV.
+
+    Attributes:
+        address: the faulting address (the first byte of the access
+            that touched forbidden memory).
+        access: whether the access was a read, a write, or an invalid
+            ``free``.
+        reason: a short human readable explanation, useful in logs.
+    """
+
+    def __init__(self, address: int, access: AccessKind, reason: str = "") -> None:
+        self.address = address
+        self.access = access
+        self.reason = reason
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"SIGSEGV: invalid {access} at {address:#x}{detail}")
+
+
+class BusError(MemoryError_):
+    """Simulated SIGBUS for misaligned accesses (rare, but some libc
+    models care about alignment)."""
+
+    def __init__(self, address: int, alignment: int) -> None:
+        self.address = address
+        self.alignment = alignment
+        super().__init__(
+            f"SIGBUS: address {address:#x} is not aligned to {alignment} bytes"
+        )
+
+
+class OutOfMemory(MemoryError_):
+    """Raised when the simulated address space cannot satisfy a mapping.
+
+    The adaptive array generator enlarges an array "until no more
+    segmentation faults occur (or, we run out of memory)"; this is the
+    "run out of memory" arm.
+    """
+
+    def __init__(self, requested: int) -> None:
+        self.requested = requested
+        super().__init__(f"out of simulated memory (requested {requested} bytes)")

@@ -1,0 +1,21 @@
+"""Fault-contained execution of simulated C calls.
+
+Models the paper's child-process isolation: a crashing, hanging or
+aborting call becomes a structured :class:`CallOutcome` instead of
+killing the injector.
+"""
+
+from repro.sandbox.context import Abort, CallContext, Hang
+from repro.sandbox.outcome import CallOutcome, CallStatus
+from repro.sandbox.sandbox import DEFAULT_STEP_BUDGET, LibcModel, Sandbox
+
+__all__ = [
+    "Abort",
+    "CallContext",
+    "CallOutcome",
+    "CallStatus",
+    "DEFAULT_STEP_BUDGET",
+    "Hang",
+    "LibcModel",
+    "Sandbox",
+]

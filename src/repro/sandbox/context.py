@@ -1,0 +1,75 @@
+"""Execution context handed to simulated C functions.
+
+A libc model is a Python callable ``model(ctx, *argument_values)``.
+The context gives it exactly what a real C function has: memory (the
+address space and heap), the kernel (file descriptors, filesystem,
+terminal state), ``errno``, and — because the simulation must detect
+hangs — a step counter standing in for wall-clock time under the
+injector's watchdog.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Hang(Exception):
+    """The call exceeded its step budget.
+
+    Models call :meth:`CallContext.step` from their loops; a model
+    stuck in an unbounded loop (e.g. ``strlen`` over an unterminated
+    cyclic buffer in real libc) trips the budget, which the sandbox
+    reports as a HUNG outcome — the simulation of the paper's
+    "hang for some predefined timeout period".
+    """
+
+
+class Abort(Exception):
+    """Simulated SIGABRT (e.g. a glibc internal consistency check)."""
+
+    def __init__(self, reason: str = "") -> None:
+        self.reason = reason
+        super().__init__(reason or "SIGABRT")
+
+
+class CallContext:
+    """Per-call view of a :class:`repro.libc.runtime.LibcRuntime`.
+
+    Attributes:
+        runtime: the runtime the call executes against (duck-typed; it
+            must expose ``space``, ``heap``, ``kernel`` and ``errno``).
+        mem: shortcut for ``runtime.space``.
+        heap: shortcut for ``runtime.heap``.
+        kernel: shortcut for ``runtime.kernel``.
+        steps: simulated work performed so far in this call.
+        errno_set: whether the callee wrote errno during this call.
+    """
+
+    def __init__(self, runtime: Any, step_budget: int = 1_000_000) -> None:
+        self.runtime = runtime
+        self.mem = runtime.space
+        self.heap = runtime.heap
+        self.kernel = runtime.kernel
+        self.step_budget = step_budget
+        self.steps = 0
+        self.errno_set = False
+
+    def set_errno(self, code: int) -> None:
+        """Record an errno write (thread-safe errno is a function in
+        real glibc; here it is runtime state)."""
+        self.runtime.errno = code
+        self.errno_set = True
+
+    @property
+    def errno(self) -> int:
+        return self.runtime.errno
+
+    def step(self, count: int = 1) -> None:
+        """Account ``count`` units of simulated work.
+
+        Raises :class:`Hang` once the budget is exhausted; the budget
+        plays the role of the injector's hang timeout.
+        """
+        self.steps += count
+        if self.steps > self.step_budget:
+            raise Hang(f"exceeded step budget of {self.step_budget}")

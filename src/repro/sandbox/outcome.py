@@ -1,0 +1,89 @@
+"""Structured outcomes of sandboxed calls.
+
+Ballista classifies each test outcome by the CRASH scale; both the
+fault injector and our Ballista-style harness need the same
+information: did the call return (and with what value), did it set
+``errno``, did it crash, hang, or abort.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.memory.faults import SegmentationFault
+
+
+class CallStatus(enum.Enum):
+    """Terminal status of one sandboxed call."""
+
+    RETURNED = "returned"
+    CRASHED = "crashed"  # SIGSEGV / SIGBUS
+    HUNG = "hung"  # exceeded the step budget (watchdog timeout)
+    ABORTED = "aborted"  # SIGABRT (e.g. glibc consistency check)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CallOutcome:
+    """Everything the injector observes about one function call.
+
+    Attributes:
+        status: terminal status, see :class:`CallStatus`.
+        return_value: the C return value when the call returned; None
+            for void functions or non-returning statuses.
+        errno: the value of ``errno`` after the call if the function
+            set it during the call, else None.  Matching the paper,
+            we track *whether* errno was written, not just its value.
+        fault: the segmentation fault, when status is CRASHED.
+        detail: free-form diagnostic (abort reason, hang location).
+        steps: simulated work performed; used by the overhead benches.
+    """
+
+    status: CallStatus
+    return_value: Any = None
+    errno: Optional[int] = None
+    fault: Optional[SegmentationFault] = None
+    detail: str = ""
+    steps: int = 0
+
+    @property
+    def returned(self) -> bool:
+        return self.status is CallStatus.RETURNED
+
+    @property
+    def crashed(self) -> bool:
+        return self.status is CallStatus.CRASHED
+
+    @property
+    def hung(self) -> bool:
+        return self.status is CallStatus.HUNG
+
+    @property
+    def aborted(self) -> bool:
+        return self.status is CallStatus.ABORTED
+
+    @property
+    def robustness_failure(self) -> bool:
+        """Crash, hang and abort are the failures the wrapper must
+        prevent (the paper's headline claim)."""
+        return self.status is not CallStatus.RETURNED
+
+    @property
+    def errno_was_set(self) -> bool:
+        return self.errno is not None
+
+    @property
+    def fault_address(self) -> Optional[int]:
+        return self.fault.address if self.fault is not None else None
+
+    def describe(self) -> str:
+        if self.returned:
+            err = f", errno={self.errno}" if self.errno_was_set else ""
+            return f"returned {self.return_value!r}{err}"
+        if self.crashed:
+            return f"crashed at {self.fault_address:#x}"
+        return f"{self.status.value}: {self.detail}"

@@ -1,0 +1,89 @@
+"""Isolated execution of simulated C calls.
+
+The paper's fault injector forks a child process for every test call so
+that a segmentation fault in the function under test cannot take down
+the injector (section 4.1: "a child process executes the actual
+calls").  :class:`Sandbox` provides the same contract: it runs one call,
+converts faults, hangs and aborts into a structured
+:class:`~repro.sandbox.outcome.CallOutcome`, and — in isolated mode —
+discards all side effects by running against a forked runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.memory.faults import BusError, OutOfMemory, SegmentationFault
+from repro.sandbox.context import Abort, CallContext, Hang
+from repro.sandbox.outcome import CallOutcome, CallStatus
+
+#: Default step budget: generous enough for every legitimate libc
+#: model, small enough that a runaway loop is detected quickly.
+DEFAULT_STEP_BUDGET = 1_000_000
+
+LibcModel = Callable[..., Any]
+
+
+class Sandbox:
+    """Executes simulated C calls with fault containment.
+
+    Args:
+        step_budget: watchdog limit per call (see
+            :class:`~repro.sandbox.context.Hang`).
+        isolate: when True, each call runs against a deep copy of the
+            runtime ("fork semantics"); the caller's runtime is never
+            mutated, matching the paper's child-process design.  The
+            injector uses isolation; the wrapper evaluation, which
+            needs persistent libc state (open files, heap), does not.
+    """
+
+    def __init__(
+        self, step_budget: int = DEFAULT_STEP_BUDGET, isolate: bool = False
+    ) -> None:
+        self.step_budget = step_budget
+        self.isolate = isolate
+        #: total sandboxed calls, exposed for the benches
+        self.call_count = 0
+
+    def call(
+        self, function: LibcModel, arguments: Sequence[Any], runtime: Any
+    ) -> CallOutcome:
+        """Run ``function(ctx, *arguments)`` against ``runtime``.
+
+        Never raises for failures of the callee: every robustness
+        failure becomes a :class:`CallOutcome`.  Programming errors in
+        the harness itself (e.g. a model raising TypeError) propagate,
+        since hiding those would mask reproduction bugs.
+        """
+        self.call_count += 1
+        target = runtime.fork() if self.isolate else runtime
+        # errno is only reported when the callee writes it, so clear
+        # the "was set" tracking per call via a fresh context.
+        ctx = CallContext(target, self.step_budget)
+        try:
+            value = function(ctx, *arguments)
+        except SegmentationFault as fault:
+            return CallOutcome(
+                CallStatus.CRASHED, fault=fault, detail=fault.reason, steps=ctx.steps
+            )
+        except BusError as fault:
+            synthetic = SegmentationFault(fault.address, access=_read_access())
+            return CallOutcome(
+                CallStatus.CRASHED, fault=synthetic, detail=str(fault), steps=ctx.steps
+            )
+        except OutOfMemory as oom:
+            return CallOutcome(CallStatus.ABORTED, detail=str(oom), steps=ctx.steps)
+        except Hang as hang:
+            return CallOutcome(CallStatus.HUNG, detail=str(hang), steps=ctx.steps)
+        except Abort as abort:
+            return CallOutcome(CallStatus.ABORTED, detail=abort.reason, steps=ctx.steps)
+        errno = target.errno if ctx.errno_set else None
+        return CallOutcome(
+            CallStatus.RETURNED, return_value=value, errno=errno, steps=ctx.steps
+        )
+
+
+def _read_access():
+    from repro.memory.faults import AccessKind
+
+    return AccessKind.READ

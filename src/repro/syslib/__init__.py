@@ -1,0 +1,30 @@
+"""Simulated shared libraries: symbol tables and the synthetic glibc
+environment with paper-calibrated corpus statistics."""
+
+from repro.syslib.symbols import (
+    Symbol,
+    SymbolTable,
+    extract_external_names,
+    parse_objdump,
+    symbols_from_names,
+)
+from repro.syslib.synthetic import (
+    CORPUS_SEED,
+    EXTERNAL_TOTAL,
+    GroundTruth,
+    SyntheticEnvironment,
+    build_environment,
+)
+
+__all__ = [
+    "CORPUS_SEED",
+    "EXTERNAL_TOTAL",
+    "GroundTruth",
+    "Symbol",
+    "SymbolTable",
+    "SyntheticEnvironment",
+    "build_environment",
+    "extract_external_names",
+    "parse_objdump",
+    "symbols_from_names",
+]

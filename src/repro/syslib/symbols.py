@@ -1,0 +1,118 @@
+"""Simulated shared-library symbol tables (the ``objdump`` substrate).
+
+HEALERS extracts "the name and version of all global functions defined
+in a shared library" with ``objdump`` (section 3.1).  We simulate the
+dynamic symbol table of an ELF shared object: versioned global
+function symbols, a large population of internal (underscore-prefixed)
+symbols, and an ``objdump -T``-style text rendering plus its parser —
+the extraction pipeline consumes the *text*, exactly like the paper's
+tooling.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One dynamic symbol."""
+
+    name: str
+    version: str = "GLIBC_2.2"
+    binding: str = "g"  # g = global, l = local, w = weak
+    section: str = ".text"
+
+    @property
+    def is_global_function(self) -> bool:
+        return self.binding in ("g", "w") and self.section == ".text"
+
+    @property
+    def is_internal(self) -> bool:
+        """The paper's convention: names starting with an underscore
+        denote internal functions applications must not call."""
+        return self.name.startswith("_")
+
+
+@dataclass
+class SymbolTable:
+    """The dynamic symbol table of one shared library."""
+
+    soname: str
+    symbols: list[Symbol] = field(default_factory=list)
+
+    def add(self, name: str, version: str = "GLIBC_2.2", binding: str = "g") -> None:
+        self.symbols.append(Symbol(name, version, binding))
+
+    def global_functions(self) -> list[Symbol]:
+        return [s for s in self.symbols if s.is_global_function]
+
+    def external_functions(self) -> list[Symbol]:
+        """Global functions minus internals — what gets wrapped."""
+        return [s for s in self.global_functions() if not s.is_internal]
+
+    def internal_fraction(self) -> float:
+        """Fraction of global functions that are internal (the paper
+        reports >34% for glibc 2.2)."""
+        table = self.global_functions()
+        if not table:
+            return 0.0
+        return sum(1 for s in table if s.is_internal) / len(table)
+
+    # -- objdump -T emulation -------------------------------------------
+    def objdump_output(self) -> str:
+        """Text in the shape of ``objdump -T libc.so``."""
+        lines = [
+            f"{self.soname}:     file format elf64-x86-64",
+            "",
+            "DYNAMIC SYMBOL TABLE:",
+        ]
+        for index, symbol in enumerate(self.symbols):
+            address = 0x10000 + index * 0x40
+            lines.append(
+                f"{address:016x} {symbol.binding}    DF {symbol.section}\t"
+                f"{0x80:016x}  {symbol.version}   {symbol.name}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+_OBJDUMP_LINE = re.compile(
+    r"^(?P<addr>[0-9a-f]{8,16})\s+(?P<binding>[glw])\s+DF\s+(?P<section>\S+)\s+"
+    r"[0-9a-f]+\s+(?P<version>\S+)\s+(?P<name>\S+)\s*$"
+)
+
+
+def parse_objdump(text: str, soname: str = "libc.so.6") -> SymbolTable:
+    """Parse ``objdump -T`` text back into a symbol table."""
+    table = SymbolTable(soname)
+    for line in text.splitlines():
+        match = _OBJDUMP_LINE.match(line.strip())
+        if match is None:
+            continue
+        table.symbols.append(
+            Symbol(
+                name=match.group("name"),
+                version=match.group("version"),
+                binding=match.group("binding"),
+                section=match.group("section"),
+            )
+        )
+    return table
+
+
+def extract_external_names(table: SymbolTable) -> list[str]:
+    """Section 3.1: the function names that need wrapping."""
+    return sorted({s.name for s in table.external_functions()})
+
+
+def symbols_from_names(
+    soname: str, external: Iterable[str], internal: Iterable[str]
+) -> SymbolTable:
+    table = SymbolTable(soname)
+    for name in external:
+        table.add(name)
+    for name in internal:
+        table.add(name)
+    return table

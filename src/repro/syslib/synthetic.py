@@ -1,0 +1,289 @@
+"""The synthetic "SUSE 7.2 + glibc 2.2" environment.
+
+Builds everything the phase-1 front end consumes: the shared library's
+symbol table, the header corpus under a simulated ``/usr/include``,
+and the manual page corpus — seeded with exactly the defect rates the
+paper measured (section 3.1/3.2):
+
+* more than 34% of global functions are internal (underscore names);
+* only 51.1% of external functions have a manual page;
+* 1.2% of manual pages list no header files;
+* 7.7% list the wrong headers (none of them, nor anything they
+  include, declares the prototype);
+* 96.0% of functions can be resolved to a prototype at all — the
+  remaining 4% are declared in no header (deprecated/internal-only).
+
+The environment contains the 90+ modeled libc functions plus a large
+population of fictitious-but-realistic functions, so the statistics
+are computed over a glibc-scale surface rather than a toy one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.headers.corpus import (
+    HeaderCorpus,
+    NOISE_MACROS,
+    STRUCT_BODIES,
+    build_header,
+    types_header,
+)
+from repro.libc.catalog import CATALOG
+from repro.manpages.corpus import ManPageCorpus, render_page
+from repro.syslib.symbols import SymbolTable
+
+#: Deterministic seed: the corpus is part of the experiment setup.
+CORPUS_SEED = 20020623  # DSN'02 took place June 23-26, 2002
+
+#: Target defect rates (the paper's measurements).
+MAN_COVERAGE = 0.511
+MAN_NO_HEADERS = 0.012
+MAN_WRONG_HEADERS = 0.077
+NOT_IN_ANY_HEADER = 0.040
+INTERNAL_TARGET = 0.349
+
+#: Total external functions in the synthetic library.  305 puts the
+#: integer defect counts closest to the paper's percentages: 156 man
+#: pages (51.1%), 12 wrong-header pages (7.7%), 2 header-less pages
+#: (1.3%), 12 functions declared nowhere (96.1% found).
+EXTERNAL_TOTAL = 305
+
+_FIRST = (
+    "xdr", "svc", "clnt", "auth", "key", "netname", "rpc", "nis", "rcmd",
+    "ruserok", "hcreate", "hsearch", "twalk", "tfind", "lfind", "lsearch",
+    "ecvt", "fcvt", "gcvt", "envz", "argz", "fts", "glob", "regex", "wordexp",
+    "catopen", "catgets", "iconv", "nl_langinfo", "mblen", "mbtowc", "wctomb",
+    "swab", "ffs", "bcopy", "bzero", "index", "rindex", "mktemp", "mkstemp",
+    "sigset", "siginterrupt", "ualarm", "usleep", "getw", "putw", "getpass",
+)
+_SECOND = (
+    "encode", "decode", "create", "destroy", "register", "lookup", "next",
+    "prev", "open", "close", "read", "write", "update", "query", "walk",
+    "entry", "init", "free", "run", "stat", "name", "value", "long",
+)
+_RETURNS = ("int", "long", "char *", "void *", "unsigned int", "void", "double")
+_PARAMS = (
+    "int flags",
+    "const char *name",
+    "char *buf",
+    "size_t len",
+    "void *data",
+    "long offset",
+    "unsigned int mode",
+    "FILE *stream",
+    "double value",
+)
+
+_FICTITIOUS_HEADERS = (
+    "rpc/xdr.h",
+    "rpc/svc.h",
+    "search.h",
+    "argz.h",
+    "fts.h",
+    "glob.h",
+    "regex.h",
+    "wordexp.h",
+    "nl_types.h",
+    "iconv.h",
+    "misc/compat.h",
+    "bits/libc-extras.h",
+)
+
+_INTERNAL_PREFIXES = (
+    "_IO_",
+    "__libc_",
+    "__GI_",
+    "_dl_",
+    "__strtol_internal_",
+    "__underflow_",
+    "__overflow_",
+    "__res_",
+    "__nss_",
+    "_nl_",
+)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Where one function is *really* declared (for tests)."""
+
+    name: str
+    prototype: str
+    headers: tuple[str, ...]  # declaring headers; empty = nowhere
+    has_man_page: bool
+    man_lists_headers: bool
+    man_headers_correct: bool
+
+
+@dataclass
+class SyntheticEnvironment:
+    """Symbol table + /usr/include + man pages + ground truth."""
+
+    symbol_table: SymbolTable
+    headers: HeaderCorpus
+    man_pages: ManPageCorpus
+    ground_truth: dict[str, GroundTruth] = field(default_factory=dict)
+
+    @property
+    def external_names(self) -> list[str]:
+        return sorted(self.ground_truth)
+
+
+def _fictitious_functions(rng: random.Random, count: int) -> list[tuple[str, str]]:
+    """Deterministic (name, prototype) pairs for the filler surface."""
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < count:
+        name = f"{rng.choice(_FIRST)}_{rng.choice(_SECOND)}"
+        if name in seen:
+            name = f"{name}{len(names) % 7}"
+        if name in seen:
+            continue
+        seen.add(name)
+        names.append(name)
+    out = []
+    for name in names:
+        return_type = rng.choice(_RETURNS)
+        params = ", ".join(
+            rng.sample(_PARAMS, rng.randint(1, 3))
+        )
+        star = "" if return_type.endswith("*") else " "
+        out.append((name, f"{return_type}{star}{name}({params});"))
+    return out
+
+
+def build_environment() -> SyntheticEnvironment:
+    """Construct the full deterministic environment."""
+    rng = random.Random(CORPUS_SEED)
+
+    # ------------------------------------------------------------------
+    # external function population: modeled + fictitious
+    # ------------------------------------------------------------------
+    modeled = [(spec.name, spec.prototype, spec.headers) for spec in CATALOG]
+    fictitious = _fictitious_functions(rng, EXTERNAL_TOTAL - len(modeled))
+    fict_with_headers = [
+        (name, proto, (rng.choice(_FICTITIOUS_HEADERS),))
+        for name, proto in fictitious
+    ]
+
+    # Select the "declared nowhere" population among the fictitious
+    # functions (the modeled ones must all be extractable).
+    nowhere_count = round(NOT_IN_ANY_HEADER * EXTERNAL_TOTAL)
+    nowhere = {name for name, _, _ in rng.sample(fict_with_headers, nowhere_count)}
+
+    # ------------------------------------------------------------------
+    # header corpus
+    # ------------------------------------------------------------------
+    corpus = HeaderCorpus()
+    corpus.add("sys/types.h", types_header())
+    by_header: dict[str, list[str]] = {}
+    for name, prototype, headers in modeled + fict_with_headers:
+        if name in nowhere:
+            continue
+        for header in headers:
+            by_header.setdefault(header, []).append(prototype)
+    # stdio.h's FILE typedef is needed by headers that mention FILE.
+    extra_includes = {
+        "dirent.h": ("stdio.h",),
+        "rpc/svc.h": ("rpc/xdr.h",),
+        "misc/compat.h": ("stdio.h",),
+    }
+    for header, prototypes in sorted(by_header.items()):
+        needs_file = any("FILE" in p for p in prototypes) and header != "stdio.h"
+        includes = list(extra_includes.get(header, ()))
+        if needs_file and "stdio.h" not in includes:
+            includes.append("stdio.h")
+        corpus.add(
+            header,
+            build_header(
+                header,
+                prototypes,
+                extra_includes=includes,
+                noise_macros=NOISE_MACROS.get(header, ()),
+                struct_bodies=(STRUCT_BODIES[header],) if header in STRUCT_BODIES else (),
+            ),
+        )
+    # A couple of prototype-free headers for realism.
+    corpus.add("features.h", "#ifndef _FEATURES_H\n#define _FEATURES_H 1\n#endif\n")
+    corpus.add(
+        "sys/stat.h",
+        corpus.read("sys/stat.h")
+        or build_header("sys/stat.h", by_header.get("sys/stat.h", [])),
+    )
+
+    # ------------------------------------------------------------------
+    # man page corpus with seeded defects
+    # ------------------------------------------------------------------
+    man = ManPageCorpus()
+    everything = modeled + fict_with_headers
+    # Functions declared nowhere are deprecated internals; those have
+    # no pages either (a page with an empty SYNOPSIS would otherwise
+    # distort the "lists no headers" statistic).
+    pageable = [entry for entry in everything if entry[0] not in nowhere]
+    with_pages = rng.sample(pageable, round(MAN_COVERAGE * len(everything)))
+    paged_names = {name for name, _, _ in with_pages}
+    no_header_pages = {
+        name for name, _, _ in rng.sample(with_pages, max(1, round(MAN_NO_HEADERS * len(with_pages))))
+    }
+    wrong_header_candidates = [
+        entry for entry in with_pages
+        if entry[0] not in no_header_pages and entry[0] not in nowhere
+    ]
+    wrong_header_pages = {
+        name
+        for name, _, _ in rng.sample(
+            wrong_header_candidates, round(MAN_WRONG_HEADERS * len(with_pages))
+        )
+    }
+
+    truth: dict[str, GroundTruth] = {}
+    for name, prototype, headers in everything:
+        declared = () if name in nowhere else tuple(headers)
+        has_page = name in paged_names
+        lists = has_page and name not in no_header_pages
+        correct = lists and name not in wrong_header_pages
+        if has_page:
+            if not lists:
+                page_headers: tuple[str, ...] = ()
+            elif name in wrong_header_pages:
+                # Headers that do NOT declare the prototype (and do not
+                # include anything that does).
+                page_headers = ("features.h",)
+            else:
+                page_headers = declared
+            man.add(name, render_page(name, page_headers, prototype))
+        truth[name] = GroundTruth(
+            name=name,
+            prototype=prototype,
+            headers=declared,
+            has_man_page=has_page,
+            man_lists_headers=lists,
+            man_headers_correct=correct,
+        )
+
+    # ------------------------------------------------------------------
+    # symbol table: externals + enough internals for the 34% figure
+    # ------------------------------------------------------------------
+    internal_count = round(
+        INTERNAL_TARGET / (1 - INTERNAL_TARGET) * EXTERNAL_TOTAL
+    )
+    internals = []
+    index = 0
+    while len(internals) < internal_count:
+        prefix = _INTERNAL_PREFIXES[index % len(_INTERNAL_PREFIXES)]
+        internals.append(f"{prefix}impl_{index:03d}")
+        index += 1
+    table = SymbolTable("libc.so.6")
+    for name, _, _ in everything:
+        table.add(name)
+    for name in internals:
+        table.add(name)
+
+    return SyntheticEnvironment(
+        symbol_table=table,
+        headers=corpus,
+        man_pages=man,
+        ground_truth=truth,
+    )

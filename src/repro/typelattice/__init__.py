@@ -1,0 +1,54 @@
+"""The HEALERS extensible type system ``(T, <=)``.
+
+Fundamental and unified type instances, the subtype rules of the
+paper's Figures 3 and 4 (plus the additional families used by our test
+case generators), finite lattice instantiation, and robust argument
+type computation for single arguments and type vectors.
+"""
+
+from repro.typelattice import registry
+from repro.typelattice.instances import TypeInstance, parse_rendered
+from repro.typelattice.lattice import Lattice, build_instances
+from repro.typelattice.registry import (
+    AUTO_CHECKABLE,
+    DIR_SIZE,
+    FAMILY_TOPS,
+    FILE_SIZE,
+    SEMI_AUTO_CHECKABLE,
+)
+from repro.typelattice.robust import (
+    CheckablePredicate,
+    Observation,
+    RobustType,
+    TestResult,
+    compute_robust_type,
+)
+from repro.typelattice.rules import DIRECT_RULES, is_direct_subtype
+from repro.typelattice.vectors import (
+    TypeVectorOrder,
+    VectorObservation,
+    compute_robust_vector,
+)
+
+__all__ = [
+    "AUTO_CHECKABLE",
+    "CheckablePredicate",
+    "DIRECT_RULES",
+    "DIR_SIZE",
+    "FAMILY_TOPS",
+    "FILE_SIZE",
+    "Lattice",
+    "Observation",
+    "RobustType",
+    "SEMI_AUTO_CHECKABLE",
+    "TestResult",
+    "TypeInstance",
+    "TypeVectorOrder",
+    "VectorObservation",
+    "build_instances",
+    "compute_robust_type",
+    "compute_robust_vector",
+    "is_direct_subtype",
+    "parse_rendered",
+    "registry",
+]

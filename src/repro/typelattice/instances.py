@@ -1,0 +1,73 @@
+"""Type instances for the HEALERS extensible type system.
+
+The paper's type system (section 4.2) is a partially ordered set
+``(T, <=)`` whose elements are *types*; each type denotes a set of
+values.  Types come in two kinds:
+
+* **fundamental** types — produced by test case generators; their value
+  sets are pairwise disjoint;
+* **unified** types — unions of the value sets of their strict
+  subtypes; the wrapper library provides a checking function for each
+  unified type.
+
+Many types are parameterized by a size (``R_ARRAY[44]`` is "pointer to
+at least 44 readable bytes").  A :class:`TypeInstance` is one concrete
+type, possibly carrying its parameter.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TypeInstance:
+    """One concrete type in the lattice.
+
+    Attributes:
+        name: template name, e.g. ``R_ARRAY_NULL`` or ``NULL``.
+        param: size parameter for parameterized templates, else None.
+        fundamental: True for fundamental types (generator-produced,
+            disjoint value sets), False for unified types.
+        family: grouping tag used for diagnostics ("ptr", "file",
+            "dir", "string", "fd", "int", "size", "real", "funcptr").
+    """
+
+    name: str
+    param: Optional[int] = None
+    fundamental: bool = False
+    family: str = "ptr"
+
+    def render(self) -> str:
+        """Paper notation, e.g. ``R_ARRAY_NULL[44]``."""
+        if self.param is not None:
+            return f"{self.name}[{self.param}]"
+        return self.name
+
+    def __str__(self) -> str:
+        return self.render()
+
+    @property
+    def parameterized(self) -> bool:
+        return self.param is not None
+
+    def with_param(self, param: int) -> "TypeInstance":
+        return TypeInstance(self.name, param, self.fundamental, self.family)
+
+
+_RENDERED = re.compile(r"^([A-Z_][A-Z0-9_]*)(?:\[(\d+)\])?$")
+
+
+def parse_rendered(text: str) -> tuple[str, Optional[int]]:
+    """Parse ``"R_ARRAY_NULL[44]"`` into ``("R_ARRAY_NULL", 44)``.
+
+    Used when reading function declarations back from their XML form
+    (the paper's Figure 2 notation).
+    """
+    match = _RENDERED.match(text.strip())
+    if not match:
+        raise ValueError(f"not a type instance rendering: {text!r}")
+    name, param = match.groups()
+    return name, int(param) if param is not None else None

@@ -1,0 +1,191 @@
+"""The instantiated type lattice and its partial order.
+
+A :class:`Lattice` holds a *finite* set of type instances (templates
+instantiated at the size parameters that actually occurred during fault
+injection) and provides the subtype relation as the reflexive-transitive
+closure of the direct rules — the concrete form of the paper's
+``(T, <=)``.
+
+The closure is computed once over the instance DAG (networkx), so all
+robust-type queries are dictionary lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.typelattice import registry
+from repro.typelattice.instances import TypeInstance
+from repro.typelattice.rules import is_direct_subtype
+
+#: Templates that take a size parameter.
+PARAMETERIZED_TEMPLATES = {
+    "RONLY_FIXED": True,
+    "RW_FIXED": True,
+    "WONLY_FIXED": True,
+    "R_ARRAY": False,
+    "W_ARRAY": False,
+    "RW_ARRAY": False,
+    "R_ARRAY_NULL": False,
+    "W_ARRAY_NULL": False,
+    "RW_ARRAY_NULL": False,
+}
+
+#: Every non-parameterized instance in the registry.
+_FIXED_INSTANCES: tuple[TypeInstance, ...] = (
+    registry.NULL,
+    registry.INVALID,
+    registry.UNCONSTRAINED,
+    registry.RONLY_FILE,
+    registry.RW_FILE,
+    registry.WONLY_FILE,
+    registry.CORRUPT_FILE,
+    registry.STALE_FILE,
+    registry.R_FILE,
+    registry.W_FILE,
+    registry.OPEN_FILE,
+    registry.OPEN_FILE_NULL,
+    registry.OPEN_DIR,
+    registry.CORRUPT_DIR,
+    registry.STALE_DIR,
+    registry.OPEN_DIR_NULL,
+    registry.STRING_RO,
+    registry.STRING_RW,
+    registry.VALID_MODE,
+    registry.VALID_FORMAT,
+    registry.CSTRING,
+    registry.CSTRING_NULL,
+    registry.WRITABLE_STRING,
+    registry.WRITABLE_STRING_NULL,
+    registry.MODE_STRING,
+    registry.FORMAT_STRING,
+    registry.FD_RONLY,
+    registry.FD_RW,
+    registry.FD_WONLY,
+    registry.FD_CLOSED,
+    registry.FD_NEGATIVE,
+    registry.FD_HUGE,
+    registry.READABLE_FD,
+    registry.WRITABLE_FD,
+    registry.OPEN_FD,
+    registry.ANY_FD,
+    registry.INT_BIG_NEG,
+    registry.INT_SMALL_NEG,
+    registry.INT_ZERO,
+    registry.INT_SMALL_POS,
+    registry.INT_BIG_POS,
+    registry.CHAR_RANGE,
+    registry.INT_NONNEG,
+    registry.INT_NONPOS,
+    registry.ANY_INT,
+    registry.SIZE_ZERO,
+    registry.SIZE_SMALL,
+    registry.SIZE_HUGE,
+    registry.REASONABLE_SIZE,
+    registry.ANY_SIZE,
+    registry.REAL_NEG,
+    registry.REAL_ZERO,
+    registry.REAL_POS,
+    registry.REAL_NAN,
+    registry.REAL_INF,
+    registry.FINITE_REAL,
+    registry.ANY_REAL,
+    registry.VALID_FUNCPTR,
+    registry.FUNCPTR,
+    registry.FUNCPTR_NULL,
+)
+
+
+def build_instances(size_pool: Iterable[int]) -> list[TypeInstance]:
+    """All registry instances, with parameterized templates
+    instantiated at every size in ``size_pool``.
+
+    The pool normally contains the buffer sizes observed during fault
+    injection for one argument; the lattice over these instances is
+    what the robust-type computation searches.
+    """
+    sizes = sorted(set(size_pool))
+    instances: list[TypeInstance] = list(_FIXED_INSTANCES)
+    instances.extend(registry.EXTENSION_INSTANCES)
+    for name, fundamental in PARAMETERIZED_TEMPLATES.items():
+        for size in sizes:
+            instances.append(
+                TypeInstance(name, size, fundamental=fundamental, family="ptr")
+            )
+    return instances
+
+
+class Lattice:
+    """Finite instantiation of ``(T, <=)`` with precomputed closure."""
+
+    def __init__(self, instances: Iterable[TypeInstance]) -> None:
+        self.instances: list[TypeInstance] = list(dict.fromkeys(instances))
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.instances)
+        for sub in self.instances:
+            for sup in self.instances:
+                if sub != sup and is_direct_subtype(sub, sup):
+                    graph.add_edge(sub, sup)
+        self.graph = graph
+        # descendants in the edge direction sub -> sup are supertypes.
+        self._supertypes: dict[TypeInstance, frozenset[TypeInstance]] = {
+            node: frozenset(nx.descendants(graph, node)) for node in graph
+        }
+
+    @classmethod
+    def for_sizes(cls, size_pool: Iterable[int]) -> "Lattice":
+        return cls(build_instances(size_pool))
+
+    # -- order queries ---------------------------------------------------
+    def is_subtype(self, sub: TypeInstance, sup: TypeInstance) -> bool:
+        """Non-strict: ``sub <= sup``."""
+        return sub == sup or sup in self._supertypes.get(sub, frozenset())
+
+    def is_strict_subtype(self, sub: TypeInstance, sup: TypeInstance) -> bool:
+        return sub != sup and sup in self._supertypes.get(sub, frozenset())
+
+    def supertypes(self, instance: TypeInstance) -> frozenset[TypeInstance]:
+        """All strict supertypes of ``instance`` within the lattice."""
+        return self._supertypes.get(instance, frozenset())
+
+    def subtypes(self, instance: TypeInstance) -> frozenset[TypeInstance]:
+        return frozenset(
+            other for other in self.instances if self.is_strict_subtype(other, instance)
+        )
+
+    def contains(self, instance: TypeInstance) -> bool:
+        return instance in self._supertypes
+
+    def fundamentals(self) -> list[TypeInstance]:
+        return [t for t in self.instances if t.fundamental]
+
+    def unified(self) -> list[TypeInstance]:
+        return [t for t in self.instances if not t.fundamental]
+
+    def members_of(
+        self, unified: TypeInstance, fundamentals: Iterable[TypeInstance]
+    ) -> set[TypeInstance]:
+        """The given fundamentals whose value sets lie inside
+        ``unified`` (i.e. that are subtypes of it)."""
+        return {f for f in fundamentals if self.is_subtype(f, unified)}
+
+    def weakest(self, candidates: Iterable[TypeInstance]) -> list[TypeInstance]:
+        """Maximal elements (weakest = largest value sets) among
+        ``candidates``."""
+        pool = list(candidates)
+        return [
+            t
+            for t in pool
+            if not any(self.is_strict_subtype(t, other) for other in pool)
+        ]
+
+    def strongest(self, candidates: Iterable[TypeInstance]) -> list[TypeInstance]:
+        """Minimal elements among ``candidates``."""
+        pool = list(candidates)
+        return [
+            t
+            for t in pool
+            if not any(self.is_strict_subtype(other, t) for other in pool)
+        ]

@@ -1,0 +1,269 @@
+"""The concrete type hierarchies of the reproduction.
+
+Encodes the paper's Figure 3 (fixed size arrays) and Figure 4 (file
+pointers) plus the additional families our generators define: DIR
+pointers, C strings (including mode and format strings), file
+descriptors, integers, sizes, reals and function pointers.
+
+Following section 4.2, extending a hierarchy may force previous
+fundamental types to be redefined so that fundamental value sets stay
+disjoint.  Our array fundamentals (``*_FIXED[s]``) therefore denote
+buffers filled with non-NUL garbage that is neither a valid FILE nor a
+valid DIR nor a terminated C string — the string/file/dir fundamentals
+carve those values out, exactly as the paper restricts
+``RW_FIXED[size]`` to avoid overlapping ``OPEN_FILE``.
+"""
+
+from __future__ import annotations
+
+from repro.cdecl.typedefs import STRUCT_SIZES
+from repro.typelattice.instances import TypeInstance
+
+FILE_SIZE = STRUCT_SIZES["struct _IO_FILE"]
+DIR_SIZE = STRUCT_SIZES["struct __dirstream"]
+
+# ----------------------------------------------------------------------
+# pointer / fixed-size-array family (paper Figure 3)
+# ----------------------------------------------------------------------
+
+
+def RONLY_FIXED(size: int) -> TypeInstance:
+    """Pointers to exactly ``size`` read-only garbage bytes."""
+    return TypeInstance("RONLY_FIXED", size, fundamental=True, family="ptr")
+
+
+def RW_FIXED(size: int) -> TypeInstance:
+    """Pointers to exactly ``size`` readable+writable garbage bytes."""
+    return TypeInstance("RW_FIXED", size, fundamental=True, family="ptr")
+
+
+def WONLY_FIXED(size: int) -> TypeInstance:
+    """Pointers to exactly ``size`` write-only bytes."""
+    return TypeInstance("WONLY_FIXED", size, fundamental=True, family="ptr")
+
+
+NULL = TypeInstance("NULL", fundamental=True, family="ptr")
+INVALID = TypeInstance("INVALID", fundamental=True, family="ptr")
+UNCONSTRAINED = TypeInstance("UNCONSTRAINED", family="ptr")
+
+
+def R_ARRAY(size: int) -> TypeInstance:
+    """Pointers to at least ``size`` readable bytes (unified)."""
+    return TypeInstance("R_ARRAY", size, family="ptr")
+
+
+def W_ARRAY(size: int) -> TypeInstance:
+    return TypeInstance("W_ARRAY", size, family="ptr")
+
+
+def RW_ARRAY(size: int) -> TypeInstance:
+    return TypeInstance("RW_ARRAY", size, family="ptr")
+
+
+def R_ARRAY_NULL(size: int) -> TypeInstance:
+    return TypeInstance("R_ARRAY_NULL", size, family="ptr")
+
+
+def W_ARRAY_NULL(size: int) -> TypeInstance:
+    return TypeInstance("W_ARRAY_NULL", size, family="ptr")
+
+
+def RW_ARRAY_NULL(size: int) -> TypeInstance:
+    return TypeInstance("RW_ARRAY_NULL", size, family="ptr")
+
+
+# ----------------------------------------------------------------------
+# file pointer family (paper Figure 4)
+# ----------------------------------------------------------------------
+
+RONLY_FILE = TypeInstance("RONLY_FILE", fundamental=True, family="file")
+RW_FILE = TypeInstance("RW_FILE", fundamental=True, family="file")
+WONLY_FILE = TypeInstance("WONLY_FILE", fundamental=True, family="file")
+#: A FILE-sized block whose bytes look like a FILE but whose internal
+#: buffer pointers are smashed; disjoint from both OPEN_FILE and
+#: RW_FIXED[size].  Passes memory checks, crashes stdio.
+CORRUPT_FILE = TypeInstance("CORRUPT_FILE", fundamental=True, family="file")
+#: A structurally intact FILE whose descriptor is dead: stdio fails
+#: gracefully with EBADF instead of crashing.
+STALE_FILE = TypeInstance("STALE_FILE", fundamental=True, family="file")
+R_FILE = TypeInstance("R_FILE", family="file")
+W_FILE = TypeInstance("W_FILE", family="file")
+OPEN_FILE = TypeInstance("OPEN_FILE", family="file")
+OPEN_FILE_NULL = TypeInstance("OPEN_FILE_NULL", family="file")
+
+# ----------------------------------------------------------------------
+# directory stream family (section 5.2: closedir/opendir)
+# ----------------------------------------------------------------------
+
+OPEN_DIR = TypeInstance("OPEN_DIR", fundamental=True, family="dir")
+CORRUPT_DIR = TypeInstance("CORRUPT_DIR", fundamental=True, family="dir")
+#: Intact DIR structure with a dead descriptor (EBADF, no crash).
+STALE_DIR = TypeInstance("STALE_DIR", fundamental=True, family="dir")
+OPEN_DIR_NULL = TypeInstance("OPEN_DIR_NULL", family="dir")
+
+# ----------------------------------------------------------------------
+# C string family
+# ----------------------------------------------------------------------
+
+#: NUL-terminated readable (read-only) strings that are not valid mode
+#: or format strings.
+STRING_RO = TypeInstance("STRING_RO", fundamental=True, family="string")
+#: NUL-terminated strings in readable+writable memory.
+STRING_RW = TypeInstance("STRING_RW", fundamental=True, family="string")
+#: Valid fopen-style mode strings ("r", "w+", "ab", ...).
+VALID_MODE = TypeInstance("VALID_MODE", fundamental=True, family="string")
+#: printf/strftime-style format strings with sane directives.
+VALID_FORMAT = TypeInstance("VALID_FORMAT", fundamental=True, family="string")
+
+CSTRING = TypeInstance("CSTRING", family="string")
+CSTRING_NULL = TypeInstance("CSTRING_NULL", family="string")
+WRITABLE_STRING = TypeInstance("WRITABLE_STRING", family="string")
+WRITABLE_STRING_NULL = TypeInstance("WRITABLE_STRING_NULL", family="string")
+MODE_STRING = TypeInstance("MODE_STRING", family="string")
+FORMAT_STRING = TypeInstance("FORMAT_STRING", family="string")
+
+# ----------------------------------------------------------------------
+# file descriptor family (C type int, but semantically a descriptor)
+# ----------------------------------------------------------------------
+
+FD_RONLY = TypeInstance("FD_RONLY", fundamental=True, family="fd")
+FD_RW = TypeInstance("FD_RW", fundamental=True, family="fd")
+FD_WONLY = TypeInstance("FD_WONLY", fundamental=True, family="fd")
+FD_CLOSED = TypeInstance("FD_CLOSED", fundamental=True, family="fd")
+FD_NEGATIVE = TypeInstance("FD_NEGATIVE", fundamental=True, family="fd")
+FD_HUGE = TypeInstance("FD_HUGE", fundamental=True, family="fd")
+READABLE_FD = TypeInstance("READABLE_FD", family="fd")
+WRITABLE_FD = TypeInstance("WRITABLE_FD", family="fd")
+OPEN_FD = TypeInstance("OPEN_FD", family="fd")
+ANY_FD = TypeInstance("ANY_FD", family="fd")
+
+# ----------------------------------------------------------------------
+# integer family (non-negative example of section 4.2)
+# ----------------------------------------------------------------------
+
+#: The splitting into small/big fundamentals is the paper's own
+#: technique for overlapping unified types (section 4.2): CHAR_RANGE
+#: (what the ctype table accepts, [-128, 255]) overlaps both the
+#: non-negative and non-positive integers, so the fundamentals must be
+#: split at the -128/0/255 boundaries to stay disjoint.
+INT_BIG_NEG = TypeInstance("INT_BIG_NEG", fundamental=True, family="int")
+INT_SMALL_NEG = TypeInstance("INT_SMALL_NEG", fundamental=True, family="int")
+INT_ZERO = TypeInstance("INT_ZERO", fundamental=True, family="int")
+INT_SMALL_POS = TypeInstance("INT_SMALL_POS", fundamental=True, family="int")
+INT_BIG_POS = TypeInstance("INT_BIG_POS", fundamental=True, family="int")
+CHAR_RANGE = TypeInstance("CHAR_RANGE", family="int")
+INT_NONNEG = TypeInstance("INT_NONNEG", family="int")
+INT_NONPOS = TypeInstance("INT_NONPOS", family="int")
+ANY_INT = TypeInstance("ANY_INT", family="int")
+
+# ----------------------------------------------------------------------
+# size family (size_t arguments)
+# ----------------------------------------------------------------------
+
+SIZE_ZERO = TypeInstance("SIZE_ZERO", fundamental=True, family="size")
+SIZE_SMALL = TypeInstance("SIZE_SMALL", fundamental=True, family="size")
+#: Absurd sizes (e.g. 2**40) that no sane caller passes; copying that
+#: many bytes always runs off the end of any real buffer.
+SIZE_HUGE = TypeInstance("SIZE_HUGE", fundamental=True, family="size")
+REASONABLE_SIZE = TypeInstance("REASONABLE_SIZE", family="size")
+ANY_SIZE = TypeInstance("ANY_SIZE", family="size")
+
+# ----------------------------------------------------------------------
+# floating point family
+# ----------------------------------------------------------------------
+
+REAL_NEG = TypeInstance("REAL_NEG", fundamental=True, family="real")
+REAL_ZERO = TypeInstance("REAL_ZERO", fundamental=True, family="real")
+REAL_POS = TypeInstance("REAL_POS", fundamental=True, family="real")
+REAL_NAN = TypeInstance("REAL_NAN", fundamental=True, family="real")
+REAL_INF = TypeInstance("REAL_INF", fundamental=True, family="real")
+FINITE_REAL = TypeInstance("FINITE_REAL", family="real")
+ANY_REAL = TypeInstance("ANY_REAL", family="real")
+
+# ----------------------------------------------------------------------
+# function pointer family (qsort comparators etc.)
+# ----------------------------------------------------------------------
+
+VALID_FUNCPTR = TypeInstance("VALID_FUNCPTR", fundamental=True, family="funcptr")
+FUNCPTR = TypeInstance("FUNCPTR", family="funcptr")
+FUNCPTR_NULL = TypeInstance("FUNCPTR_NULL", family="funcptr")
+
+
+#: Top element per family: the type whose check always succeeds.  A
+#: robust argument type equal to its family top means "no check".
+FAMILY_TOPS = {
+    "ptr": UNCONSTRAINED,
+    "file": UNCONSTRAINED,
+    "dir": UNCONSTRAINED,
+    "string": UNCONSTRAINED,
+    "funcptr": UNCONSTRAINED,
+    "fd": ANY_FD,
+    "int": ANY_INT,
+    "size": ANY_SIZE,
+    "real": ANY_REAL,
+}
+
+#: Unified types for which the *fully automated* wrapper generator can
+#: emit a checking function.  OPEN_DIR is deliberately absent: "POSIX
+#: does not define any function to verify that a pointer points to a
+#: valid directory structure" — checking it requires the stateful
+#: assertions added during manual editing (the semi-auto step).
+AUTO_CHECKABLE = frozenset(
+    {
+        "UNCONSTRAINED",
+        "R_ARRAY",
+        "W_ARRAY",
+        "RW_ARRAY",
+        "R_ARRAY_NULL",
+        "W_ARRAY_NULL",
+        "RW_ARRAY_NULL",
+        "NULL",
+        "OPEN_FILE",
+        "OPEN_FILE_NULL",
+        "R_FILE",
+        "W_FILE",
+        "CSTRING",
+        "CSTRING_NULL",
+        "WRITABLE_STRING",
+        "WRITABLE_STRING_NULL",
+        "MODE_STRING",
+        "FORMAT_STRING",
+        "READABLE_FD",
+        "WRITABLE_FD",
+        "OPEN_FD",
+        "ANY_FD",
+        "CHAR_RANGE",
+        "INT_NONNEG",
+        "INT_NONPOS",
+        "ANY_INT",
+        "REASONABLE_SIZE",
+        "ANY_SIZE",
+        "FINITE_REAL",
+        "ANY_REAL",
+        "FUNCPTR",
+        "FUNCPTR_NULL",
+    }
+)
+
+#: Additional types that become checkable after the manual-editing
+#: step adds executable assertions (stateful DIR/FILE tracking).
+SEMI_AUTO_CHECKABLE = AUTO_CHECKABLE | frozenset({"OPEN_DIR", "OPEN_DIR_NULL"})
+
+#: Extension point (section 4.2): a newly added test case generator
+#: "can define a set of types and their relationship to each other".
+#: Instances registered here are included in every lattice the
+#: injector builds; the accompanying subtype rules go into
+#: :data:`repro.typelattice.rules.DIRECT_RULES`.
+EXTENSION_INSTANCES: list[TypeInstance] = []
+
+
+def register_extension_types(*instances: TypeInstance) -> None:
+    for instance in instances:
+        if instance not in EXTENSION_INSTANCES:
+            EXTENSION_INSTANCES.append(instance)
+
+
+def unregister_extension_types(*instances: TypeInstance) -> None:
+    for instance in instances:
+        if instance in EXTENSION_INSTANCES:
+            EXTENSION_INSTANCES.remove(instance)

@@ -1,0 +1,31 @@
+"""Phase 2: the robustness wrapper generator and its runtime."""
+
+from repro.wrapper.checks import CheckConfig, CheckLibrary, MAX_STRING_SCAN
+from repro.wrapper.codegen import (
+    check_expression,
+    generate_checks_header,
+    generate_preamble,
+    generate_wrapper_function,
+    generate_wrapper_library,
+)
+from repro.wrapper.relational import BUFFER_PLANS, BufferPlan, relational_violation
+from repro.wrapper.state import WrapperState
+from repro.wrapper.wrapper import WrapperLibrary, WrapperPolicy, WrapperStats
+
+__all__ = [
+    "BUFFER_PLANS",
+    "BufferPlan",
+    "CheckConfig",
+    "CheckLibrary",
+    "MAX_STRING_SCAN",
+    "WrapperLibrary",
+    "WrapperPolicy",
+    "WrapperState",
+    "WrapperStats",
+    "check_expression",
+    "generate_checks_header",
+    "generate_preamble",
+    "generate_wrapper_function",
+    "generate_wrapper_library",
+    "relational_violation",
+]

@@ -1,0 +1,249 @@
+"""C source generation for robustness wrappers (paper Figure 5).
+
+Emits, per unsafe function declaration, the wrapper C code the real
+HEALERS produced: prototype from the declaration, the ``in_flag``
+recursion guard, one ``check_<TYPE>`` call per constrained argument,
+errno assignment and the error-return path, and the PostProcessing
+label.  Also emits the preamble that resolves the original symbols
+with ``dlsym`` and the interposer boilerplate.
+"""
+
+from __future__ import annotations
+
+from repro.declarations.model import FunctionDeclaration
+from repro.libc.errno_codes import errno_name
+from repro.typelattice.instances import TypeInstance
+
+#: check_* function name and extra arguments per unified type.
+_CHECK_SIGNATURES: dict[str, str] = {
+    "R_ARRAY": "check_R_ARRAY({value}, {param})",
+    "W_ARRAY": "check_W_ARRAY({value}, {param})",
+    "RW_ARRAY": "check_RW_ARRAY({value}, {param})",
+    "R_ARRAY_NULL": "check_R_ARRAY_NULL({value}, {param})",
+    "W_ARRAY_NULL": "check_W_ARRAY_NULL({value}, {param})",
+    "RW_ARRAY_NULL": "check_RW_ARRAY_NULL({value}, {param})",
+    "CSTRING": "check_CSTRING({value})",
+    "CSTRING_NULL": "check_CSTRING_NULL({value})",
+    "WRITABLE_STRING": "check_WRITABLE_STRING({value})",
+    "WRITABLE_STRING_NULL": "check_WRITABLE_STRING_NULL({value})",
+    "MODE_STRING": "check_MODE_STRING({value})",
+    "FORMAT_STRING": "check_FORMAT_STRING({value})",
+    "OPEN_FILE": "check_OPEN_FILE({value})",
+    "OPEN_FILE_NULL": "check_OPEN_FILE_NULL({value})",
+    "R_FILE": "check_R_FILE({value})",
+    "W_FILE": "check_W_FILE({value})",
+    "OPEN_DIR": "check_OPEN_DIR({value})",
+    "OPEN_DIR_NULL": "check_OPEN_DIR_NULL({value})",
+    "OPEN_FD": "check_OPEN_FD({value})",
+    "READABLE_FD": "check_READABLE_FD({value})",
+    "WRITABLE_FD": "check_WRITABLE_FD({value})",
+    "CHAR_RANGE": "check_CHAR_RANGE({value})",
+    "INT_NONNEG": "({value} >= 0)",
+    "INT_NONPOS": "({value} <= 0)",
+    "REASONABLE_SIZE": "check_REASONABLE_SIZE({value})",
+    "FINITE_REAL": "isfinite({value})",
+    "FUNCPTR": "check_FUNCPTR({value})",
+    "FUNCPTR_NULL": "check_FUNCPTR_NULL({value})",
+    "NULL": "({value} == NULL)",
+}
+
+#: types requiring no check at all.
+_UNCHECKED = frozenset({"UNCONSTRAINED", "ANY_INT", "ANY_SIZE", "ANY_REAL", "ANY_FD"})
+
+
+def check_expression(instance: TypeInstance, value: str) -> str | None:
+    """The C expression testing ``value`` against ``instance``; None
+    when the type needs no check."""
+    if instance.name in _UNCHECKED:
+        return None
+    template = _CHECK_SIGNATURES.get(instance.name)
+    if template is None:
+        return None
+    return template.format(value=value, param=instance.param or 1)
+
+
+def _split_type_for_param(ctype: str, name: str) -> str:
+    """Render ``const struct tm *`` + ``a1`` as a C parameter."""
+    ctype = ctype.strip()
+    if ctype.endswith("*"):
+        return f"{ctype}{name}"
+    return f"{ctype} {name}"
+
+
+def generate_wrapper_function(declaration: FunctionDeclaration) -> str:
+    """Generate the wrapper C function for one declaration — the
+    Figure 5 shape."""
+    name = declaration.name
+    params = [
+        _split_type_for_param(argument.ctype, f"a{i + 1}")
+        for i, argument in enumerate(declaration.arguments)
+    ]
+    if declaration.variadic:
+        params.append("...")
+    signature = f"{declaration.return_type.strip()} {name} ({', '.join(params) or 'void'})"
+    args = ", ".join(f"a{i + 1}" for i in range(len(declaration.arguments)))
+    call = f"(*libc_{name}) ({args})"
+    is_void = declaration.return_type.strip() == "void"
+    errno_value = errno_name(declaration.errnos[0]) if declaration.errnos else "EINVAL"
+
+    lines: list[str] = [f"{signature} {{"]
+    if not is_void:
+        lines.append(f"    {declaration.return_type.strip()} ret;")
+    lines.append("    if (in_flag) {")
+    if is_void:
+        lines.append(f"        {call};")
+        lines.append("        return;")
+    else:
+        lines.append(f"        return {call};")
+    lines.append("    }")
+    lines.append("    in_flag = 1;")
+
+    for index, argument in enumerate(declaration.arguments):
+        expression = check_expression(argument.robust_type, f"a{index + 1}")
+        if expression is None:
+            continue
+        lines.append(f"    if (!{expression}) {{")
+        lines.append(f"        errno = {errno_value};")
+        if not is_void:
+            lines.append(
+                f"        ret = ({declaration.return_type.strip()}) "
+                f"{declaration.error_value_text};"
+            )
+        lines.append("        goto PostProcessing;")
+        lines.append("    }")
+
+    for assertion in declaration.assertions:
+        lines.append(f"    if (!healers_assert_{assertion}({args or ''})) {{")
+        lines.append(f"        errno = {errno_value};")
+        if not is_void:
+            lines.append(
+                f"        ret = ({declaration.return_type.strip()}) "
+                f"{declaration.error_value_text};"
+            )
+        lines.append("        goto PostProcessing;")
+        lines.append("    }")
+
+    if is_void:
+        lines.append(f"    {call};")
+    else:
+        lines.append(f"    ret = {call};")
+    lines.append("PostProcessing: ;")
+    lines.append("    in_flag = 0;")
+    if not is_void:
+        lines.append("    return ret;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_preamble(declarations: dict[str, FunctionDeclaration]) -> str:
+    """dlsym resolution block + shared wrapper state."""
+    lines = [
+        "/* HEALERS robustness wrapper — generated code.",
+        " * Link as a shared library with priority over libc",
+        " * (LD_PRELOAD) so these definitions interpose. */",
+        "#include <errno.h>",
+        "#include <dlfcn.h>",
+        "#include <math.h>",
+        "#include \"healers_checks.h\"",
+        "",
+        "static __thread int in_flag = 0;",
+        "",
+    ]
+    for name, decl in sorted(declarations.items()):
+        if not decl.unsafe:
+            continue
+        params = ", ".join(a.ctype for a in decl.arguments) or "void"
+        lines.append(
+            f"static {decl.return_type.strip()} (*libc_{name})({params});"
+        )
+    lines.append("")
+    lines.append("static void __attribute__((constructor)) healers_resolve(void) {")
+    for name, decl in sorted(declarations.items()):
+        if not decl.unsafe:
+            continue
+        lines.append(
+            f'    libc_{name} = dlsym(RTLD_NEXT, "{name}");  '
+            f"/* version {decl.version} */"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+#: check helpers grouped by implementation strategy, for the header.
+_CHECK_DECLS = (
+    ("memory accessibility (heap table first, page probe otherwise)", (
+        "int check_R_ARRAY(const void *p, unsigned long size);",
+        "int check_W_ARRAY(void *p, unsigned long size);",
+        "int check_RW_ARRAY(void *p, unsigned long size);",
+        "int check_R_ARRAY_NULL(const void *p, unsigned long size);",
+        "int check_W_ARRAY_NULL(void *p, unsigned long size);",
+        "int check_RW_ARRAY_NULL(void *p, unsigned long size);",
+    )),
+    ("string validation (bounded NUL scan)", (
+        "int check_CSTRING(const char *s);",
+        "int check_CSTRING_NULL(const char *s);",
+        "int check_WRITABLE_STRING(char *s);",
+        "int check_WRITABLE_STRING_NULL(char *s);",
+        "int check_MODE_STRING(const char *mode);",
+        "int check_FORMAT_STRING(const char *format);",
+    )),
+    ("opaque structures (fileno/fstat probe; DIR table assertion)", (
+        "int check_OPEN_FILE(FILE *fp);",
+        "int check_OPEN_FILE_NULL(FILE *fp);",
+        "int check_R_FILE(FILE *fp);",
+        "int check_W_FILE(FILE *fp);",
+        "int check_OPEN_DIR(DIR *dirp);",
+        "int check_OPEN_DIR_NULL(DIR *dirp);",
+    )),
+    ("descriptors and scalars", (
+        "int check_OPEN_FD(int fd);",
+        "int check_READABLE_FD(int fd);",
+        "int check_WRITABLE_FD(int fd);",
+        "int check_CHAR_RANGE(int c);",
+        "int check_REASONABLE_SIZE(unsigned long n);",
+        "int check_FUNCPTR(const void *fp);",
+        "int check_FUNCPTR_NULL(const void *fp);",
+    )),
+    ("executable assertions (stateful, from manual edits)", (
+        "int healers_assert_track_dir(DIR *dirp);",
+        "int healers_assert_track_file(FILE *fp);",
+        "int healers_assert_strtok_state(char *s, const char *delim);",
+    )),
+)
+
+
+def generate_checks_header() -> str:
+    """``healers_checks.h``: the check library's C interface, so the
+    generated wrapper source is a complete compile unit."""
+    lines = [
+        "/* HEALERS checking-function library — generated header. */",
+        "#ifndef HEALERS_CHECKS_H",
+        "#define HEALERS_CHECKS_H 1",
+        "",
+        "#include <stdio.h>",
+        "#include <dirent.h>",
+        "",
+        "/* All checks return 1 when the value belongs to the unified",
+        " * type's value set, 0 otherwise.  Memory checks consult the",
+        " * malloc-interposition allocation table first and fall back to",
+        " * one-probe-per-page accessibility testing. */",
+    ]
+    for comment, decls in _CHECK_DECLS:
+        lines.append("")
+        lines.append(f"/* {comment} */")
+        lines.extend(decls)
+    lines += ["", "#endif /* HEALERS_CHECKS_H */", ""]
+    return "\n".join(lines)
+
+
+def generate_wrapper_library(declarations: dict[str, FunctionDeclaration]) -> str:
+    """Full generated C source for the wrapper shared library.  Safe
+    functions are skipped ("it avoids the overhead of unnecessary
+    argument checks")."""
+    parts = [generate_preamble(declarations)]
+    for name in sorted(declarations):
+        declaration = declarations[name]
+        if not declaration.unsafe:
+            continue
+        parts.append(generate_wrapper_function(declaration))
+    return "\n\n".join(parts) + "\n"

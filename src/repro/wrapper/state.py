@@ -1,0 +1,87 @@
+"""Stateful checking support (paper sections 5.1 and 5.2).
+
+The wrapper "keeps track of memory allocation status on the heap" and
+of opaque structures (DIR*, FILE*) handed out by the library.  This
+module holds those tables and the interception logic that maintains
+them as calls flow through the wrapper.
+
+Heap tracking piggybacks on the simulated heap's allocation table —
+the moral equivalent of intercepting malloc/free — while the DIR and
+FILE tables are the wrapper's own (they implement the *executable
+assertions* added during manual editing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory import NULL
+from repro.sandbox.outcome import CallOutcome
+
+
+@dataclass
+class WrapperState:
+    """Tables maintained across wrapped calls.
+
+    Attributes:
+        dir_table: DIR* values returned by opendir and not yet closed.
+        file_table: FILE* values returned by fopen/fdopen/freopen/
+            tmpfile and not yet fclosed.
+        log: violation log records (used by the logging wrapper).
+    """
+
+    dir_table: set[int] = field(default_factory=set)
+    file_table: set[int] = field(default_factory=set)
+    log: list[str] = field(default_factory=list)
+
+    # -- interception ----------------------------------------------------
+    def observe_call(self, name: str, args: tuple, outcome: CallOutcome) -> None:
+        """Update tables after a *forwarded* call returned.
+
+        This is the "switch on wrappers for a potentially larger set
+        of functions in order to maintain state information" cost the
+        paper mentions: even safe functions like opendir must be
+        intercepted once DIR tracking is on.
+        """
+        if not outcome.returned:
+            return
+        value = outcome.return_value
+        if name == "opendir" and value not in (None, NULL):
+            self.dir_table.add(value)
+        elif name == "closedir" and args:
+            self.dir_table.discard(args[0])
+        elif name in ("fopen", "fdopen", "tmpfile") and value not in (None, NULL):
+            self.file_table.add(value)
+        elif name == "freopen":
+            if args and args[2] in self.file_table:
+                pass  # stream object unchanged
+            elif value not in (None, NULL):
+                self.file_table.add(value)
+        elif name == "fclose" and args:
+            self.file_table.discard(args[0])
+
+    # -- executable assertions (manual-edit plugins) ---------------------
+    def assert_tracked_dir(self, pointer: int) -> bool:
+        """closedir's argument must "be a directory pointer returned
+        by a previous call to opendir" (section 6)."""
+        return pointer in self.dir_table
+
+    def assert_tracked_file(self, pointer: int, allow_null: bool = False) -> bool:
+        if pointer == NULL:
+            return allow_null
+        return pointer in self.file_table
+
+    def assert_strtok_state(self, runtime, s: int) -> bool:
+        """strtok(NULL, ...) is only valid with a saved scan pointer."""
+        return s != NULL or runtime.strtok_state != NULL
+
+    def record_violation(self, function: str, detail: str) -> None:
+        self.log.append(f"{function}: {detail}")
+
+    def seed_file(self, pointer: int) -> None:
+        """Register an externally created stream (test harness use)."""
+        self.file_table.add(pointer)
+
+    def seed_dir(self, pointer: int) -> None:
+        self.dir_table.add(pointer)

@@ -1,0 +1,242 @@
+"""The executable robustness wrapper (paper section 5).
+
+A :class:`WrapperLibrary` interposes between an application and the
+simulated C library exactly like the generated shared library of the
+paper: each wrapped function runs prefix checks derived from its
+declaration, returns the declared error code (setting errno) on a
+violation, and otherwise forwards to the original function.
+
+The generator supports the paper's wrapper variety (section 2):
+
+* ``ROBUST`` — reject invalid arguments with an error return;
+* ``DEBUG`` — abort the application on a violation (debugging phase);
+* ``LOGGING`` — like ROBUST, plus a violation log for diagnosis;
+* ``MINIMAL`` — only the cheap NULL/invalid-pointer checks;
+* ``MEASURE`` — no checks at all, just call counting and timing (the
+  measurement wrapper used for Table 2).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.declarations.model import FunctionDeclaration
+from repro.libc.catalog import BY_NAME, FunctionSpec
+from repro.libc.errno_codes import EINVAL
+from repro.libc.runtime import LibcRuntime
+from repro.sandbox import CallOutcome, CallStatus, Sandbox
+from repro.typelattice.instances import TypeInstance
+from repro.wrapper.checks import CheckConfig, CheckLibrary
+from repro.wrapper.relational import relational_violation
+from repro.wrapper.state import WrapperState
+
+#: Types whose check is cheap enough for the MINIMAL wrapper: it only
+#: prevents wild pointers, not content-level problems.
+_MINIMAL_CHECKED = frozenset({"NULL", "FUNCPTR", "FUNCPTR_NULL"})
+
+
+class WrapperPolicy(enum.Enum):
+    ROBUST = "robust"
+    DEBUG = "debug"
+    LOGGING = "logging"
+    MINIMAL = "minimal"
+    MEASURE = "measure"
+
+
+@dataclass
+class WrapperStats:
+    """Counters for the performance evaluation (Table 2)."""
+
+    calls: int = 0
+    forwarded: int = 0
+    violations: int = 0
+    checks: int = 0
+    check_seconds: float = 0.0
+    library_seconds: float = 0.0
+    per_function: dict[str, int] = field(default_factory=dict)
+
+    def record_call(self, name: str) -> None:
+        self.calls += 1
+        self.per_function[name] = self.per_function.get(name, 0) + 1
+
+
+class WrapperLibrary:
+    """Phase-2 output: the robustness wrapper as a callable object."""
+
+    def __init__(
+        self,
+        declarations: dict[str, FunctionDeclaration],
+        policy: WrapperPolicy = WrapperPolicy.ROBUST,
+        check_config: Optional[CheckConfig] = None,
+        relational: bool = True,
+        wrap_safe: bool = False,
+        step_budget: int = 1_000_000,
+    ) -> None:
+        self.declarations = declarations
+        self.policy = policy
+        self.check_config = check_config or CheckConfig()
+        self.relational = relational
+        self.wrap_safe = wrap_safe
+        self.state = WrapperState()
+        self.stats = WrapperStats()
+        self.sandbox = Sandbox(step_budget=step_budget)
+        #: assertions enabled anywhere force state interception
+        self.tracked_assertions: frozenset[str] = frozenset(
+            name for decl in declarations.values() for name in decl.assertions
+        )
+        self._in_flag = False  # the Figure 5 recursion guard
+
+    # ------------------------------------------------------------------
+    def call(self, name: str, args: Sequence, runtime: LibcRuntime) -> CallOutcome:
+        """Invoke ``name`` through the wrapper."""
+        spec = BY_NAME[name]
+        self.stats.record_call(name)
+        declaration = self.declarations.get(name)
+
+        if self._in_flag:
+            return self._forward(spec, args, runtime, name)
+        self._in_flag = True
+        try:
+            return self._dispatch(spec, declaration, args, runtime, name)
+        finally:
+            self._in_flag = False
+
+    def _dispatch(
+        self,
+        spec: FunctionSpec,
+        declaration: Optional[FunctionDeclaration],
+        args: Sequence,
+        runtime: LibcRuntime,
+        name: str,
+    ) -> CallOutcome:
+        if declaration is None or self.policy is WrapperPolicy.MEASURE:
+            return self._forward(spec, args, runtime, name)
+        if not declaration.unsafe and not self.wrap_safe:
+            # "The wrapper generator creates robustness wrappers only
+            # for unsafe functions ... it avoids the overhead of
+            # unnecessary argument checks." (section 3.4)
+            return self._forward(spec, args, runtime, name)
+
+        started = time.perf_counter()
+        violation = self._check_arguments(declaration, args, runtime, name)
+        self.stats.check_seconds += time.perf_counter() - started
+        if violation is not None:
+            return self._reject(declaration, violation, name)
+        return self._forward(spec, args, runtime, name)
+
+    # ------------------------------------------------------------------
+    def _check_arguments(
+        self,
+        declaration: FunctionDeclaration,
+        args: Sequence,
+        runtime: LibcRuntime,
+        name: str,
+    ) -> Optional[str]:
+        checks = CheckLibrary(runtime, self.state, self.check_config)
+        checks.active_assertions = declaration.assertions
+        try:
+            for index, (argument, value) in enumerate(
+                zip(declaration.arguments, args)
+            ):
+                robust = argument.robust_type
+                if (
+                    self.policy is WrapperPolicy.MINIMAL
+                    and robust.name not in _MINIMAL_CHECKED
+                ):
+                    if not self._minimal_pointer_ok(robust, value, checks):
+                        return f"arg {index}: wild pointer"
+                    continue
+                try:
+                    ok = checks.check(robust, value)
+                except KeyError:
+                    ok = True  # no checking function: type is unenforceable
+                if not ok:
+                    return f"arg {index}: not in V({robust.render()})"
+            for assertion in declaration.assertions:
+                failure = self._run_assertion(assertion, declaration, args, runtime)
+                if failure is not None:
+                    return failure
+            if self.relational and self.policy is not WrapperPolicy.MINIMAL:
+                violation = relational_violation(name, list(args), checks)
+                if violation is not None:
+                    return violation
+            return None
+        finally:
+            self.stats.checks += checks.checks_performed
+
+    @staticmethod
+    def _minimal_pointer_ok(
+        robust: TypeInstance, value, checks: CheckLibrary
+    ) -> bool:
+        """MINIMAL policy: only reject NULL/unmapped pointers for
+        pointer-typed arguments."""
+        pointer_families = ("ptr", "file", "dir", "string", "funcptr")
+        if robust.family not in pointer_families:
+            return True
+        if robust.name.endswith("_NULL") or robust.name in ("UNCONSTRAINED", "NULL"):
+            if value == 0:
+                return True
+        return checks.memory_ok(value, 1, True, False) or value == 0
+
+    def _run_assertion(
+        self,
+        assertion: str,
+        declaration: FunctionDeclaration,
+        args: Sequence,
+        runtime: LibcRuntime,
+    ) -> Optional[str]:
+        """Executable assertions from the manual edits (section 6)."""
+        if assertion == "track_dir":
+            if args and not self.state.assert_tracked_dir(args[0]):
+                return "DIR* was not returned by opendir"
+        elif assertion == "track_file":
+            index = next(
+                (
+                    i
+                    for i, arg_decl in enumerate(declaration.arguments)
+                    if arg_decl.robust_type.family == "file"
+                    or "FILE" in arg_decl.ctype
+                ),
+                None,
+            )
+            if index is not None and index < len(args):
+                allow_null = declaration.arguments[index].robust_type.name.endswith(
+                    "_NULL"
+                )
+                if not self.state.assert_tracked_file(args[index], allow_null):
+                    return "FILE* is not an open stream of this process"
+        elif assertion == "strtok_state":
+            if args and not self.state.assert_strtok_state(runtime, args[0]):
+                return "strtok(NULL, ...) without a saved position"
+        return None
+
+    # ------------------------------------------------------------------
+    def _reject(
+        self, declaration: FunctionDeclaration, violation: str, name: str
+    ) -> CallOutcome:
+        """Prefix-code rejection: set errno, return the error code."""
+        self.stats.violations += 1
+        if self.policy in (WrapperPolicy.LOGGING, WrapperPolicy.DEBUG):
+            self.state.record_violation(name, violation)
+        if self.policy is WrapperPolicy.DEBUG:
+            return CallOutcome(
+                CallStatus.ABORTED, detail=f"wrapper abort: {name}: {violation}"
+            )
+        errno = declaration.errnos[0] if declaration.errnos else EINVAL
+        return CallOutcome(
+            CallStatus.RETURNED, return_value=declaration.error_value, errno=errno
+        )
+
+    def _forward(
+        self, spec: FunctionSpec, args: Sequence, runtime: LibcRuntime, name: str
+    ) -> CallOutcome:
+        started = time.perf_counter()
+        outcome = self.sandbox.call(spec.model, args, runtime)
+        self.stats.library_seconds += time.perf_counter() - started
+        self.stats.forwarded += 1
+        if self.tracked_assertions:
+            self.state.observe_call(name, tuple(args), outcome)
+        return outcome

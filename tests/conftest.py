@@ -1,0 +1,35 @@
+"""Shared fixtures.
+
+``declarations86`` loads (or generates once) the cached declarations
+for the full 86-function evaluation set, so integration tests do not
+re-run fault injection per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import DEFAULT_CACHE, load_or_generate
+from repro.libc.runtime import standard_runtime
+from repro.sandbox import Sandbox
+
+
+@pytest.fixture()
+def runtime():
+    return standard_runtime()
+
+
+@pytest.fixture()
+def sandbox():
+    return Sandbox()
+
+
+@pytest.fixture(scope="session")
+def hardened86():
+    """The full pipeline output over the 86-function set (cached)."""
+    return load_or_generate(path=DEFAULT_CACHE)
+
+
+@pytest.fixture(scope="session")
+def declarations86(hardened86):
+    return hardened86.declarations

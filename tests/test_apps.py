@@ -1,0 +1,106 @@
+"""Tests for the synthetic application workloads (Table 2 substrate)."""
+
+import pytest
+
+from repro.apps import (
+    ALL_APPS,
+    GccApp,
+    GzipApp,
+    Ps2pdfApp,
+    TarApp,
+    run_application,
+    table2_row,
+)
+from repro.wrapper import WrapperPolicy
+
+
+@pytest.fixture(scope="module")
+def declarations(hardened86):
+    return hardened86.declarations
+
+
+class TestWorkloadsRun:
+    @pytest.mark.parametrize("app_cls", ALL_APPS)
+    def test_runs_unwrapped_without_failures(self, app_cls):
+        metrics = run_application(app_cls(), wrapped=False)
+        assert metrics.libc_calls > 0
+        assert metrics.wall_seconds > 0
+        assert 0 <= metrics.library_fraction <= 1
+
+    @pytest.mark.parametrize("app_cls", ALL_APPS)
+    def test_runs_through_robust_wrapper(self, app_cls, declarations):
+        metrics = run_application(app_cls(), declarations, WrapperPolicy.ROBUST)
+        assert metrics.libc_calls > 0
+        assert metrics.check_seconds >= 0
+
+    def test_tar_archives_all_files(self, declarations):
+        from repro.libc.runtime import standard_runtime
+
+        runtime_holder = {}
+
+        def factory():
+            runtime_holder["rt"] = standard_runtime()
+            return runtime_holder["rt"]
+
+        app = TarApp(files=3, blocks_per_file=2)
+        run_application(app, declarations, WrapperPolicy.ROBUST, runtime_factory=factory)
+        archive = runtime_holder["rt"].kernel.lookup("/tmp/tar/archive.tar")
+        assert len(archive.data) == 3 * 2 * 512
+
+    def test_gcc_runs_five_processes(self, declarations):
+        assert GccApp.profile.processes == 5
+        small = GccApp(tokens=5)
+        metrics = run_application(small, declarations, WrapperPolicy.MEASURE)
+        # five processes' worth of per-token calls
+        single = run_application(
+            GccApp(tokens=5), wrapped=False
+        )
+        assert metrics.libc_calls == single.libc_calls
+
+
+class TestCallProfiles:
+    """The orderings that make Table 2's shape."""
+
+    @pytest.fixture(scope="class")
+    def metrics(self, declarations):
+        return {
+            app_cls.profile.name: run_application(
+                _small(app_cls), declarations, WrapperPolicy.MEASURE
+            )
+            for app_cls in ALL_APPS
+        }
+
+    def test_gzip_has_lowest_call_rate(self, metrics):
+        gzip_rate = metrics["gzip"].calls_per_second
+        for name in ("tar", "gcc", "ps2pdf"):
+            assert gzip_rate < metrics[name].calls_per_second
+
+    def test_gcc_has_highest_call_rate(self, metrics):
+        gcc_rate = metrics["gcc"].calls_per_second
+        for name in ("tar", "gzip"):
+            assert gcc_rate > metrics[name].calls_per_second
+
+    def test_library_time_ordering(self, metrics):
+        assert metrics["gzip"].library_fraction < metrics["tar"].library_fraction
+        assert metrics["tar"].library_fraction < metrics["gcc"].library_fraction
+
+
+class TestTable2Row:
+    def test_row_shape_and_sanity(self, declarations):
+        row = table2_row(TarApp(files=3, blocks_per_file=2), declarations, repeats=1)
+        data = row.as_dict()
+        assert data["app"] == "tar"
+        assert data["wrapped_calls_per_sec"] > 0
+        assert 0 <= data["time_in_library_pct"] <= 100
+        assert data["checking_overhead_pct"] >= 0
+        assert data["execution_overhead_pct"] >= 0
+
+
+def _small(app_cls):
+    if app_cls is TarApp:
+        return TarApp(files=3, blocks_per_file=2)
+    if app_cls is GzipApp:
+        return GzipApp(blocks=2)
+    if app_cls is GccApp:
+        return GccApp(tokens=40)
+    return Ps2pdfApp(operators=80)

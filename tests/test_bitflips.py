@@ -1,0 +1,92 @@
+"""Tests for the bit-flip fault injection campaign (section 9's
+future work, implemented)."""
+
+import pytest
+
+from repro.core import HealersPipeline
+from repro.injector import BitFlipCampaign, FlipSpec, GOLDEN_CALLS, enumerate_flips
+from repro.libc.runtime import standard_runtime
+
+
+@pytest.fixture(scope="module")
+def hardened():
+    return HealersPipeline(functions=["asctime", "strcpy", "fclose", "closedir"]).run()
+
+
+class TestEnumeration:
+    def test_flip_count_formula(self):
+        flips = enumerate_flips([0x1000, 0x2000], [16, 0], memory_stride=8)
+        value_flips = 2 * 64
+        memory_flips = 16 * 8 // 8
+        assert len(flips) == value_flips + memory_flips
+
+    def test_specs_are_descriptive(self):
+        spec = FlipSpec(1, "memory", 13)
+        assert spec.describe() == "arg1:memory:bit13"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            BitFlipCampaign("nonexistent_function")
+
+    def test_golden_calls_are_actually_valid(self):
+        """Every golden call must succeed un-flipped — otherwise the
+        campaign measures a broken baseline."""
+        from repro.libc.catalog import BY_NAME
+        from repro.sandbox import Sandbox
+
+        for name, golden in GOLDEN_CALLS.items():
+            runtime = standard_runtime()
+            args, _ = golden(runtime)
+            outcome = Sandbox().call(BY_NAME[name].model, args, runtime)
+            assert outcome.returned and not outcome.errno_was_set, name
+
+
+class TestCampaign:
+    def test_unwrapped_flips_crash_substantially(self):
+        report = BitFlipCampaign("asctime").run()
+        assert report.total == 64 + 44  # 64 value bits + 44 byte flips
+        assert report.crash_rate > 0.3
+
+    def test_value_flips_fully_stopped_by_wrapper(self, hardened):
+        """A flipped pointer/scalar either still satisfies the robust
+        type (harmless) or is rejected — never a crash."""
+        for name in ("asctime", "strcpy"):
+            campaign = BitFlipCampaign(name)
+            report = campaign.run(wrapper=hardened.wrapper(semi_auto=True))
+            value_crashes = [
+                r for r in report.results
+                if r.status == "crash" and r.spec.kind == "value"
+            ]
+            assert value_crashes == [], name
+
+    def test_wrapper_reduces_overall_crash_rate(self, hardened):
+        campaign = BitFlipCampaign("closedir")
+        unwrapped = campaign.run()
+        semi = campaign.run(
+            wrapper=hardened.wrapper(semi_auto=True), configuration="semi"
+        )
+        assert semi.crash_rate < unwrapped.crash_rate / 3
+
+    def test_residual_crashes_are_internal_structure_flips(self, hardened):
+        """Flips *inside* an opaque structure (FILE buffer pointer)
+        evade even the stateful wrapper — the same integrity gap the
+        paper concedes for corrupted structures."""
+        campaign = BitFlipCampaign("fclose")
+        report = campaign.run(wrapper=hardened.wrapper(semi_auto=True))
+        for result in report.results:
+            if result.status == "crash":
+                assert result.spec.kind == "memory"
+
+    def test_summary_row_is_complete(self, hardened):
+        report = BitFlipCampaign("strlen").run()
+        row = report.summary_row()
+        assert row["flips"] == report.total
+        assert (
+            pytest.approx(row["crash_pct"] + row["errno_pct"] + row["silent_pct"], abs=0.1)
+            == 100.0
+        )
+
+    def test_campaign_is_deterministic(self):
+        first = BitFlipCampaign("strlen").run()
+        second = BitFlipCampaign("strlen").run()
+        assert [r.status for r in first.results] == [r.status for r in second.results]

@@ -1,0 +1,202 @@
+"""Unit tests for the C declaration lexer and parser."""
+
+import pytest
+
+from repro.cdecl import (
+    ArrayType,
+    BaseType,
+    DeclarationParser,
+    FunctionType,
+    LexError,
+    ParseError,
+    PointerType,
+    TokenKind,
+    sizeof,
+    tokenize,
+    typedef_table,
+)
+
+
+@pytest.fixture()
+def parser():
+    return DeclarationParser(typedef_table())
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("const struct tm *tp")
+        kinds = [t.kind for t in tokens]
+        assert kinds[:2] == [TokenKind.KEYWORD, TokenKind.KEYWORD]
+        assert tokens[2].text == "tm"
+        assert tokens[2].kind is TokenKind.IDENT
+
+    def test_comments_and_preprocessor_stripped(self):
+        tokens = tokenize("/* c */ int x; // line\n#define FOO 1\nint y;")
+        texts = [t.text for t in tokens if t.kind is not TokenKind.END]
+        assert texts == ["int", "x", ";", "int", "y", ";"]
+
+    def test_ellipsis(self):
+        tokens = tokenize("(int, ...)")
+        assert any(t.kind is TokenKind.ELLIPSIS for t in tokens)
+
+    def test_numbers_decimal_and_hex(self):
+        tokens = tokenize("[10] [0x20]")
+        numbers = [t.text for t in tokens if t.kind is TokenKind.NUMBER]
+        assert numbers == ["10", "0x20"]
+
+    def test_strict_mode_raises_on_junk(self):
+        with pytest.raises(LexError):
+            tokenize("int $broken;")
+
+    def test_tolerant_mode_passes_junk_through(self):
+        tokens = tokenize("int $broken;", tolerant=True)
+        assert any(t.text == "$" for t in tokens)
+
+
+class TestPrototypes:
+    def test_simple_prototype(self, parser):
+        proto = parser.parse_prototype("size_t strlen(const char *s);")
+        assert proto.name == "strlen"
+        assert proto.ftype.arity == 1
+        arg = proto.ftype.parameters[0].ctype
+        assert isinstance(arg, PointerType)
+        assert arg.pointee == BaseType("char", const=True)
+
+    def test_pointer_return_type(self, parser):
+        proto = parser.parse_prototype("char *asctime(const struct tm *tp);")
+        assert proto.ftype.return_type == PointerType(BaseType("char"))
+        assert proto.ftype.parameters[0].name == "tp"
+
+    def test_struct_tag_argument(self, parser):
+        proto = parser.parse_prototype("int tcgetattr(int fd, struct termios *termios_p);")
+        assert proto.ftype.parameters[1].ctype.pointee == BaseType("struct termios")
+
+    def test_multi_keyword_scalars(self, parser):
+        proto = parser.parse_prototype(
+            "unsigned long long weird(unsigned short a, long double b);"
+        )
+        assert proto.ftype.return_type == BaseType("unsigned long long")
+        assert proto.ftype.parameters[0].ctype == BaseType("unsigned short")
+        assert proto.ftype.parameters[1].ctype == BaseType("long double")
+
+    def test_function_pointer_parameter(self, parser):
+        proto = parser.parse_prototype(
+            "void qsort(void *base, size_t nmemb, size_t size,"
+            " int (*compar)(const void *, const void *));"
+        )
+        comparator = proto.ftype.parameters[3].ctype
+        assert isinstance(comparator, PointerType)
+        assert isinstance(comparator.pointee, FunctionType)
+        assert comparator.pointee.arity == 2
+        assert proto.ftype.parameters[3].name == "compar"
+
+    def test_variadic(self, parser):
+        proto = parser.parse_prototype("int fprintf(FILE *stream, const char *format, ...);")
+        assert proto.ftype.variadic
+
+    def test_void_parameter_list(self, parser):
+        proto = parser.parse_prototype("int rand(void);")
+        assert proto.ftype.arity == 0
+
+    def test_double_pointer(self, parser):
+        proto = parser.parse_prototype("long strtol(const char *nptr, char **endptr, int base);")
+        endptr = proto.ftype.parameters[1].ctype
+        assert isinstance(endptr, PointerType)
+        assert isinstance(endptr.pointee, PointerType)
+
+    def test_array_parameter(self, parser):
+        proto = parser.parse_prototype("int sum(int values[16], int n);")
+        assert isinstance(proto.ftype.parameters[0].ctype, ArrayType)
+        assert proto.ftype.parameters[0].ctype.length == 16
+
+    def test_unnamed_parameters(self, parser):
+        proto = parser.parse_prototype("int strcmp(const char *, const char *);")
+        assert proto.ftype.arity == 2
+        assert proto.ftype.parameters[0].name == ""
+
+    def test_trailing_garbage_rejected(self, parser):
+        with pytest.raises(ParseError):
+            parser.parse_prototype("int f(void); int g(void);")
+
+    def test_not_a_prototype_rejected(self, parser):
+        with pytest.raises(ParseError):
+            parser.parse_prototype("int x;")
+
+    def test_render_round_trip(self, parser):
+        decls = [
+            "char *asctime(const struct tm *tp);",
+            "void *memcpy(void *dest, const void *src, size_t n);",
+            "int fseek(FILE *stream, long offset, int whence);",
+            "unsigned long strtoul(const char *nptr, char **endptr, int base);",
+        ]
+        for text in decls:
+            proto = parser.parse_prototype(text)
+            reparsed = parser.parse_prototype(proto.render())
+            assert reparsed == proto
+
+
+class TestHeaders:
+    def test_struct_definition_does_not_leak_into_next_decl(self, parser):
+        header = (
+            "struct tm { int tm_sec; int tm_min; };\n"
+            "extern char *asctime(const struct tm *tm);\n"
+        )
+        protos = parser.parse_header(header)
+        assert len(protos) == 1
+        assert protos[0].ftype.return_type == PointerType(BaseType("char"))
+
+    def test_typedef_registration(self, parser):
+        header = "typedef unsigned long mysize_t;\nmysize_t f(mysize_t n);\n"
+        protos = parser.parse_header(header)
+        assert protos[0].name == "f"
+        resolved = parser.resolve(protos[0].ftype)
+        assert resolved.return_type == BaseType("unsigned long")
+
+    def test_error_recovery_skips_only_bad_declaration(self, parser):
+        header = (
+            "extern int good_one(int x);\n"
+            "int $$$totally(broken&;\n"
+            "extern int good_two(char *s);\n"
+        )
+        names = [p.name for p in parser.parse_header(header)]
+        assert "good_one" in names
+        assert "good_two" in names
+
+    def test_function_definitions_skipped_but_counted(self, parser):
+        header = "int inline_helper(int a)\n{\n  return a + 1;\n}\nint after(void);\n"
+        names = [p.name for p in parser.parse_header(header)]
+        assert names == ["inline_helper", "after"]
+
+    def test_variables_ignored(self, parser):
+        names = [p.name for p in parser.parse_header("extern int errno_var;\nint f(void);\n")]
+        assert names == ["f"]
+
+
+class TestResolveAndSizeof:
+    def test_resolve_keeps_const(self, parser):
+        proto = parser.parse_prototype("int f(const size_t n);")
+        resolved = parser.resolve(proto.ftype)
+        assert resolved.parameters[0].ctype == BaseType("unsigned long", const=True)
+
+    def test_resolve_opaque_records(self, parser):
+        proto = parser.parse_prototype("int fclose(FILE *fp);")
+        resolved = parser.resolve(proto.ftype)
+        assert resolved.parameters[0].ctype.pointee == BaseType("struct _IO_FILE")
+
+    def test_sizeof_scalars(self):
+        assert sizeof(BaseType("int")) == 4
+        assert sizeof(BaseType("long")) == 8
+        assert sizeof(BaseType("char")) == 1
+        assert sizeof(PointerType(BaseType("void"))) == 8
+
+    def test_sizeof_known_structs(self):
+        assert sizeof(BaseType("struct tm")) == 44
+        assert sizeof(BaseType("struct _IO_FILE")) == 216
+        assert sizeof(BaseType("struct termios")) == 60
+
+    def test_sizeof_typedef_resolution(self):
+        assert sizeof(BaseType("size_t")) == 8
+        assert sizeof(BaseType("FILE")) == 216
+
+    def test_sizeof_array(self):
+        assert sizeof(ArrayType(BaseType("int"), 10)) == 40

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "strcpy" in out
+        assert "ballista" in out
+        assert "111 functions" in out
+
+
+class TestExtract:
+    def test_prints_statistics(self, capsys):
+        assert main(["extract"]) == 0
+        out = capsys.readouterr().out
+        assert "man_coverage_pct" in out
+        assert "51.1" in out
+
+    def test_verbose_lists_routes(self, capsys):
+        assert main(["extract", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "asctime" in out
+        assert "man page headers" in out or "exhaustive" in out
+
+
+class TestInject:
+    def test_prints_declaration_xml(self, capsys):
+        assert main(["inject", "asctime"]) == 0
+        out = capsys.readouterr().out
+        assert "<robust_type>R_ARRAY_NULL[44]</robust_type>" in out
+        assert "calls" in out
+
+    def test_semi_auto_flag_applies_edits(self, capsys):
+        assert main(["inject", "--semi-auto", "closedir"]) == 0
+        out = capsys.readouterr().out
+        assert "<robust_type>OPEN_DIR</robust_type>" in out
+        assert "<assert>track_dir</assert>" in out
+
+    def test_unknown_function_fails(self, capsys):
+        assert main(["inject", "not_a_function"]) == 2
+        assert "unknown functions" in capsys.readouterr().err
+
+
+class TestHarden:
+    def test_writes_artifacts(self, tmp_path, capsys):
+        assert main(["harden", "asctime", "abs", "-o", str(tmp_path)]) == 0
+        wrapper_c = (tmp_path / "healers_wrapper.c").read_text()
+        assert "check_R_ARRAY_NULL" in wrapper_c
+        header = (tmp_path / "healers_checks.h").read_text()
+        assert "check_OPEN_FILE" in header
+        assert (tmp_path / "declarations.xml").exists()
+        out = capsys.readouterr().out
+        assert "1 unsafe / 1 safe" in out
+
+
+class TestBallista:
+    def test_subset_evaluation(self, capsys):
+        assert main(["ballista", "asctime", "strlen", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "unwrapped" in out
+        assert "semi-auto" in out
+        assert "'crash_pct': 0.0" in out.splitlines()[-1] or "semi-auto" in out
+
+    def test_unwrapped_only(self, capsys):
+        assert main(["ballista", "strlen", "--unwrapped-only"]) == 0
+        out = capsys.readouterr().out
+        assert "full-auto" not in out
+
+
+class TestBitflips:
+    def test_single_function_campaign(self, capsys):
+        assert main(["bitflips", "strlen"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("'function': 'strlen'") == 3  # three configurations
+
+
+class TestDiff:
+    def test_diff_command(self, tmp_path, capsys):
+        from repro.core import HealersPipeline
+        from repro.core.cache import save_declarations
+        from repro.typelattice import registry as R
+
+        hardened = HealersPipeline(functions=["asctime"]).run()
+        old = tmp_path / "old.xml"
+        new = tmp_path / "new.xml"
+        save_declarations(hardened.declarations, old)
+        retyped = {
+            "asctime": hardened.declarations["asctime"].with_robust_type(
+                0, R.R_ARRAY(52)
+            )
+        }
+        save_declarations(retyped, new)
+        assert main(["diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "asctime: retyped" in out
+        assert "wrappers to regenerate: asctime" in out

@@ -1,0 +1,105 @@
+"""Tests for the generated wrapper C source (paper Figure 5)."""
+
+import pytest
+
+from repro.declarations import declaration_from_report
+from repro.injector import inject_function
+from repro.wrapper import (
+    check_expression,
+    generate_preamble,
+    generate_wrapper_function,
+    generate_wrapper_library,
+)
+from repro.typelattice import registry as R
+
+
+@pytest.fixture(scope="module")
+def asctime_code():
+    declaration = declaration_from_report(inject_function("asctime"))
+    return generate_wrapper_function(declaration)
+
+
+class TestFigure5Shape:
+    def test_signature(self, asctime_code):
+        assert asctime_code.startswith("char * asctime (const struct tm *a1)")
+
+    def test_recursion_guard(self, asctime_code):
+        assert "if (in_flag)" in asctime_code
+        assert "in_flag = 1;" in asctime_code
+        assert "in_flag = 0;" in asctime_code
+
+    def test_check_call_matches_paper(self, asctime_code):
+        assert "if (!check_R_ARRAY_NULL(a1, 44))" in asctime_code
+
+    def test_error_path(self, asctime_code):
+        assert "errno = EINVAL;" in asctime_code
+        assert "ret = (char *) NULL;" in asctime_code
+        assert "goto PostProcessing;" in asctime_code
+
+    def test_forward_call_and_postprocessing(self, asctime_code):
+        assert "ret = (*libc_asctime) (a1);" in asctime_code
+        assert "PostProcessing: ;" in asctime_code
+        assert asctime_code.rstrip().endswith("}")
+        assert "return ret;" in asctime_code
+
+
+class TestCheckExpressions:
+    def test_unconstrained_needs_no_check(self):
+        assert check_expression(R.UNCONSTRAINED, "a1") is None
+        assert check_expression(R.ANY_INT, "a2") is None
+
+    def test_parameterized_checks_carry_size(self):
+        assert check_expression(R.RW_ARRAY(56), "a1") == "check_RW_ARRAY(a1, 56)"
+        assert check_expression(R.W_ARRAY_NULL(20), "a1") == "check_W_ARRAY_NULL(a1, 20)"
+
+    def test_scalar_checks_inline(self):
+        assert check_expression(R.INT_NONNEG, "a2") == "(a2 >= 0)"
+        assert check_expression(R.CHAR_RANGE, "c") == "check_CHAR_RANGE(c)"
+
+    def test_string_checks(self):
+        assert check_expression(R.MODE_STRING, "a2") == "check_MODE_STRING(a2)"
+        assert check_expression(R.CSTRING, "a1") == "check_CSTRING(a1)"
+
+
+class TestVoidAndVariadic:
+    def test_void_function_has_no_ret(self):
+        declaration = declaration_from_report(inject_function("rewinddir"))
+        code = generate_wrapper_function(declaration)
+        assert " ret;" not in code
+        assert "return;" in code
+        assert "return ret;" not in code
+
+    def test_variadic_signature(self):
+        declaration = declaration_from_report(inject_function("fprintf"))
+        code = generate_wrapper_function(declaration)
+        assert "..." in code.splitlines()[0]
+
+
+class TestLibraryAssembly:
+    @pytest.fixture(scope="class")
+    def declarations(self):
+        return {
+            name: declaration_from_report(inject_function(name))
+            for name in ("asctime", "abs", "strlen")
+        }
+
+    def test_preamble_resolves_only_unsafe(self, declarations):
+        preamble = generate_preamble(declarations)
+        assert 'dlsym(RTLD_NEXT, "asctime")' in preamble
+        assert 'dlsym(RTLD_NEXT, "strlen")' in preamble
+        assert "abs" not in preamble.replace("RTLD", "")
+
+    def test_library_skips_safe_functions(self, declarations):
+        source = generate_wrapper_library(declarations)
+        assert "asctime (" in source
+        assert "strlen (" in source
+        assert "int abs (" not in source  # safe: no wrapper emitted
+
+    def test_library_has_thread_local_flag(self, declarations):
+        source = generate_wrapper_library(declarations)
+        assert "__thread int in_flag" in source
+
+    def test_generated_code_is_balanced(self, declarations):
+        source = generate_wrapper_library(declarations)
+        assert source.count("{") == source.count("}")
+        assert source.count("(") == source.count(")")

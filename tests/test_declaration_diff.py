@@ -1,0 +1,102 @@
+"""Tests for release-to-release declaration diffing."""
+
+import pytest
+
+from repro.declarations import (
+    ChangeKind,
+    FunctionDeclaration,
+    declaration_from_report,
+    diff_declarations,
+)
+from repro.injector import FaultInjector, inject_function
+from repro.libc.catalog import BY_NAME, FunctionSpec
+from repro.typelattice import registry as R
+
+
+@pytest.fixture(scope="module")
+def v22():
+    return {
+        "asctime": declaration_from_report(inject_function("asctime")),
+        "abs": declaration_from_report(inject_function("abs")),
+        "strlen": declaration_from_report(inject_function("strlen")),
+    }
+
+
+class TestDiffKinds:
+    def test_identical_sets_are_unchanged(self, v22):
+        diff = diff_declarations(v22, v22)
+        assert not diff.changed
+        assert diff.needs_regeneration == []
+
+    def test_added_and_removed(self, v22):
+        new = dict(v22)
+        removed = new.pop("strlen")
+        new["strcat"] = removed  # pretend a new export
+        diff = diff_declarations(v22, {**new})
+        kinds = {c.name: c.kind for c in diff.changes}
+        assert kinds["strlen"] is ChangeKind.REMOVED
+        assert kinds["strcat"] is ChangeKind.ADDED
+        assert "strcat" in diff.needs_regeneration
+        assert "strlen" not in diff.needs_regeneration
+
+    def test_retyped_argument_reported_with_detail(self, v22):
+        new = dict(v22)
+        new["asctime"] = v22["asctime"].with_robust_type(0, R.R_ARRAY(52))
+        diff = diff_declarations(v22, new)
+        change = next(c for c in diff.changes if c.name == "asctime")
+        assert change.kind is ChangeKind.RETYPED
+        assert "R_ARRAY_NULL[44] -> R_ARRAY[52]" in change.details[0]
+        assert "asctime" in diff.needs_regeneration
+
+    def test_safety_transitions(self, v22):
+        import dataclasses
+
+        new = dict(v22)
+        new["abs"] = dataclasses.replace(v22["abs"], attribute="unsafe")
+        new["asctime"] = dataclasses.replace(v22["asctime"], attribute="safe")
+        diff = diff_declarations(v22, new)
+        kinds = {c.name: c.kind for c in diff.changes}
+        assert kinds["abs"] is ChangeKind.LESS_SAFE
+        assert kinds["asctime"] is ChangeKind.SAFER
+        assert "abs" in diff.needs_regeneration
+        assert "asctime" not in diff.needs_regeneration
+
+    def test_errno_change(self, v22):
+        import dataclasses
+
+        new = dict(v22)
+        new["asctime"] = dataclasses.replace(
+            v22["asctime"], error_value_text="-1", error_value=-1
+        )
+        diff = diff_declarations(v22, new)
+        change = next(c for c in diff.changes if c.name == "asctime")
+        assert change.kind is ChangeKind.ERRNO_CHANGED
+
+    def test_summary_counts(self, v22):
+        new = dict(v22)
+        new["asctime"] = v22["asctime"].with_robust_type(0, R.R_ARRAY(52))
+        diff = diff_declarations(v22, new)
+        summary = diff.summary()
+        assert summary["retyped"] == 1
+        assert summary["unchanged"] == 2
+
+
+class TestEndToEndReleaseDiff:
+    def test_regression_release_shows_up_in_diff(self, v22):
+        """Wire the diff to the simulated v2.4 asctime regression from
+        the release-adaptation scenario."""
+        from tests.test_release_adaptation import asctime_v24
+
+        base = BY_NAME["asctime"]
+        spec = FunctionSpec(
+            name="asctime", prototype=base.prototype, model=asctime_v24,
+            headers=base.headers, version="GLIBC_2.4",
+        )
+        new_decl = declaration_from_report(FaultInjector(spec).run(), "GLIBC_2.4")
+        diff = diff_declarations(
+            {"asctime": v22["asctime"]}, {"asctime": new_decl}
+        )
+        change = diff.changes[0]
+        assert change.kind is ChangeKind.RETYPED
+        assert diff.new_version == "GLIBC_2.4"
+        assert "asctime" in diff.needs_regeneration

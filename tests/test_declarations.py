@@ -1,0 +1,125 @@
+"""Tests for function declarations: Figure 2 XML, round trips, manual
+edits."""
+
+import pytest
+
+from repro.declarations import (
+    ArgumentDeclaration,
+    FunctionDeclaration,
+    apply_manual_edits,
+    declaration_from_report,
+    fallback_error_value,
+)
+from repro.injector import inject_function
+from repro.libc.errno_codes import EINVAL
+from repro.typelattice import registry as R
+
+
+@pytest.fixture(scope="module")
+def asctime_declaration():
+    return declaration_from_report(inject_function("asctime"))
+
+
+class TestFigure2:
+    def test_asctime_declaration_matches_figure_2(self, asctime_declaration):
+        decl = asctime_declaration
+        assert decl.name == "asctime"
+        assert decl.arguments[0].ctype == "const struct tm *"
+        assert decl.arguments[0].robust_type.render() == "R_ARRAY_NULL[44]"
+        assert decl.return_type.strip() == "char *"
+        assert decl.error_value_text == "NULL"
+        assert EINVAL in decl.errnos
+        assert decl.attribute == "unsafe"
+
+    def test_xml_contains_figure_2_elements(self, asctime_declaration):
+        xml = asctime_declaration.to_xml()
+        for snippet in (
+            "<name>asctime</name>",
+            "<robust_type>R_ARRAY_NULL[44]</robust_type>",
+            "<error_value>NULL</error_value>",
+            "<errno>EINVAL</errno>",
+            "<attribute>unsafe</attribute>",
+        ):
+            assert snippet in xml
+
+    def test_xml_round_trip(self, asctime_declaration):
+        parsed = FunctionDeclaration.from_xml(asctime_declaration.to_xml())
+        assert parsed.name == asctime_declaration.name
+        assert parsed.arguments == asctime_declaration.arguments
+        assert parsed.error_value == asctime_declaration.error_value
+        assert parsed.errnos == asctime_declaration.errnos
+        assert parsed.attribute == asctime_declaration.attribute
+
+    def test_round_trip_preserves_assertions(self, asctime_declaration):
+        edited = asctime_declaration.with_assertions("track_dir", "track_file")
+        parsed = FunctionDeclaration.from_xml(edited.to_xml())
+        assert parsed.assertions == ("track_dir", "track_file")
+
+    def test_from_xml_rejects_other_roots(self):
+        with pytest.raises(ValueError):
+            FunctionDeclaration.from_xml("<banana/>")
+
+
+class TestFallbackErrorValues:
+    def test_pointer_returns_null(self):
+        assert fallback_error_value("char *") == (0, "NULL")
+
+    def test_signed_returns_minus_one(self):
+        assert fallback_error_value("int") == (-1, "-1")
+        assert fallback_error_value("long") == (-1, "-1")
+
+    def test_unsigned_returns_zero(self):
+        assert fallback_error_value("unsigned long") == (0, "0")
+
+    def test_void_and_double(self):
+        assert fallback_error_value("void") == (None, "none")
+        assert fallback_error_value("double") == (0.0, "0.0")
+
+
+class TestManualEdits:
+    def _decl(self, name):
+        return declaration_from_report(inject_function(name))
+
+    def test_closedir_gets_open_dir_and_assertion(self):
+        edited = apply_manual_edits(self._decl("closedir"))
+        assert edited.arguments[0].robust_type == R.OPEN_DIR
+        assert "track_dir" in edited.assertions
+
+    def test_fclose_gets_file_tracking(self):
+        edited = apply_manual_edits(self._decl("fclose"))
+        assert "track_file" in edited.assertions
+        assert edited.arguments[0].robust_type.name.startswith("OPEN_FILE")
+
+    def test_strtok_gets_state_assertion_and_writable_type(self):
+        edited = apply_manual_edits(self._decl("strtok"))
+        assert "strtok_state" in edited.assertions
+        assert edited.arguments[0].robust_type == R.WRITABLE_STRING_NULL
+
+    def test_qsort_comparator_strengthened(self):
+        edited = apply_manual_edits(self._decl("qsort"))
+        assert edited.arguments[3].robust_type == R.FUNCPTR
+        assert edited.arguments[0].robust_type.name == "RW_ARRAY"
+
+    def test_strtol_conversion_edit(self):
+        edited = apply_manual_edits(self._decl("strtol"))
+        assert edited.arguments[0].robust_type == R.CSTRING
+        assert edited.arguments[1].robust_type.render() == "W_ARRAY_NULL[8]"
+
+    def test_tmpnam_size_fixed(self):
+        edited = apply_manual_edits(self._decl("tmpnam"))
+        assert edited.arguments[0].robust_type.render() == "W_ARRAY_NULL[20]"
+
+    def test_unknown_function_passes_through(self):
+        decl = self._decl("abs")
+        assert apply_manual_edits(decl) == decl
+
+    def test_with_robust_type_is_pure(self, asctime_declaration):
+        edited = asctime_declaration.with_robust_type(0, R.UNCONSTRAINED)
+        assert asctime_declaration.arguments[0].robust_type != R.UNCONSTRAINED
+        assert edited.arguments[0].robust_type == R.UNCONSTRAINED
+
+    def test_needs_manual_attention_flag(self):
+        argument = ArgumentDeclaration("DIR *", R.RW_ARRAY(72), R.OPEN_DIR)
+        assert argument.needs_manual_attention
+        plain = ArgumentDeclaration("int", R.ANY_INT)
+        assert not plain.needs_manual_attention

@@ -1,0 +1,39 @@
+"""Keep the examples from bit-rotting: compile all, run the quick one."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_example_set_is_complete():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "harden_library.py",
+        "robustness_evaluation.py",
+        "security_hardening.py",
+        "extraction_pipeline.py",
+        "bitflip_campaign.py",
+    } <= names
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "R_ARRAY_NULL[44]" in result.stdout
+    assert "All crash failures prevented" in result.stdout

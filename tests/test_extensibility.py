@@ -1,0 +1,162 @@
+"""The extensible type system, exercised end to end (section 4.2).
+
+"Our system has generic test case generators for all basic types,
+pointers, and structures. ... However, we also permit the addition of
+new test case generators that contain specific test cases for certain
+types.  Each test case generator can define a set of types and their
+relationship to each other and potentially to types defined by other
+generators."
+
+This test registers a *new* family — network sockets, a type the
+reproduction does not ship — with its own fundamental and unified
+types and its own generator, then runs the standard fault injector
+over a socket-using function and checks the new types flow through
+robust-type computation, declarations and the wrapper untouched.
+"""
+
+import pytest
+
+from repro.declarations import declaration_from_report
+from repro.injector import FaultInjector
+from repro.libc.catalog import FunctionSpec
+from repro.libc.errno_codes import EBADF, EINVAL
+from repro.generators.base import Materialized, TestCaseGenerator, ValueTemplate
+from repro.typelattice.instances import TypeInstance
+from repro.typelattice.rules import DIRECT_RULES
+from repro.memory import SegmentationFault, AccessKind
+
+# ----------------------------------------------------------------------
+# 1. new types: three fundamentals, two unified, plus a family top
+# ----------------------------------------------------------------------
+
+SOCK_TCP = TypeInstance("SOCK_TCP", fundamental=True, family="socket")
+SOCK_UDP = TypeInstance("SOCK_UDP", fundamental=True, family="socket")
+SOCK_CLOSED = TypeInstance("SOCK_CLOSED", fundamental=True, family="socket")
+OPEN_SOCKET = TypeInstance("OPEN_SOCKET", family="socket")
+ANY_SOCKET = TypeInstance("ANY_SOCKET", family="socket")
+
+_NEW_RULES = {
+    ("SOCK_TCP", "OPEN_SOCKET"),
+    ("SOCK_UDP", "OPEN_SOCKET"),
+    ("OPEN_SOCKET", "ANY_SOCKET"),
+    ("SOCK_CLOSED", "ANY_SOCKET"),
+}
+
+
+@pytest.fixture()
+def socket_family():
+    """Register the socket family's types and subtype rules, then
+    clean up (the paper's generator-registration step)."""
+    from repro.typelattice.registry import (
+        register_extension_types,
+        unregister_extension_types,
+    )
+
+    instances = (SOCK_TCP, SOCK_UDP, SOCK_CLOSED, OPEN_SOCKET, ANY_SOCKET)
+    register_extension_types(*instances)
+    for edge in _NEW_RULES:
+        DIRECT_RULES[edge] = lambda sub, sup: True
+    try:
+        yield
+    finally:
+        unregister_extension_types(*instances)
+        for edge in _NEW_RULES:
+            DIRECT_RULES.pop(edge, None)
+
+
+# ----------------------------------------------------------------------
+# 2. a new test case generator producing those fundamentals
+# ----------------------------------------------------------------------
+
+#: socket numbers the fake socket layer knows about.
+TCP_SOCKET, UDP_SOCKET, CLOSED_SOCKET = 1001, 1002, 1003
+
+
+class SocketGenerator(TestCaseGenerator):
+    name = "socket"
+
+    def __init__(self):
+        self._templates = [
+            ValueTemplate(TCP_SOCKET, SOCK_TCP),
+            ValueTemplate(UDP_SOCKET, SOCK_UDP),
+            ValueTemplate(CLOSED_SOCKET, SOCK_CLOSED),
+            ValueTemplate(-1, SOCK_CLOSED, "SOCK_CLOSED=-1"),
+        ]
+
+    def templates(self):
+        return self._templates
+
+
+# ----------------------------------------------------------------------
+# 3. a socket-using "library function": send-ish semantics
+# ----------------------------------------------------------------------
+
+def libc_sock_send(ctx, sockfd: int, buf: int, length: int) -> int:
+    """Sends length bytes: crashes for closed sockets (stale kernel
+    object dereference), errors for UDP (wrong protocol here)."""
+    payload_probe = ctx.mem.load(buf, min(length, 1)) if length else b""
+    if sockfd == UDP_SOCKET:
+        ctx.set_errno(EINVAL)
+        return -1
+    if sockfd != TCP_SOCKET:
+        # Dereference of a freed socket object.
+        raise SegmentationFault(0xC0C0DEAD, AccessKind.READ)
+    ctx.step(length)
+    return length
+
+
+class PatchedInjector(FaultInjector):
+    """An injector whose generator selection knows socket arguments —
+    the hook point the paper's generator registration corresponds to."""
+
+    def __init__(self, spec):
+        super().__init__(spec)
+        # argument 0 is the socket; replace the generic int generator.
+        self.generators[0] = [SocketGenerator()]
+
+
+@pytest.fixture()
+def report(socket_family):
+    spec = FunctionSpec(
+        name="sock_send",
+        prototype="long sock_send(int sockfd, const void *buf, size_t length);",
+        model=libc_sock_send,
+        headers=("sys/socket.h",),
+    )
+    return PatchedInjector(spec).run()
+
+
+class TestSocketFamily:
+    def test_injector_discovers_open_socket(self, report):
+        """The new unified type is computed as the robust type without
+        any changes to the core algorithms."""
+        assert report.robust_types[0].robust == OPEN_SOCKET
+
+    def test_other_arguments_unaffected(self, report):
+        # buf is unconstrained (length=0 lets NULL "succeed", the
+        # usual early-exit pattern); the size argument is confined to
+        # reasonable values because huge lengths hang the send loop.
+        assert report.robust_types[1].robust.family == "ptr"
+        assert report.robust_types[2].robust.name in ("ANY_SIZE", "REASONABLE_SIZE")
+
+    def test_errno_classification_still_works(self, report):
+        assert report.errno_class.kind == "consistent"
+        assert report.errno_class.error_value == -1
+
+    def test_declaration_round_trips_new_types(self, report):
+        from repro.declarations import FunctionDeclaration
+
+        declaration = declaration_from_report(report)
+        parsed = FunctionDeclaration.from_xml(declaration.to_xml())
+        assert parsed.arguments[0].robust_type.name == "OPEN_SOCKET"
+
+    def test_lattice_order_includes_new_edges(self, socket_family):
+        from repro.typelattice import Lattice
+
+        lattice = Lattice(
+            [SOCK_TCP, SOCK_UDP, SOCK_CLOSED, OPEN_SOCKET, ANY_SOCKET]
+        )
+        assert lattice.is_subtype(SOCK_TCP, OPEN_SOCKET)
+        assert lattice.is_subtype(SOCK_UDP, ANY_SOCKET)
+        assert not lattice.is_subtype(SOCK_CLOSED, OPEN_SOCKET)
+        assert lattice.weakest([SOCK_TCP, OPEN_SOCKET, ANY_SOCKET]) == [ANY_SOCKET]

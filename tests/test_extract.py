@@ -1,0 +1,172 @@
+"""Tests for symbol tables, corpora and the extraction pipeline
+(paper section 3)."""
+
+import pytest
+
+from repro.extract import Extractor, Route
+from repro.headers import HeaderCorpus, build_header
+from repro.manpages import ManPageCorpus, render_page, synopsis_headers
+from repro.syslib import (
+    SymbolTable,
+    build_environment,
+    extract_external_names,
+    parse_objdump,
+)
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return build_environment()
+
+
+@pytest.fixture(scope="module")
+def report(environment):
+    return Extractor(environment).run()
+
+
+class TestSymbolTable:
+    def test_underscore_convention(self):
+        table = SymbolTable("libtest.so")
+        table.add("public_fn")
+        table.add("_IO_internal")
+        table.add("__libc_hidden")
+        assert [s.name for s in table.external_functions()] == ["public_fn"]
+        assert table.internal_fraction() == pytest.approx(2 / 3)
+
+    def test_objdump_round_trip(self):
+        table = SymbolTable("libc.so.6")
+        table.add("strcpy")
+        table.add("_IO_fflush")
+        table.add("weak_fn", binding="w")
+        text = table.objdump_output()
+        parsed = parse_objdump(text)
+        assert [s.name for s in parsed.symbols] == ["strcpy", "_IO_fflush", "weak_fn"]
+        assert parsed.symbols[0].version == "GLIBC_2.2"
+        assert extract_external_names(parsed) == ["strcpy", "weak_fn"]
+
+
+class TestCorpora:
+    def test_header_include_closure(self):
+        corpus = HeaderCorpus()
+        corpus.add("a.h", '#include <b.h>\nint fa(void);\n')
+        corpus.add("b.h", '#include <c.h>\nint fb(void);\n')
+        corpus.add("c.h", "int fc(void);\n")
+        assert corpus.transitive_closure(["a.h"]) == ["a.h", "b.h", "c.h"]
+
+    def test_header_builder_produces_parseable_text(self):
+        from repro.cdecl import DeclarationParser, typedef_table
+
+        text = build_header("test.h", ["int f(int x);", "char *g(void);"],
+                            noise_macros=("FOO 1",))
+        names = [p.name for p in DeclarationParser(typedef_table()).parse_header(text)]
+        assert names == ["f", "g"]
+
+    def test_man_page_synopsis_parsing(self):
+        page = render_page("fopen", ["stdio.h", "stdlib.h"],
+                           "FILE *fopen(const char *p, const char *m);")
+        assert synopsis_headers(page) == ["stdio.h", "stdlib.h"]
+
+    def test_synopsis_ignores_includes_outside_section(self):
+        page = (
+            "NAME\n   f - thing\nSYNOPSIS\n   #include <good.h>\n\n"
+            "DESCRIPTION\n   Mentioning #include <bad.h> in prose.\n"
+        )
+        assert synopsis_headers(page) == ["good.h"]
+
+    def test_man_corpus_coverage(self):
+        corpus = ManPageCorpus()
+        corpus.add("f", "page")
+        assert corpus.coverage(["f", "g"]) == 0.5
+
+
+class TestSyntheticEnvironment:
+    def test_environment_is_deterministic(self, environment):
+        again = build_environment()
+        assert again.external_names == environment.external_names
+        assert again.headers.paths() == environment.headers.paths()
+
+    def test_modeled_functions_all_declared(self, environment):
+        from repro.libc.catalog import CATALOG
+
+        for spec in CATALOG:
+            truth = environment.ground_truth[spec.name]
+            assert truth.headers, f"{spec.name} declared nowhere"
+
+    def test_ground_truth_consistency(self, environment):
+        for truth in environment.ground_truth.values():
+            if truth.has_man_page:
+                assert environment.man_pages.page_for(truth.name) is not None
+            if not truth.headers:
+                # Declared nowhere implies: genuinely not in any header.
+                for path in environment.headers.paths():
+                    text = environment.headers.read(path)
+                    assert f" {truth.name}(" not in text
+
+
+class TestExtractionStatistics:
+    """The section 3.1/3.2 percentages."""
+
+    def test_internal_fraction_exceeds_34_percent(self, report):
+        assert report.stats.internal_fraction > 0.34
+
+    def test_man_coverage_near_51_percent(self, report):
+        assert abs(report.stats.man_coverage - 0.511) < 0.005
+
+    def test_man_defect_rates(self, report):
+        assert abs(report.stats.man_no_header_fraction - 0.012) < 0.005
+        assert abs(report.stats.man_wrong_header_fraction - 0.077) < 0.005
+
+    def test_found_fraction_near_96_percent(self, report):
+        assert abs(report.stats.found_fraction - 0.960) < 0.005
+
+    def test_counts_are_consistent(self, report):
+        stats = report.stats
+        assert (
+            stats.found_via_man + stats.found_via_search + stats.not_found
+            == stats.external_functions
+        )
+
+
+class TestExtractionCorrectness:
+    def test_all_modeled_functions_extracted(self, report):
+        from repro.libc.catalog import CATALOG
+
+        for spec in CATALOG:
+            extracted = report.functions[spec.name]
+            assert extracted.prototype is not None, spec.name
+            assert extracted.prototype.name == spec.name
+
+    def test_extracted_types_match_catalog(self, report):
+        from repro.cdecl import DeclarationParser, typedef_table
+        from repro.libc.catalog import BY_NAME
+
+        parser = DeclarationParser(typedef_table())
+        for name in ("asctime", "fopen", "qsort", "strtol", "tcgetattr"):
+            expected = parser.parse_prototype(BY_NAME[name].prototype)
+            extracted = report.prototypes()[name]
+            assert extracted.ftype == expected.ftype, name
+
+    def test_man_route_preferred_when_page_is_right(self, report, environment):
+        for name, extracted in report.functions.items():
+            truth = environment.ground_truth[name]
+            if truth.has_man_page and truth.man_headers_correct and truth.headers:
+                assert extracted.route is Route.MAN_PAGE, name
+
+    def test_wrong_man_headers_fall_back_to_search(self, report, environment):
+        fallback_cases = [
+            name
+            for name, truth in environment.ground_truth.items()
+            if truth.has_man_page and not truth.man_headers_correct and truth.headers
+        ]
+        assert fallback_cases, "corpus must contain wrong-header pages"
+        for name in fallback_cases:
+            assert report.functions[name].route is Route.EXHAUSTIVE, name
+
+    def test_nowhere_functions_not_found(self, report, environment):
+        missing = [
+            name for name, truth in environment.ground_truth.items()
+            if not truth.headers
+        ]
+        assert missing
+        for name in missing:
+            assert report.functions[name].route is Route.NOT_FOUND

@@ -1,0 +1,128 @@
+"""Tests for the printf/scanf format engine and numeric helpers."""
+
+import pytest
+
+from repro.libc import BY_NAME, common, standard_runtime
+from repro.memory import INVALID_POINTER, NULL
+from repro.sandbox import Sandbox
+
+
+@pytest.fixture()
+def env():
+    return standard_runtime(), Sandbox()
+
+
+def call(env, name, *args):
+    runtime, sandbox = env
+    return sandbox.call(BY_NAME[name].model, args, runtime)
+
+
+def cstr(env, text):
+    return env[0].space.alloc_cstring(text).base
+
+
+def written(env, path="/tmp/fmt.txt"):
+    return bytes(env[0].kernel.lookup(path).data)
+
+
+def out_fp(env, path="/tmp/fmt.txt"):
+    return call(env, "fopen", cstr(env, path), cstr(env, "w")).return_value
+
+
+class TestFormatDirectives:
+    def test_decimal_and_unsigned(self, env):
+        fp = out_fp(env)
+        call(env, "fprintf", fp, cstr(env, "%d|%u"), -5, 5)
+        assert written(env) == b"-5|5"
+
+    def test_hex(self, env):
+        fp = out_fp(env)
+        call(env, "fprintf", fp, cstr(env, "%x"), 0xBEEF)
+        assert written(env) == b"beef"
+
+    def test_char(self, env):
+        fp = out_fp(env)
+        call(env, "fprintf", fp, cstr(env, "[%c]"), ord("Q"))
+        assert written(env) == b"[Q]"
+
+    def test_percent_escape(self, env):
+        fp = out_fp(env)
+        call(env, "fprintf", fp, cstr(env, "100%%"))
+        assert written(env) == b"100%"
+
+    def test_string_argument(self, env):
+        fp = out_fp(env)
+        call(env, "fprintf", fp, cstr(env, "<%s>"), cstr(env, "mid"))
+        assert written(env) == b"<mid>"
+
+    def test_unknown_directive_passed_through(self, env):
+        fp = out_fp(env)
+        call(env, "fprintf", fp, cstr(env, "%q!"))
+        assert written(env) == b"%q!"
+
+    def test_string_with_null_argument_crashes(self, env):
+        fp = out_fp(env)
+        assert call(env, "fprintf", fp, cstr(env, "%s"), NULL).crashed
+
+    def test_missing_argument_reads_invalid_slot(self, env):
+        fp = out_fp(env)
+        out = call(env, "fprintf", fp, cstr(env, "%s %s"), cstr(env, "one"))
+        assert out.crashed
+        assert out.fault_address == INVALID_POINTER
+
+    def test_trailing_percent_terminates(self, env):
+        fp = out_fp(env)
+        out = call(env, "fprintf", fp, cstr(env, "end%"))
+        assert out.returned
+
+
+class TestScanfEngine:
+    def _input(self, env, content, fmt, *args):
+        runtime, _ = env
+        fp = out_fp(env, "/tmp/scan_in.txt")
+        call(env, "fputs", cstr(env, content), fp)
+        call(env, "fclose", fp)
+        fp = call(env, "fopen", cstr(env, "/tmp/scan_in.txt"),
+                  cstr(env, "r")).return_value
+        return call(env, "fscanf", fp, cstr(env, fmt), *args)
+
+    def test_multiple_conversions(self, env):
+        runtime, _ = env
+        a = runtime.space.map_region(8).base
+        b = runtime.space.map_region(8).base
+        out = self._input(env, "10 20", "%d %d", a, b)
+        assert out.return_value == 2
+        assert runtime.space.load_i32(a) == 10
+        assert runtime.space.load_i32(b) == 20
+
+    def test_mismatch_stops_early(self, env):
+        runtime, _ = env
+        a = runtime.space.map_region(8).base
+        out = self._input(env, "notanumber", "%d", a)
+        assert out.return_value == -1  # EOF-like: nothing converted
+
+    def test_string_conversion_writes_through_pointer(self, env):
+        runtime, _ = env
+        word = runtime.space.map_region(16).base
+        out = self._input(env, "token rest", "%s", word)
+        assert out.return_value == 1
+        assert runtime.space.read_cstring(word) == b"token"
+
+    def test_scanf_into_bad_pointer_crashes(self, env):
+        out = self._input(env, "42", "%d", INVALID_POINTER)
+        assert out.crashed
+
+
+class TestNumericHelpers:
+    def test_to_int32_wraps(self):
+        assert common.to_int32(2**31) == -(2**31)
+        assert common.to_int32(-(2**31) - 1) == 2**31 - 1
+        assert common.to_int32(5) == 5
+
+    def test_to_int64_wraps(self):
+        assert common.to_int64(2**63) == -(2**63)
+        assert common.to_int64(-1) == -1
+
+    def test_to_uint64(self):
+        assert common.to_uint64(-1) == 2**64 - 1
+        assert common.to_uint64(2**64 + 7) == 7

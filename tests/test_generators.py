@@ -1,0 +1,214 @@
+"""Tests for the test case generators and generator selection."""
+
+import pytest
+
+from repro.cdecl import DeclarationParser, typedef_table
+from repro.generators import (
+    AdaptiveArrayTemplate,
+    CStringGenerator,
+    DirPointerGenerator,
+    FdGenerator,
+    FilePointerGenerator,
+    FixedArrayGenerator,
+    FuncPtrGenerator,
+    GARBAGE_POINTER,
+    IntGenerator,
+    MAX_ARRAY_SIZE,
+    RealGenerator,
+    SizeGenerator,
+    generators_for,
+)
+from repro.libc.runtime import standard_runtime
+from repro.memory import AccessKind, Protection, SegmentationFault
+
+
+@pytest.fixture()
+def runtime():
+    return standard_runtime()
+
+
+class TestAdaptiveArray:
+    def test_starts_at_zero_size(self, runtime):
+        template = AdaptiveArrayTemplate(Protection.RW)
+        case = template.materialize(runtime)
+        assert case.fundamental.render() == "RW_FIXED[0]"
+
+    def test_grows_incrementally_on_end_fault(self, runtime):
+        template = AdaptiveArrayTemplate(Protection.RW)
+        case = template.materialize(runtime)
+        fault = SegmentationFault(case.value, AccessKind.READ, "past region end")
+        assert template.adjust(fault, case)
+        assert template.size == 4
+        case = template.materialize(runtime)
+        fault = SegmentationFault(case.value + 4, AccessKind.READ)
+        assert template.adjust(fault, case)
+        assert template.size == 8
+
+    def test_doubles_after_additive_limit(self, runtime):
+        from repro.generators.arrays import ADDITIVE_LIMIT
+
+        template = AdaptiveArrayTemplate(Protection.RW, initial_size=ADDITIVE_LIMIT)
+        case = template.materialize(runtime)
+        fault = SegmentationFault(case.value + ADDITIVE_LIMIT, AccessKind.READ)
+        assert template.adjust(fault, case)
+        assert template.size == 2 * ADDITIVE_LIMIT
+
+    def test_gives_up_at_max_size(self, runtime):
+        template = AdaptiveArrayTemplate(Protection.RW, initial_size=MAX_ARRAY_SIZE)
+        case = template.materialize(runtime)
+        fault = SegmentationFault(case.value + MAX_ARRAY_SIZE, AccessKind.READ)
+        assert not template.adjust(fault, case)
+        assert template.gave_up
+
+    def test_content_derived_fault_gives_up(self, runtime):
+        template = AdaptiveArrayTemplate(Protection.RW, initial_size=16)
+        case = template.materialize(runtime)
+        fault = SegmentationFault(GARBAGE_POINTER, AccessKind.READ)
+        assert not template.adjust(fault, case)
+        assert template.gave_up
+
+    def test_wrong_protection_jumps_to_max_then_gives_up(self, runtime):
+        """The enlarge-until-out-of-memory arm: a write fault inside a
+        read-only buffer records the failure at the maximum size."""
+        template = AdaptiveArrayTemplate(Protection.READ, initial_size=12)
+        case = template.materialize(runtime)
+        fault = SegmentationFault(case.value + 8, AccessKind.WRITE, "protection")
+        assert template.adjust(fault, case)
+        assert template.size == MAX_ARRAY_SIZE
+        case = template.materialize(runtime)
+        fault = SegmentationFault(case.value + 8, AccessKind.WRITE, "protection")
+        assert not template.adjust(fault, case)
+
+    def test_ownership_covers_buffer_guard_and_garbage(self, runtime):
+        template = AdaptiveArrayTemplate(Protection.RW, initial_size=8)
+        case = template.materialize(runtime)
+        assert case.owns(case.value)
+        assert case.owns(case.value + 8)  # guard zone
+        assert case.owns(GARBAGE_POINTER)
+        assert not case.owns(0)
+
+    def test_materialized_content_is_garbage_filled(self, runtime):
+        template = AdaptiveArrayTemplate(Protection.READ, initial_size=8)
+        case = template.materialize(runtime)
+        assert runtime.space.load(case.value, 8) == b"\xa5" * 8
+
+
+class TestGeneratorSequences:
+    def test_fixed_array_generator_has_five_fundamental_kinds(self):
+        names = set()
+        for template in FixedArrayGenerator().templates():
+            names.add(template.label.split("[")[0].split("=")[0])
+        assert {"NULL", "INVALID", "RONLY_FIXED", "RW_FIXED", "WONLY_FIXED"} <= names
+
+    def test_string_generator_covers_all_string_fundamentals(self, runtime):
+        fundamentals = {
+            t.materialize(runtime).fundamental.name
+            for t in CStringGenerator().templates()
+        }
+        assert {"NULL", "INVALID", "STRING_RO", "STRING_RW", "VALID_MODE",
+                "VALID_FORMAT"} <= fundamentals
+
+    def test_string_templates_are_terminated(self, runtime):
+        for template in CStringGenerator().templates():
+            case = template.materialize(runtime)
+            if case.fundamental.name.startswith(("STRING", "VALID")):
+                runtime.space.read_cstring(case.value)  # must not fault
+
+    def test_file_generator_materializes_open_streams(self, runtime):
+        from repro.libc.fileio import OFF_FD
+
+        for template in FilePointerGenerator().templates():
+            case = template.materialize(runtime)
+            if case.fundamental.name.endswith("_FILE") and not case.fundamental.name.startswith(("CORRUPT", "STALE")):
+                fd = runtime.space.load_i32(case.value + OFF_FD)
+                assert runtime.kernel.fd_mode(fd) is not None
+
+    def test_corrupt_file_has_valid_fd_but_bad_buffer(self, runtime):
+        from repro.generators.files_gen import CorruptFileTemplate, CORRUPT_POINTER
+        from repro.libc.fileio import OFF_BUF, OFF_FD
+
+        case = CorruptFileTemplate().materialize(runtime)
+        fd = runtime.space.load_i32(case.value + OFF_FD)
+        assert runtime.kernel.fd_mode(fd) is not None
+        assert runtime.space.load_u64(case.value + OFF_BUF) == CORRUPT_POINTER
+        assert case.owns(CORRUPT_POINTER)
+
+    def test_dir_generator_variants(self, runtime):
+        fundamentals = {
+            t.materialize(runtime).fundamental.name
+            for t in DirPointerGenerator().templates()
+        }
+        assert {"NULL", "INVALID", "OPEN_DIR", "CORRUPT_DIR", "STALE_DIR"} == fundamentals
+
+    def test_int_generator_boundary_values(self, runtime):
+        by_fundamental = {}
+        for template in IntGenerator().templates():
+            case = template.materialize(runtime)
+            by_fundamental.setdefault(case.fundamental.name, []).append(case.value)
+        assert all(-128 <= v <= -1 for v in by_fundamental["INT_SMALL_NEG"])
+        assert all(1 <= v <= 255 for v in by_fundamental["INT_SMALL_POS"])
+        assert all(v < -128 for v in by_fundamental["INT_BIG_NEG"])
+        assert all(v > 255 for v in by_fundamental["INT_BIG_POS"])
+
+    def test_fd_generator_opens_real_descriptors(self, runtime):
+        for template in FdGenerator().templates():
+            case = template.materialize(runtime)
+            if case.fundamental.name in ("FD_RONLY", "FD_RW", "FD_WONLY"):
+                assert runtime.kernel.fd_mode(case.value) is not None
+            if case.fundamental.name == "FD_CLOSED":
+                assert runtime.kernel.fd_mode(case.value) is None
+
+    def test_funcptr_generator_registers_callable(self, runtime):
+        for template in FuncPtrGenerator().templates():
+            case = template.materialize(runtime)
+            if case.fundamental.name == "VALID_FUNCPTR":
+                assert case.value in runtime.funcptrs
+
+
+class TestSelection:
+    @pytest.fixture()
+    def parser(self):
+        return DeclarationParser(typedef_table())
+
+    def _generators(self, parser, prototype, index):
+        proto = parser.parse_prototype(prototype)
+        param = proto.ftype.parameters[index]
+        resolved = parser.resolve(param.ctype)
+        return [type(g).__name__ for g in generators_for(param, resolved, param.ctype)]
+
+    def test_char_pointer_gets_string_and_array(self, parser):
+        names = self._generators(parser, "size_t strlen(const char *s);", 0)
+        assert names == ["CStringGenerator", "FixedArrayGenerator"]
+
+    def test_file_pointer_gets_specific_generator(self, parser):
+        names = self._generators(parser, "int fclose(FILE *fp);", 0)
+        assert names == ["FilePointerGenerator", "FixedArrayGenerator"]
+
+    def test_dir_pointer(self, parser):
+        names = self._generators(parser, "int closedir(DIR *d);", 0)
+        assert names == ["DirPointerGenerator", "FixedArrayGenerator"]
+
+    def test_struct_pointer_generic_array(self, parser):
+        names = self._generators(parser, "char *asctime(const struct tm *tp);", 0)
+        assert names == ["FixedArrayGenerator"]
+
+    def test_fd_by_name_heuristic(self, parser):
+        names = self._generators(parser, "int isatty(int fd);", 0)
+        assert names == ["FdGenerator"]
+        names = self._generators(parser, "int abs(int j);", 0)
+        assert names == ["IntGenerator"]
+
+    def test_size_t_gets_size_generator(self, parser):
+        names = self._generators(parser, "void *malloc(size_t size);", 0)
+        assert names == ["SizeGenerator"]
+
+    def test_double_gets_real_generator(self, parser):
+        names = self._generators(parser, "double difftime(time_t a, time_t b);", 0)
+        assert names == ["IntGenerator"]  # time_t resolves to long
+        proto = "double f(double x);"
+        assert self._generators(parser, proto, 0) == ["RealGenerator"]
+
+    def test_function_pointer(self, parser):
+        proto = ("void qsort(void *b, size_t n, size_t s,"
+                 " int (*cmp)(const void *, const void *));")
+        assert self._generators(parser, proto, 3) == ["FuncPtrGenerator"]

@@ -1,0 +1,61 @@
+"""The specific section 6 findings the paper reports, rediscovered by
+the injector from scratch."""
+
+import pytest
+
+from repro.injector import inject_function
+from repro.libc.catalog import EXPECTED_NEVER_CRASH
+
+
+class TestSection6Findings:
+    def test_cfsetispeed_needs_only_write_access(self):
+        report = inject_function("cfsetispeed")
+        robust = report.robust_types[0].robust
+        assert robust.name == "W_ARRAY"
+
+    def test_cfsetospeed_needs_read_and_write_access(self):
+        report = inject_function("cfsetospeed")
+        robust = report.robust_types[0].robust
+        assert robust.name == "RW_ARRAY"
+
+    def test_fopen_crashes_on_invalid_mode_but_copes_with_bad_names(self):
+        report = inject_function("fopen")
+        path_type, mode_type = (rt.robust for rt in report.robust_types)
+        # Any terminated string is an acceptable *path*...
+        assert path_type.name == "CSTRING"
+        # ...but only genuine modes are acceptable *modes*.
+        assert mode_type.name == "MODE_STRING"
+
+    def test_freopen_also_demands_valid_mode_after_manual_edit(self):
+        from repro.declarations import apply_manual_edits, declaration_from_report
+
+        report = inject_function("freopen")
+        declaration = apply_manual_edits(declaration_from_report(report))
+        assert declaration.arguments[1].robust_type.name == "MODE_STRING"
+        assert declaration.arguments[0].robust_type.name == "CSTRING_NULL"
+
+    def test_closedir_ideal_type_needs_stateful_tracking(self):
+        """Section 5.2/6: the ideal type is OPEN_DIR, but no automated
+        check exists, so the enforced type degrades to memory
+        accessibility and closedir stays crash-prone until the manual
+        assertions are added."""
+        report = inject_function("closedir")
+        robust = report.robust_types[0]
+        assert robust.ideal.name == "OPEN_DIR"
+        assert robust.robust.name in ("R_ARRAY", "W_ARRAY", "RW_ARRAY")
+        assert not robust.crash_free
+
+    def test_tcgetattr_discovers_full_termios_size(self):
+        report = inject_function("tcgetattr")
+        assert report.robust_types[1].robust.render() == "W_ARRAY[60]"
+
+    def test_toupper_discovers_ctype_table_range(self):
+        report = inject_function("toupper")
+        assert report.robust_types[0].robust.name == "CHAR_RANGE"
+
+
+class TestNeverCrashSet:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NEVER_CRASH))
+    def test_function_never_crashes_under_injection(self, name):
+        report = inject_function(name)
+        assert report.safe, f"{name} crashed {report.crashes} times"

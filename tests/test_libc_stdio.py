@@ -1,0 +1,305 @@
+"""Behavioural tests for the simulated stdio models."""
+
+import pytest
+
+from repro.libc import BY_NAME, standard_runtime
+from repro.libc import fileio
+from repro.libc.errno_codes import EBADF, EINVAL, ENOENT
+from repro.memory import NULL, Protection
+from repro.sandbox import CallStatus, Sandbox
+
+
+@pytest.fixture()
+def env():
+    return standard_runtime(), Sandbox()
+
+
+def call(env, name, *args):
+    runtime, sandbox = env
+    return sandbox.call(BY_NAME[name].model, args, runtime)
+
+
+def cstr(env, text):
+    return env[0].space.alloc_cstring(text).base
+
+
+def open_file(env, path="/tmp/input.txt", mode="r"):
+    out = call(env, "fopen", cstr(env, path), cstr(env, mode))
+    assert out.returned and out.return_value != NULL, out.describe()
+    return out.return_value
+
+
+class TestFopen:
+    def test_open_read_close(self, env):
+        fp = open_file(env)
+        assert call(env, "fclose", fp).return_value == 0
+
+    def test_missing_file_sets_enoent(self, env):
+        out = call(env, "fopen", cstr(env, "/missing"), cstr(env, "r"))
+        assert out.return_value == NULL and out.errno == ENOENT
+
+    def test_write_mode_creates_and_truncates(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/new.txt", "w")
+        data = cstr(env, "content")
+        call(env, "fputs", data, fp)
+        call(env, "fclose", fp)
+        assert runtime.kernel.lookup("/tmp/new.txt").data == bytearray(b"content")
+
+    def test_invalid_mode_content_crashes(self, env):
+        """Section 6 finding: fopen crashes when the mode string is
+        invalid but copes with invalid file names."""
+        out = call(env, "fopen", cstr(env, "/tmp/input.txt"), cstr(env, "zap"))
+        assert out.crashed
+
+    def test_mode_plus_adds_rw(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/input.txt", "r+")
+        fd = runtime.space.load_i32(fp + fileio.OFF_FD)
+        readable, writable = runtime.kernel.fd_mode(fd)
+        assert readable and writable
+
+    def test_append_mode_positions_at_end(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/input.txt", "a")
+        call(env, "fputs", cstr(env, "!"), fp)
+        assert runtime.kernel.lookup("/tmp/input.txt").data.endswith(b"!")
+
+
+class TestReadWrite:
+    def test_fgets_reads_one_line(self, env):
+        runtime, _ = env
+        fp = open_file(env)
+        buffer = runtime.space.map_region(64).base
+        out = call(env, "fgets", buffer, 64, fp)
+        assert out.return_value == buffer
+        assert runtime.space.read_cstring(buffer) == b"hello simulated world\n"
+
+    def test_fgets_n1_writes_only_terminator(self, env):
+        runtime, _ = env
+        fp = open_file(env)
+        buffer = runtime.space.map_region(4).base
+        runtime.space.store(buffer, b"\xff\xff\xff\xff")
+        out = call(env, "fgets", buffer, 1, fp)
+        assert out.return_value == buffer
+        assert runtime.space.load(buffer, 2) == b"\x00\xff"
+
+    def test_fgets_nonpositive_n_einval(self, env):
+        fp = open_file(env)
+        out = call(env, "fgets", env[0].space.map_region(8).base, -3, fp)
+        assert out.return_value == NULL and out.errno == EINVAL
+
+    def test_fgets_eof_returns_null_without_errno(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/empty.txt", "w")
+        call(env, "fclose", fp)
+        fp = open_file(env, "/tmp/empty.txt", "r")
+        out = call(env, "fgets", runtime.space.map_region(8).base, 8, fp)
+        assert out.return_value == NULL and not out.errno_was_set
+
+    def test_fread_fwrite_round_trip(self, env):
+        runtime, _ = env
+        src = open_file(env, "/tmp/data.bin")
+        block = runtime.space.map_region(64).base
+        got = call(env, "fread", block, 1, 64, src).return_value
+        assert got == 64
+        dst = open_file(env, "/tmp/copy.bin", "w")
+        assert call(env, "fwrite", block, 1, 64, dst).return_value == 64
+
+    def test_fread_partial_sets_eof_flag(self, env):
+        runtime, _ = env
+        fp = open_file(env)  # 32-byte file
+        block = runtime.space.map_region(4096).base
+        call(env, "fread", block, 1, 4096, fp)
+        assert call(env, "feof", fp).return_value == 1
+
+    def test_fgetc_fputc_ungetc(self, env):
+        fp = open_file(env)
+        first = call(env, "fgetc", fp).return_value
+        assert first == ord("h")
+        assert call(env, "ungetc", ord("X"), fp).return_value == ord("X")
+        assert call(env, "fgetc", fp).return_value == ord("X")
+        out = open_file(env, "/tmp/out.txt", "w")
+        assert call(env, "fputc", ord("q"), out).return_value == ord("q")
+
+    def test_ungetc_eof_rejected(self, env):
+        fp = open_file(env)
+        out = call(env, "ungetc", -1, fp)
+        assert out.return_value == -1 and out.errno == EINVAL
+
+
+class TestSeek:
+    def test_fseek_ftell_rewind(self, env):
+        fp = open_file(env)
+        assert call(env, "fseek", fp, 6, 0).return_value == 0
+        assert call(env, "ftell", fp).return_value == 6
+        call(env, "rewind", fp)
+        assert call(env, "ftell", fp).return_value == 0
+
+    def test_fseek_invalid_whence(self, env):
+        fp = open_file(env)
+        out = call(env, "fseek", fp, 0, 99)
+        assert out.return_value == -1 and out.errno == EINVAL
+
+    def test_fseek_end_relative(self, env):
+        fp = open_file(env)
+        call(env, "fseek", fp, -1, 2)
+        assert call(env, "fgetc", fp).return_value == ord("\n")
+
+
+class TestCorruptionBehaviour:
+    def test_garbage_file_crashes_on_buffer_deref(self, env):
+        runtime, _ = env
+        garbage = runtime.space.map_region(216)
+        garbage.poke(garbage.base, b"\xa5" * 216)
+        assert call(env, "fgetc", garbage.base).crashed
+
+    def test_stale_descriptor_fails_gracefully(self, env):
+        runtime, sandbox = env
+        from repro.sandbox.context import CallContext
+
+        fp = fileio.alloc_file(CallContext(runtime), 222, True, True)
+        out = call(env, "fgetc", fp)
+        assert out.returned and out.errno == EBADF
+
+    def test_corrupt_buffer_pointer_crashes_despite_valid_fd(self, env):
+        """The remaining-failure class of section 6: corrupted data
+        structures in accessible memory."""
+        runtime, _ = env
+        fp = open_file(env)
+        runtime.space.store_u64(fp + fileio.OFF_BUF, 0xBAD0BAD00000)
+        assert call(env, "fgetc", fp).crashed
+
+    def test_fclose_garbage_crashes_in_free(self, env):
+        runtime, _ = env
+        garbage = runtime.space.map_region(216)
+        garbage.poke(garbage.base, b"\xa5" * 216)
+        assert call(env, "fclose", garbage.base).crashed
+
+
+class TestFlushAndFlags:
+    def test_fflush_null_flushes_all(self, env):
+        out = call(env, "fflush", NULL)
+        assert out.return_value == 0
+
+    def test_fflush_bad_fd_returns_eof_without_errno(self, env):
+        """The paper's fflush quirk: "supposed to set errno" but does
+        not — landing it in the no-error-code-found class."""
+        runtime, _ = env
+        from repro.sandbox.context import CallContext
+
+        fp = fileio.alloc_file(CallContext(runtime), 222, True, True)
+        out = call(env, "fflush", fp)
+        assert out.return_value == -1 and not out.errno_was_set
+
+    def test_feof_ferror_clearerr(self, env):
+        fp = open_file(env)
+        assert call(env, "feof", fp).return_value == 0
+        assert call(env, "ferror", fp).return_value == 0
+        call(env, "clearerr", fp)
+
+    def test_fileno_validates_descriptor(self, env):
+        runtime, _ = env
+        fp = open_file(env)
+        fd = call(env, "fileno", fp).return_value
+        assert runtime.kernel.fd_mode(fd) is not None
+        from repro.sandbox.context import CallContext
+
+        stale = fileio.alloc_file(CallContext(runtime), 222, True, True)
+        out = call(env, "fileno", stale)
+        assert out.return_value == -1 and out.errno == EBADF
+
+    def test_setvbuf_invalid_mode(self, env):
+        fp = open_file(env)
+        out = call(env, "setvbuf", fp, NULL, 7, 0)
+        assert out.return_value == -1 and out.errno == EINVAL
+
+
+class TestInconsistentErrno:
+    def test_fdopen_tty_sets_errno_but_returns_stream(self, env):
+        out = call(env, "fdopen", 0, cstr(env, "r"))
+        assert out.return_value != NULL and out.errno_was_set
+
+    def test_fdopen_bad_fd(self, env):
+        out = call(env, "fdopen", 444, cstr(env, "r"))
+        assert out.return_value == NULL and out.errno == EBADF
+
+    def test_freopen_null_path_changes_mode_sets_errno(self, env):
+        fp = open_file(env)
+        out = call(env, "freopen", NULL, cstr(env, "w"), fp)
+        assert out.return_value == fp and out.errno == EINVAL
+
+    def test_freopen_switches_file(self, env):
+        runtime, _ = env
+        fp = open_file(env)
+        out = call(env, "freopen", cstr(env, "/tmp/data.bin"), cstr(env, "r"), fp)
+        assert out.return_value == fp
+        assert call(env, "fgetc", fp).return_value == 0
+
+
+class TestFormattedIO:
+    def test_fprintf_directives(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/fmt.txt", "w")
+        fmt = cstr(env, "n=%d s=%s %%")
+        word = cstr(env, "word")
+        out = call(env, "fprintf", fp, fmt, 42, word)
+        assert out.return_value == len("n=42 s=word %")
+        call(env, "fclose", fp)
+        assert runtime.kernel.lookup("/tmp/fmt.txt").data == bytearray(b"n=42 s=word %")
+
+    def test_fprintf_missing_argument_crashes(self, env):
+        """Varargs walk off the register save area: the %n/%s attack
+        surface the FORMAT_STRING check exists for."""
+        fp = open_file(env, "/tmp/fmt2.txt", "w")
+        assert call(env, "fprintf", fp, cstr(env, "%s")).crashed
+
+    def test_fprintf_percent_n_writes_memory(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/fmt3.txt", "w")
+        target = runtime.space.map_region(8).base
+        call(env, "fprintf", fp, cstr(env, "abcd%n"), target)
+        assert runtime.space.load_i32(target) == 4
+
+    def test_fscanf_parses_ints_and_strings(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/scan.txt", "w")
+        call(env, "fputs", cstr(env, "42 hello"), fp)
+        call(env, "fclose", fp)
+        fp = open_file(env, "/tmp/scan.txt")
+        number = runtime.space.map_region(8).base
+        word = runtime.space.map_region(32).base
+        out = call(env, "fscanf", fp, cstr(env, "%d %s"), number, word)
+        assert out.return_value == 2
+        assert runtime.space.load_i32(number) == 42
+        assert runtime.space.read_cstring(word) == b"hello"
+
+
+class TestTmpAndFiles:
+    def test_tmpnam_with_buffer_and_static(self, env):
+        runtime, _ = env
+        buffer = runtime.space.map_region(20).base
+        out = call(env, "tmpnam", buffer)
+        assert out.return_value == buffer
+        name = runtime.space.read_cstring(buffer)
+        assert name.startswith(b"/tmp/tmp")
+        static = call(env, "tmpnam", NULL)
+        assert static.return_value == runtime.tmpnam_buffer
+
+    def test_remove_and_rename(self, env):
+        runtime, _ = env
+        fp = open_file(env, "/tmp/victim.txt", "w")
+        call(env, "fclose", fp)
+        out = call(env, "rename", cstr(env, "/tmp/victim.txt"), cstr(env, "/tmp/renamed.txt"))
+        assert out.return_value == 0
+        assert call(env, "remove", cstr(env, "/tmp/renamed.txt")).return_value == 0
+        out = call(env, "remove", cstr(env, "/tmp/renamed.txt"))
+        assert out.return_value == -1 and out.errno == ENOENT
+
+    def test_puts_writes_to_stdout(self, env):
+        assert call(env, "puts", cstr(env, "hello")).return_value == 6
+
+    def test_tmpfile_returns_stream(self, env):
+        out = call(env, "tmpfile")
+        assert out.return_value != NULL
+        assert call(env, "fputc", ord("x"), out.return_value).returned

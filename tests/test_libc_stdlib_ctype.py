@@ -1,0 +1,235 @@
+"""Behavioural tests for stdlib.h, ctype.h and the misc functions."""
+
+import pytest
+
+from repro.libc import BY_NAME, standard_runtime
+from repro.libc.common import LONG_MAX, ULONG_MAX
+from repro.libc.errno_codes import EBADF, EINVAL, ENOMEM, ERANGE
+from repro.memory import NULL, Protection
+from repro.sandbox import Sandbox
+
+
+@pytest.fixture()
+def env():
+    return standard_runtime(), Sandbox()
+
+
+def call(env, name, *args):
+    runtime, sandbox = env
+    return sandbox.call(BY_NAME[name].model, args, runtime)
+
+
+def cstr(env, text, prot=Protection.READ):
+    region = env[0].space.alloc_cstring(text)
+    region.prot = prot
+    return region.base
+
+
+class TestConversions:
+    def test_atoi_basics(self, env):
+        assert call(env, "atoi", cstr(env, "42")).return_value == 42
+        assert call(env, "atoi", cstr(env, "  -17xyz")).return_value == -17
+        assert call(env, "atoi", cstr(env, "junk")).return_value == 0
+
+    def test_atoi_null_crashes(self, env):
+        assert call(env, "atoi", NULL).crashed
+
+    def test_strtol_with_endptr(self, env):
+        runtime, _ = env
+        text = cstr(env, "123rest")
+        endptr = runtime.space.map_region(8).base
+        out = call(env, "strtol", text, endptr, 10)
+        assert out.return_value == 123
+        assert runtime.space.load_u64(endptr) == text + 3
+
+    def test_strtol_bases(self, env):
+        assert call(env, "strtol", cstr(env, "ff"), NULL, 16).return_value == 255
+        assert call(env, "strtol", cstr(env, "0x10"), NULL, 0).return_value == 16
+        assert call(env, "strtol", cstr(env, "010"), NULL, 0).return_value == 8
+        assert call(env, "strtol", cstr(env, "101"), NULL, 2).return_value == 5
+
+    def test_strtol_overflow_erange(self, env):
+        out = call(env, "strtol", cstr(env, "9" * 40), NULL, 10)
+        assert out.return_value == LONG_MAX and out.errno == ERANGE
+
+    def test_strtol_bad_base_silent_zero(self, env):
+        out = call(env, "strtol", cstr(env, "55"), NULL, 1)
+        assert out.return_value == 0 and not out.errno_was_set
+
+    def test_strtol_no_digits_endptr_is_nptr(self, env):
+        runtime, _ = env
+        text = cstr(env, "zzz")
+        endptr = runtime.space.map_region(8).base
+        call(env, "strtol", text, endptr, 10)
+        assert runtime.space.load_u64(endptr) == text
+
+    def test_strtol_readonly_endptr_crashes(self, env):
+        runtime, _ = env
+        endptr = runtime.space.map_region(8, Protection.READ).base
+        assert call(env, "strtol", cstr(env, "5"), endptr, 10).crashed
+
+    def test_strtoul_wraps_negative(self, env):
+        out = call(env, "strtoul", cstr(env, "-1"), NULL, 10)
+        assert out.return_value == ULONG_MAX
+
+    def test_strtod_and_atof(self, env):
+        assert call(env, "strtod", cstr(env, "2.5e2"), NULL).return_value == 250.0
+        assert call(env, "atof", cstr(env, "-0.5")).return_value == -0.5
+
+
+class TestAllocation:
+    def test_malloc_free_cycle(self, env):
+        runtime, _ = env
+        pointer = call(env, "malloc", 64).return_value
+        runtime.space.store(pointer, b"x" * 64)
+        assert call(env, "free", pointer).returned
+
+    def test_malloc_absurd_size_enomem(self, env):
+        out = call(env, "malloc", 2**40)
+        assert out.return_value == NULL and out.errno == ENOMEM
+
+    def test_free_garbage_crashes(self, env):
+        runtime, _ = env
+        region = runtime.space.map_region(16)
+        assert call(env, "free", region.base).crashed
+
+    def test_realloc_preserves_and_enomem(self, env):
+        runtime, _ = env
+        pointer = call(env, "malloc", 8).return_value
+        runtime.space.store(pointer, b"abcdefgh")
+        bigger = call(env, "realloc", pointer, 64).return_value
+        assert runtime.space.load(bigger, 8) == b"abcdefgh"
+        out = call(env, "realloc", bigger, 2**40)
+        assert out.return_value == NULL and out.errno == ENOMEM
+
+    def test_calloc_zeroes(self, env):
+        runtime, _ = env
+        pointer = call(env, "calloc", 4, 4).return_value
+        assert runtime.space.load(pointer, 16) == bytes(16)
+
+
+class TestEnvironment:
+    def test_getenv_returns_memory_pointer(self, env):
+        runtime, _ = env
+        out = call(env, "getenv", cstr(env, "HOME"))
+        assert runtime.space.read_cstring(out.return_value) == b"/home/user"
+
+    def test_getenv_missing(self, env):
+        assert call(env, "getenv", cstr(env, "NOPE")).return_value == NULL
+
+    def test_setenv_and_overwrite_flag(self, env):
+        runtime, _ = env
+        assert call(env, "setenv", cstr(env, "NEW"), cstr(env, "1"), 0).return_value == 0
+        call(env, "setenv", cstr(env, "NEW"), cstr(env, "2"), 0)
+        assert runtime.kernel.getenv(b"NEW") == b"1"
+        call(env, "setenv", cstr(env, "NEW"), cstr(env, "2"), 1)
+        assert runtime.kernel.getenv(b"NEW") == b"2"
+
+    def test_setenv_invalid_name(self, env):
+        out = call(env, "setenv", cstr(env, "A=B"), cstr(env, "x"), 1)
+        assert out.return_value == -1 and out.errno == EINVAL
+
+    def test_putenv_parses_assignment(self, env):
+        runtime, _ = env
+        assert call(env, "putenv", cstr(env, "PE=yes", Protection.RW)).return_value == 0
+        assert runtime.kernel.getenv(b"PE") == b"yes"
+        out = call(env, "putenv", cstr(env, "NOEQUALS", Protection.RW))
+        assert out.return_value == -1 and out.errno == EINVAL
+
+
+class TestSortSearch:
+    def _int_array(self, env, values):
+        runtime, _ = env
+        region = runtime.space.map_region(4 * len(values))
+        for index, value in enumerate(values):
+            runtime.space.store_i32(region.base + 4 * index, value)
+        return region.base
+
+    def _comparator(self, env):
+        def compare(ctx, a, b):
+            left, right = ctx.mem.load_i32(a), ctx.mem.load_i32(b)
+            return (left > right) - (left < right)
+
+        return env[0].register_funcptr(compare)
+
+    def test_qsort_sorts(self, env):
+        runtime, _ = env
+        base = self._int_array(env, [5, 1, 4, 2, 3])
+        assert call(env, "qsort", base, 5, 4, self._comparator(env)).returned
+        assert [runtime.space.load_i32(base + 4 * i) for i in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_qsort_bad_comparator_crashes(self, env):
+        base = self._int_array(env, [2, 1])
+        data_pointer = env[0].space.map_region(16).base
+        assert call(env, "qsort", base, 2, 4, data_pointer).crashed
+        assert call(env, "qsort", base, 2, 4, NULL).crashed
+
+    def test_qsort_empty_is_noop(self, env):
+        assert call(env, "qsort", NULL, 0, 4, NULL).returned
+
+    def test_bsearch_finds(self, env):
+        runtime, _ = env
+        base = self._int_array(env, [10, 20, 30, 40])
+        key = runtime.space.map_region(4).base
+        runtime.space.store_i32(key, 30)
+        out = call(env, "bsearch", key, base, 4, 4, self._comparator(env))
+        assert out.return_value == base + 8
+        runtime.space.store_i32(key, 35)
+        assert call(env, "bsearch", key, base, 4, 4, self._comparator(env)).return_value == NULL
+
+
+class TestCtype:
+    def test_classifications(self, env):
+        assert call(env, "isalpha", ord("a")).return_value == 1
+        assert call(env, "isalpha", ord("5")).return_value == 0
+        assert call(env, "isdigit", ord("5")).return_value == 1
+        assert call(env, "isspace", ord("\t")).return_value == 1
+
+    def test_case_conversion(self, env):
+        assert call(env, "toupper", ord("q")).return_value == ord("Q")
+        assert call(env, "toupper", ord("Q")).return_value == ord("Q")
+        assert call(env, "tolower", ord("Q")).return_value == ord("q")
+
+    def test_eof_is_safe(self, env):
+        assert call(env, "isalpha", -1).return_value == 0
+
+    def test_table_range_boundaries(self, env):
+        assert call(env, "isalpha", -128).returned
+        assert call(env, "isalpha", 255).returned
+        assert call(env, "isalpha", -129).crashed
+        assert call(env, "isalpha", 256).crashed
+
+    def test_far_out_of_range_crashes(self, env):
+        assert call(env, "toupper", 2**20).crashed
+        assert call(env, "tolower", -(2**20)).crashed
+
+
+class TestMiscNeverCrash:
+    def test_abs_labs(self, env):
+        assert call(env, "abs", -5).return_value == 5
+        assert call(env, "abs", 2**31 - 1).return_value == 2**31 - 1
+        assert call(env, "labs", -(2**40)).return_value == 2**40
+
+    def test_rand_deterministic_with_srand(self, env):
+        call(env, "srand", 7)
+        first = call(env, "rand").return_value
+        call(env, "srand", 7)
+        assert call(env, "rand").return_value == first
+
+    def test_isatty(self, env):
+        assert call(env, "isatty", 0).return_value == 1
+        out = call(env, "isatty", 444)
+        assert out.return_value == 0 and out.errno == EBADF
+
+    def test_umask_returns_previous(self, env):
+        previous = call(env, "umask", 0o077).return_value
+        assert previous == 0o022
+        assert call(env, "umask", 0o022).return_value == 0o077
+
+    def test_umask_invalid_bits(self, env):
+        out = call(env, "umask", 0o777777)
+        assert out.errno == EINVAL
+
+    def test_getpid_clock(self, env):
+        assert call(env, "getpid").return_value == 4711
+        assert call(env, "clock").returned

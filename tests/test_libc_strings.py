@@ -1,0 +1,214 @@
+"""Behavioural tests for the simulated string.h models."""
+
+import pytest
+
+from repro.libc import BY_NAME, standard_runtime
+from repro.memory import NULL, Protection
+from repro.sandbox import CallStatus, Sandbox
+
+
+@pytest.fixture()
+def env():
+    return standard_runtime(), Sandbox()
+
+
+def call(env, name, *args):
+    runtime, sandbox = env
+    return sandbox.call(BY_NAME[name].model, args, runtime)
+
+
+def cstr(env, text, prot=Protection.RW):
+    runtime, _ = env
+    region = runtime.space.alloc_cstring(text)
+    region.prot = prot
+    return region.base
+
+
+def buf(env, size, prot=Protection.RW):
+    runtime, _ = env
+    region = runtime.space.map_region(size)
+    region.prot = prot
+    return region.base
+
+
+class TestCopyFunctions:
+    def test_strcpy_copies_and_returns_dst(self, env):
+        runtime, _ = env
+        dst = buf(env, 16)
+        out = call(env, "strcpy", dst, cstr(env, "hi"))
+        assert out.return_value == dst
+        assert runtime.space.read_cstring(dst) == b"hi"
+
+    def test_strcpy_overflow_faults_at_exact_byte(self, env):
+        dst = buf(env, 3)
+        out = call(env, "strcpy", dst, cstr(env, "hello"))
+        assert out.crashed
+        assert out.fault_address == dst + 3
+
+    def test_strcpy_read_only_destination(self, env):
+        dst = cstr(env, "xxxxx", Protection.READ)
+        assert call(env, "strcpy", dst, cstr(env, "hi")).crashed
+
+    def test_strncpy_pads_with_nul(self, env):
+        runtime, _ = env
+        dst = buf(env, 8)
+        runtime.space.store(dst, b"\xff" * 8)
+        call(env, "strncpy", dst, cstr(env, "ab"), 6)
+        assert runtime.space.load(dst, 8) == b"ab\x00\x00\x00\x00\xff\xff"
+
+    def test_strncpy_exactly_n_no_terminator(self, env):
+        runtime, _ = env
+        dst = buf(env, 4)
+        call(env, "strncpy", dst, cstr(env, "abcdef"), 4)
+        assert runtime.space.load(dst, 4) == b"abcd"
+
+    def test_strcat_appends(self, env):
+        runtime, _ = env
+        dst = buf(env, 16)
+        runtime.space.write_cstring(dst, b"foo")
+        call(env, "strcat", dst, cstr(env, "bar"))
+        assert runtime.space.read_cstring(dst) == b"foobar"
+
+    def test_strncat_always_terminates(self, env):
+        runtime, _ = env
+        dst = buf(env, 16)
+        runtime.space.write_cstring(dst, b"xy")
+        call(env, "strncat", dst, cstr(env, "abcdef"), 3)
+        assert runtime.space.read_cstring(dst) == b"xyabc"
+
+    def test_strdup_allocates_copy(self, env):
+        runtime, _ = env
+        out = call(env, "strdup", cstr(env, "dup me"))
+        assert runtime.space.read_cstring(out.return_value) == b"dup me"
+        assert runtime.heap.block_containing(out.return_value) is not None
+
+
+class TestScanFunctions:
+    def test_strlen(self, env):
+        assert call(env, "strlen", cstr(env, "four")).return_value == 4
+        assert call(env, "strlen", cstr(env, "")).return_value == 0
+
+    def test_strlen_null_crashes(self, env):
+        assert call(env, "strlen", NULL).crashed
+
+    def test_strlen_unterminated_crashes_at_end(self, env):
+        runtime, _ = env
+        region = runtime.space.alloc_bytes(b"\xa5" * 6)
+        out = call(env, "strlen", region.base)
+        assert out.crashed and out.fault_address == region.end
+
+    def test_strcmp_orderings(self, env):
+        a, b = cstr(env, "abc"), cstr(env, "abd")
+        assert call(env, "strcmp", a, b).return_value == -1
+        assert call(env, "strcmp", b, a).return_value == 1
+        assert call(env, "strcmp", a, cstr(env, "abc")).return_value == 0
+
+    def test_strncmp_bounded(self, env):
+        assert call(env, "strncmp", cstr(env, "abcX"), cstr(env, "abcY"), 3).return_value == 0
+        assert call(env, "strncmp", cstr(env, "abcX"), cstr(env, "abcY"), 4).return_value == -1
+
+    def test_strchr_found_and_missing(self, env):
+        s = cstr(env, "hello")
+        assert call(env, "strchr", s, ord("l")).return_value == s + 2
+        assert call(env, "strchr", s, ord("z")).return_value == NULL
+        assert call(env, "strchr", s, 0).return_value == s + 5
+
+    def test_strrchr_finds_last(self, env):
+        s = cstr(env, "hello")
+        assert call(env, "strrchr", s, ord("l")).return_value == s + 3
+
+    def test_strstr(self, env):
+        haystack = cstr(env, "needle in haystack")
+        assert call(env, "strstr", haystack, cstr(env, "in")).return_value == haystack + 7
+        assert call(env, "strstr", haystack, cstr(env, "xyz")).return_value == NULL
+        assert call(env, "strstr", haystack, cstr(env, "")).return_value == haystack
+
+    def test_strspn_strcspn(self, env):
+        s = cstr(env, "aabbcc")
+        assert call(env, "strspn", s, cstr(env, "ab")).return_value == 4
+        assert call(env, "strcspn", s, cstr(env, "c")).return_value == 4
+
+    def test_strpbrk(self, env):
+        s = cstr(env, "hello world")
+        assert call(env, "strpbrk", s, cstr(env, "ow")).return_value == s + 4
+        assert call(env, "strpbrk", s, cstr(env, "xyz")).return_value == NULL
+
+
+class TestStrtok:
+    def test_tokenizes_with_state(self, env):
+        runtime, _ = env
+        s = cstr(env, "a,b;c")
+        delim = cstr(env, ",;")
+        first = call(env, "strtok", s, delim)
+        assert runtime.space.read_cstring(first.return_value) == b"a"
+        second = call(env, "strtok", NULL, delim)
+        assert runtime.space.read_cstring(second.return_value) == b"b"
+        third = call(env, "strtok", NULL, delim)
+        assert runtime.space.read_cstring(third.return_value) == b"c"
+        assert call(env, "strtok", NULL, delim).return_value == NULL
+
+    def test_strtok_null_without_state_crashes(self, env):
+        out = call(env, "strtok", NULL, cstr(env, ","))
+        assert out.crashed and out.fault_address == 0
+
+    def test_strtok_skips_leading_delimiters(self, env):
+        runtime, _ = env
+        out = call(env, "strtok", cstr(env, ",,x"), cstr(env, ","))
+        assert runtime.space.read_cstring(out.return_value) == b"x"
+
+
+class TestMemFunctions:
+    def test_memcpy_and_memcmp(self, env):
+        runtime, _ = env
+        src = runtime.space.alloc_bytes(b"12345678").base
+        dst = buf(env, 8)
+        call(env, "memcpy", dst, src, 8)
+        assert call(env, "memcmp", dst, src, 8).return_value == 0
+
+    def test_memcpy_zero_touches_nothing(self, env):
+        assert call(env, "memcpy", NULL, NULL, 0).returned
+
+    def test_memmove_overlap(self, env):
+        runtime, _ = env
+        region = runtime.space.alloc_bytes(b"abcdef__")
+        call(env, "memmove", region.base + 2, region.base, 6)
+        assert runtime.space.load(region.base, 8) == b"ababcdef"
+
+    def test_memset_fills(self, env):
+        runtime, _ = env
+        dst = buf(env, 8)
+        call(env, "memset", dst, 0x7A, 8)
+        assert runtime.space.load(dst, 8) == b"z" * 8
+
+    def test_memset_huge_crashes_at_region_end(self, env):
+        dst = buf(env, 8)
+        out = call(env, "memset", dst, 0, 2**20)
+        assert out.crashed and out.fault_address == dst + 8
+
+    def test_memchr(self, env):
+        runtime, _ = env
+        region = runtime.space.alloc_bytes(b"ab\x00cd")
+        assert call(env, "memchr", region.base, ord("d"), 5).return_value == region.base + 4
+        assert call(env, "memchr", region.base, ord("z"), 5).return_value == NULL
+
+    def test_memcmp_difference_sign(self, env):
+        runtime, _ = env
+        a = runtime.space.alloc_bytes(b"aaa").base
+        b = runtime.space.alloc_bytes(b"aab").base
+        assert call(env, "memcmp", a, b, 3).return_value == -1
+
+
+class TestErrnoDiscipline:
+    def test_string_functions_never_set_errno(self, env):
+        """Table 1: the string library populates the
+        no-error-code-found class."""
+        cases = [
+            ("strcpy", (buf(env, 8), cstr(env, "x"))),
+            ("strlen", (cstr(env, "x"),)),
+            ("strcmp", (cstr(env, "a"), cstr(env, "b"))),
+            ("memcpy", (buf(env, 4), cstr(env, "ab"), 2)),
+            ("strstr", (cstr(env, "ab"), cstr(env, "b"))),
+        ]
+        for name, args in cases:
+            out = call(env, name, *args)
+            assert out.returned and not out.errno_was_set, name

@@ -1,0 +1,256 @@
+"""Behavioural tests for the time.h, dirent.h and termios.h models."""
+
+import pytest
+
+from repro.libc import BY_NAME, standard_runtime
+from repro.libc import dirent_fns, timefns
+from repro.libc.errno_codes import EBADF, EINVAL, ENOENT, ENOTDIR, ENOTTY, EOVERFLOW
+from repro.memory import NULL, Protection
+from repro.sandbox import Sandbox
+
+
+@pytest.fixture()
+def env():
+    return standard_runtime(), Sandbox()
+
+
+def call(env, name, *args):
+    runtime, sandbox = env
+    return sandbox.call(BY_NAME[name].model, args, runtime)
+
+
+def cstr(env, text):
+    return env[0].space.alloc_cstring(text).base
+
+
+def make_tm(env, **fields):
+    runtime, _ = env
+    region = runtime.space.map_region(44)
+    defaults = dict(sec=30, minute=15, hour=12, mday=4, mon=6, year=102,
+                    wday=4, yday=184, isdst=0)
+    defaults.update(fields)
+    values = [defaults["sec"], defaults["minute"], defaults["hour"],
+              defaults["mday"], defaults["mon"], defaults["year"],
+              defaults["wday"], defaults["yday"], defaults["isdst"]]
+    for index, value in enumerate(values):
+        runtime.space.store_i32(region.base + 4 * index, value)
+    runtime.space.store_i64(region.base + 36, 0)
+    return region.base
+
+
+class TestAsctime:
+    def test_formats_valid_tm(self, env):
+        runtime, _ = env
+        out = call(env, "asctime", make_tm(env))
+        text = runtime.space.read_cstring(out.return_value)
+        assert text == b"Thu Jul  4 12:15:30 2002\n"
+        assert out.return_value == runtime.asctime_buffer
+
+    def test_null_returns_einval(self, env):
+        out = call(env, "asctime", NULL)
+        assert out.return_value == NULL and out.errno == EINVAL
+
+    def test_reads_exactly_44_bytes(self, env):
+        runtime, _ = env
+        exact = runtime.space.map_region(44)
+        assert call(env, "asctime", exact.base).returned
+        short = runtime.space.map_region(43)
+        out = call(env, "asctime", short.base)
+        assert out.crashed and out.fault_address == short.base + 43
+
+    def test_tolerates_garbage_content(self, env):
+        runtime, _ = env
+        garbage = runtime.space.alloc_bytes(b"\xa5" * 44)
+        assert call(env, "asctime", garbage.base).returned
+
+
+class TestTimeConversions:
+    def test_gmtime_round_trip(self, env):
+        runtime, _ = env
+        timep = runtime.space.map_region(8).base
+        runtime.space.store_i64(timep, 1_025_784_930)  # 2002-07-04 12:15:30
+        out = call(env, "gmtime", timep)
+        tm = out.return_value
+        assert runtime.space.load_i32(tm + 16) == 6  # July
+        assert runtime.space.load_i32(tm + 20) == 102  # 2002
+
+    def test_gmtime_overflow(self, env):
+        runtime, _ = env
+        timep = runtime.space.map_region(8).base
+        runtime.space.store_i64(timep, 2**40)
+        out = call(env, "gmtime", timep)
+        assert out.return_value == NULL and out.errno == EOVERFLOW
+
+    def test_ctime_null_crashes(self, env):
+        assert call(env, "ctime", NULL).crashed
+
+    def test_mktime_normalizes_in_place(self, env):
+        runtime, _ = env
+        tm = make_tm(env, sec=90)  # overflows into minutes
+        out = call(env, "mktime", tm)
+        assert out.returned and out.return_value > 0
+        assert runtime.space.load_i32(tm) < 60  # seconds normalized
+
+    def test_mktime_needs_write_access(self, env):
+        runtime, _ = env
+        tm = make_tm(env)  # valid content...
+        runtime.space.region_at(tm).prot = Protection.READ  # ...read-only
+        out = call(env, "mktime", tm)
+        assert out.crashed and out.fault.access.value == "write"
+
+    def test_mktime_out_of_range_year(self, env):
+        out = call(env, "mktime", make_tm(env, year=200))
+        assert out.return_value == -1 and out.errno == EOVERFLOW
+
+    def test_strftime_formats(self, env):
+        runtime, _ = env
+        buffer = runtime.space.map_region(64).base
+        out = call(env, "strftime", buffer, 64, cstr(env, "%Y-%m-%d %H:%M"), make_tm(env))
+        assert out.return_value == len("2002-07-04 12:15")
+        assert runtime.space.read_cstring(buffer) == b"2002-07-04 12:15"
+
+    def test_strftime_output_too_big_returns_zero(self, env):
+        runtime, _ = env
+        buffer = runtime.space.map_region(64).base
+        out = call(env, "strftime", buffer, 4, cstr(env, "%Y-%m-%d"), make_tm(env))
+        assert out.return_value == 0 and not out.errno_was_set
+
+    def test_strftime_unknown_directive_einval(self, env):
+        runtime, _ = env
+        buffer = runtime.space.map_region(64).base
+        out = call(env, "strftime", buffer, 64, cstr(env, "%q"), make_tm(env))
+        assert out.return_value == 0 and out.errno == EINVAL
+
+    def test_time_stores_through_pointer(self, env):
+        runtime, _ = env
+        loc = runtime.space.map_region(8).base
+        out = call(env, "time", loc)
+        assert runtime.space.load_i64(loc) == out.return_value
+        assert call(env, "time", NULL).returned
+
+    def test_difftime_pure(self, env):
+        assert call(env, "difftime", 100, 40).return_value == 60.0
+
+
+class TestDirent:
+    def open_dir(self, env, path="/tmp"):
+        out = call(env, "opendir", cstr(env, path))
+        assert out.return_value != NULL
+        return out.return_value
+
+    def test_opendir_lists_entries(self, env):
+        runtime, _ = env
+        dirp = self.open_dir(env)
+        names = []
+        while True:
+            entry = call(env, "readdir", dirp).return_value
+            if entry == NULL:
+                break
+            names.append(runtime.space.read_cstring(entry + 8).decode())
+        assert names[:2] == [".", ".."]
+        assert "input.txt" in names
+
+    def test_opendir_errors(self, env):
+        out = call(env, "opendir", cstr(env, "/missing"))
+        assert out.return_value == NULL and out.errno == ENOENT
+        out = call(env, "opendir", cstr(env, "/tmp/input.txt"))
+        assert out.return_value == NULL and out.errno == ENOTDIR
+
+    def test_telldir_seekdir_rewinddir(self, env):
+        dirp = self.open_dir(env)
+        call(env, "readdir", dirp)
+        call(env, "readdir", dirp)
+        assert call(env, "telldir", dirp).return_value == 2
+        call(env, "seekdir", dirp, 1)
+        assert call(env, "telldir", dirp).return_value == 1
+        call(env, "rewinddir", dirp)
+        assert call(env, "telldir", dirp).return_value == 0
+
+    def test_closedir_frees_structures(self, env):
+        runtime, _ = env
+        dirp = self.open_dir(env)
+        assert call(env, "closedir", dirp).return_value == 0
+        # The DIR block is gone: further use crashes.
+        assert call(env, "readdir", dirp).crashed
+
+    def test_closedir_garbage_crashes(self, env):
+        runtime, _ = env
+        garbage = runtime.space.map_region(72)
+        garbage.poke(garbage.base, b"\xa5" * 72)
+        assert call(env, "closedir", garbage.base).crashed
+
+    def test_readdir_stale_descriptor_ebadf(self, env):
+        runtime, _ = env
+        from repro.sandbox.context import CallContext
+
+        dirp = dirent_fns.alloc_dir(CallContext(runtime), ["."], 222)
+        out = call(env, "readdir", dirp)
+        assert out.return_value == NULL and out.errno == EBADF
+
+
+class TestTermios:
+    def test_tcgetattr_fills_60_bytes(self, env):
+        runtime, _ = env
+        buffer = runtime.space.map_region(60).base
+        assert call(env, "tcgetattr", 0, buffer).return_value == 0
+        assert runtime.space.load_u32(buffer + 48) == 38400  # ispeed
+
+    def test_tcgetattr_short_buffer_crashes(self, env):
+        runtime, _ = env
+        short = runtime.space.map_region(56)
+        assert call(env, "tcgetattr", 0, short.base).crashed
+
+    def test_tcgetattr_non_tty(self, env):
+        runtime, _ = env
+        from repro.libc.kernel import READ
+
+        fd = runtime.kernel.open("/tmp/input.txt", READ)
+        buffer = runtime.space.map_region(60).base
+        out = call(env, "tcgetattr", fd, buffer)
+        assert out.return_value == -1 and out.errno == ENOTTY
+
+    def test_tcsetattr_round_trip(self, env):
+        runtime, _ = env
+        buffer = runtime.space.map_region(60).base
+        call(env, "tcgetattr", 0, buffer)
+        runtime.space.store_u32(buffer + 48, 9)
+        assert call(env, "tcsetattr", 0, 0, buffer).return_value == 0
+        assert runtime.kernel.get_termios(0).input_speed == 9
+
+    def test_tcsetattr_bad_actions(self, env):
+        buffer = env[0].space.map_region(60).base
+        out = call(env, "tcsetattr", 0, 9, buffer)
+        assert out.return_value == -1 and out.errno == EINVAL
+
+    def test_cfsetispeed_needs_only_write_access(self, env):
+        """Section 6's asymmetric-access finding."""
+        runtime, _ = env
+        wonly = runtime.space.map_region(60, Protection.WRITE)
+        assert call(env, "cfsetispeed", wonly.base, 9).return_value == 0
+
+    def test_cfsetospeed_needs_read_and_write(self, env):
+        runtime, _ = env
+        wonly = runtime.space.map_region(60, Protection.WRITE)
+        assert call(env, "cfsetospeed", wonly.base, 9).crashed
+        rw = runtime.space.map_region(60)
+        assert call(env, "cfsetospeed", rw.base, 9).return_value == 0
+
+    def test_cfset_invalid_speed(self, env):
+        rw = env[0].space.map_region(60).base
+        out = call(env, "cfsetispeed", rw, 77)
+        assert out.return_value == -1 and out.errno == EINVAL
+
+    def test_cfget_round_trip(self, env):
+        runtime, _ = env
+        buffer = runtime.space.map_region(60).base
+        call(env, "tcgetattr", 0, buffer)
+        call(env, "cfsetispeed", buffer, 9)
+        call(env, "cfsetospeed", buffer, 10)
+        assert call(env, "cfgetispeed", buffer).return_value == 9
+        assert call(env, "cfgetospeed", buffer).return_value == 10
+
+    def test_tcdrain_tcflush_never_crash(self, env):
+        assert call(env, "tcdrain", -1).errno == EBADF
+        assert call(env, "tcdrain", 0).return_value == 0
+        assert call(env, "tcflush", 0, 7).errno == EINVAL
+        assert call(env, "tcflush", 0, 1).return_value == 0

@@ -1,0 +1,196 @@
+"""Behavioural tests for the unistd/raw-I/O models, including their
+interaction with the full pipeline."""
+
+import pytest
+
+from repro.libc import BY_NAME, standard_runtime
+from repro.libc.errno_codes import EBADF, EINVAL, ENOENT, ERANGE
+from repro.libc.unistd_fns import (
+    CWD,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    OFF_ST_MODE,
+    OFF_ST_SIZE,
+    S_IFDIR,
+    S_IFREG,
+    STAT_SIZE,
+)
+from repro.memory import NULL, Protection
+from repro.sandbox import Sandbox
+
+
+@pytest.fixture()
+def env():
+    return standard_runtime(), Sandbox()
+
+
+def call(env, name, *args):
+    runtime, sandbox = env
+    return sandbox.call(BY_NAME[name].model, args, runtime)
+
+
+def cstr(env, text):
+    return env[0].space.alloc_cstring(text).base
+
+
+class TestRawIO:
+    def test_open_read_close_cycle(self, env):
+        runtime, _ = env
+        fd = call(env, "open", cstr(env, "/tmp/input.txt"), O_RDONLY).return_value
+        buf = runtime.space.map_region(16).base
+        got = call(env, "read", fd, buf, 5).return_value
+        assert got == 5
+        assert runtime.space.load(buf, 5) == b"hello"
+        assert call(env, "close", fd).return_value == 0
+
+    def test_open_missing_file(self, env):
+        out = call(env, "open", cstr(env, "/nope"), O_RDONLY)
+        assert out.return_value == -1 and out.errno == ENOENT
+
+    def test_open_create_write(self, env):
+        runtime, _ = env
+        fd = call(env, "open", cstr(env, "/tmp/raw.txt"),
+                  O_WRONLY | O_CREAT | O_TRUNC).return_value
+        payload = runtime.space.alloc_bytes(b"12345")
+        assert call(env, "write", fd, payload.base, 5).return_value == 5
+        assert runtime.kernel.lookup("/tmp/raw.txt").data == bytearray(b"12345")
+
+    def test_read_into_bad_buffer_crashes(self, env):
+        fd = call(env, "open", cstr(env, "/tmp/input.txt"), O_RDONLY).return_value
+        assert call(env, "read", fd, NULL, 8).crashed
+
+    def test_read_bad_fd(self, env):
+        buf = env[0].space.map_region(8).base
+        out = call(env, "read", 999, buf, 8)
+        assert out.return_value == -1 and out.errno == EBADF
+
+    def test_write_from_unreadable_buffer_crashes(self, env):
+        runtime, _ = env
+        fd = call(env, "open", cstr(env, "/tmp/w.txt"), O_WRONLY | O_CREAT).return_value
+        region = runtime.space.map_region(8, Protection.WRITE)
+        assert call(env, "write", fd, region.base, 8).crashed
+
+    def test_lseek(self, env):
+        fd = call(env, "open", cstr(env, "/tmp/input.txt"), O_RDONLY).return_value
+        assert call(env, "lseek", fd, 6, 0).return_value == 6
+        out = call(env, "lseek", fd, 0, 42)
+        assert out.return_value == -1 and out.errno == EINVAL
+
+    def test_unlink_and_access(self, env):
+        fd = call(env, "open", cstr(env, "/tmp/gone.txt"), O_WRONLY | O_CREAT).return_value
+        call(env, "close", fd)
+        assert call(env, "access", cstr(env, "/tmp/gone.txt"), 0).return_value == 0
+        assert call(env, "unlink", cstr(env, "/tmp/gone.txt")).return_value == 0
+        out = call(env, "access", cstr(env, "/tmp/gone.txt"), 0)
+        assert out.return_value == -1 and out.errno == ENOENT
+
+
+class TestGetcwd:
+    def test_fills_buffer(self, env):
+        runtime, _ = env
+        buf = runtime.space.map_region(32).base
+        out = call(env, "getcwd", buf, 32)
+        assert out.return_value == buf
+        assert runtime.space.read_cstring(buf) == CWD
+
+    def test_too_small_erange(self, env):
+        buf = env[0].space.map_region(4).base
+        out = call(env, "getcwd", buf, 4)
+        assert out.return_value == NULL and out.errno == ERANGE
+
+    def test_null_buffer_allocates(self, env):
+        runtime, _ = env
+        out = call(env, "getcwd", NULL, 0)
+        assert runtime.heap.block_containing(out.return_value) is not None
+        assert runtime.space.read_cstring(out.return_value) == CWD
+
+    def test_small_buffer_lies_about_size_crashes(self, env):
+        """The classic getcwd bug: the caller claims 32 bytes but the
+        buffer has 4 — the write runs off the end."""
+        buf = env[0].space.map_region(4).base
+        assert call(env, "getcwd", buf, 32).crashed
+
+
+class TestStat:
+    def test_stat_regular_file(self, env):
+        runtime, _ = env
+        statbuf = runtime.space.map_region(STAT_SIZE).base
+        assert call(env, "stat", cstr(env, "/tmp/input.txt"), statbuf).return_value == 0
+        assert runtime.space.load_u32(statbuf + OFF_ST_MODE) & S_IFREG
+        expected = len(runtime.kernel.lookup("/tmp/input.txt").data)
+        assert runtime.space.load_u64(statbuf + OFF_ST_SIZE) == expected
+
+    def test_stat_directory(self, env):
+        runtime, _ = env
+        statbuf = runtime.space.map_region(STAT_SIZE).base
+        call(env, "stat", cstr(env, "/tmp"), statbuf)
+        assert runtime.space.load_u32(statbuf + OFF_ST_MODE) & S_IFDIR
+
+    def test_stat_undersized_buffer_crashes(self, env):
+        runtime, _ = env
+        short = runtime.space.map_region(STAT_SIZE - 8)
+        out = call(env, "stat", cstr(env, "/tmp/input.txt"), short.base)
+        assert out.crashed
+
+    def test_fstat(self, env):
+        runtime, _ = env
+        fd = call(env, "open", cstr(env, "/tmp/input.txt"), O_RDONLY).return_value
+        statbuf = runtime.space.map_region(STAT_SIZE).base
+        assert call(env, "fstat", fd, statbuf).return_value == 0
+        out = call(env, "fstat", 999, statbuf)
+        assert out.errno == EBADF
+
+    def test_mkdir(self, env):
+        assert call(env, "mkdir", cstr(env, "/tmp/newdir"), 0o755).return_value == 0
+        out = call(env, "mkdir", cstr(env, "/tmp/newdir"), 0o755)
+        assert out.return_value == -1  # already exists
+
+
+class TestSprintf:
+    def test_sprintf_formats(self, env):
+        runtime, _ = env
+        buf = runtime.space.map_region(64).base
+        out = call(env, "sprintf", buf, cstr(env, "x=%d"), 7)
+        assert out.return_value == 3
+        assert runtime.space.read_cstring(buf) == b"x=7"
+
+    def test_sprintf_overflows_unbounded(self, env):
+        runtime, _ = env
+        buf = runtime.space.map_region(4).base
+        long_str = cstr(env, "long enough to overflow")
+        out = call(env, "sprintf", buf, cstr(env, "%s"), long_str)
+        assert out.crashed
+
+    def test_snprintf_truncates_safely(self, env):
+        runtime, _ = env
+        buf = runtime.space.map_region(4).base
+        long_str = cstr(env, "long enough to overflow")
+        out = call(env, "snprintf", buf, 4, cstr(env, "%s"), long_str)
+        assert out.return_value == 23  # the would-be length
+        assert runtime.space.read_cstring(buf) == b"lon"
+
+
+class TestPipelineIntegration:
+    def test_injector_discovers_stat_buffer_size(self):
+        from repro.injector import inject_function
+
+        report = inject_function("stat")
+        assert report.robust_types[1].robust.render() == f"W_ARRAY[{STAT_SIZE}]"
+
+    def test_wrapped_read_rejects_overflow(self):
+        from repro.core import HealersPipeline
+
+        hardened = HealersPipeline(functions=["read", "open"]).run()
+        runtime = standard_runtime()
+        wrapper = hardened.wrapper()
+        path = runtime.space.alloc_cstring("/tmp/data.bin").base
+        fd = wrapper.call("open", [path, O_RDONLY], runtime).return_value
+        small = runtime.heap.malloc(8)
+        out = wrapper.call("read", [fd, small, 256], runtime)
+        assert out.returned and out.errno_was_set  # rejected, no crash
+        ok = wrapper.call("read", [fd, small, 8], runtime)
+        assert ok.return_value == 8

@@ -1,0 +1,72 @@
+"""Structural properties of the manual-edit layer and the generated
+checks header."""
+
+import pytest
+
+from repro.declarations import apply_all_manual_edits, apply_manual_edits
+from repro.typelattice import SEMI_AUTO_CHECKABLE
+from repro.wrapper import generate_checks_header
+
+
+class TestManualEditProperties:
+    def test_edits_are_idempotent(self, declarations86):
+        once = apply_all_manual_edits(declarations86)
+        twice = apply_all_manual_edits(once)
+        assert once == twice
+
+    def test_edits_never_weaken_safety_attribute(self, declarations86):
+        for name, decl in declarations86.items():
+            edited = apply_manual_edits(decl)
+            assert edited.attribute == decl.attribute
+            assert edited.name == decl.name
+            assert edited.arity == decl.arity
+
+    def test_edited_types_are_semi_auto_checkable(self, declarations86):
+        """Every robust type the manual edits introduce must have a
+        checking function in the semi-auto tier — an edit the wrapper
+        cannot enforce would be silently useless."""
+        for name, decl in declarations86.items():
+            edited = apply_manual_edits(decl)
+            for argument in edited.arguments:
+                assert argument.robust_type.name in SEMI_AUTO_CHECKABLE | {
+                    "UNCONSTRAINED"
+                }, f"{name}: {argument.robust_type}"
+
+    def test_every_dir_function_gets_tracking(self, declarations86):
+        for name in ("readdir", "closedir", "rewinddir", "seekdir", "telldir"):
+            edited = apply_manual_edits(declarations86[name])
+            assert "track_dir" in edited.assertions, name
+            assert edited.arguments[0].robust_type.name == "OPEN_DIR"
+
+    def test_every_stdio_function_gets_file_tracking(self, declarations86):
+        for name in ("fclose", "fread", "fwrite", "fgets", "fseek", "fprintf"):
+            edited = apply_manual_edits(declarations86[name])
+            assert "track_file" in edited.assertions, name
+
+
+class TestChecksHeader:
+    @pytest.fixture(scope="class")
+    def header(self):
+        return generate_checks_header()
+
+    def test_header_is_guarded(self, header):
+        assert header.startswith("/*")
+        assert "#ifndef HEALERS_CHECKS_H" in header
+        assert header.rstrip().endswith("#endif /* HEALERS_CHECKS_H */")
+
+    def test_every_emittable_check_is_declared(self, header):
+        """Every check_* the code generator can reference must exist
+        in the header, or the generated wrapper would not link."""
+        import re
+
+        from repro.wrapper.codegen import _CHECK_SIGNATURES
+
+        declared = set(re.findall(r"\bcheck_[A-Za-z_]+", header))
+        for template in _CHECK_SIGNATURES.values():
+            match = re.match(r"(check_[A-Za-z_]+)\(", template)
+            if match:
+                assert match.group(1) in declared, template
+
+    def test_assertion_helpers_declared(self, header):
+        for assertion in ("track_dir", "track_file", "strtok_state"):
+            assert f"healers_assert_{assertion}" in header

@@ -1,0 +1,118 @@
+"""Unit tests for the simulated heap and its allocation table."""
+
+import pytest
+
+from repro.memory import AddressSpace, Heap, NULL, SegmentationFault
+
+
+@pytest.fixture()
+def heap():
+    return Heap(AddressSpace())
+
+
+class TestAllocator:
+    def test_malloc_returns_writable_block(self, heap):
+        pointer = heap.malloc(32)
+        heap.space.store(pointer, b"x" * 32)
+        assert heap.space.load(pointer, 32) == b"x" * 32
+
+    def test_malloc_zero_returns_unique_inaccessible_pointer(self, heap):
+        a = heap.malloc(0)
+        b = heap.malloc(0)
+        assert a != b != NULL
+        with pytest.raises(SegmentationFault):
+            heap.space.load(a, 1)
+
+    def test_overflow_past_block_end_faults(self, heap):
+        pointer = heap.malloc(16)
+        with pytest.raises(SegmentationFault) as exc:
+            heap.space.store(pointer, b"y" * 17)
+        assert exc.value.address == pointer + 16
+
+    def test_free_null_is_noop(self, heap):
+        heap.free(NULL)
+
+    def test_use_after_free_faults(self, heap):
+        pointer = heap.malloc(8)
+        heap.free(pointer)
+        with pytest.raises(SegmentationFault):
+            heap.space.load(pointer, 1)
+
+    def test_double_free_faults(self, heap):
+        pointer = heap.malloc(8)
+        heap.free(pointer)
+        with pytest.raises(SegmentationFault):
+            heap.free(pointer)
+
+    def test_free_of_non_block_faults(self, heap):
+        region = heap.space.map_region(8)
+        with pytest.raises(SegmentationFault):
+            heap.free(region.base)
+
+    def test_free_of_interior_pointer_faults(self, heap):
+        pointer = heap.malloc(32)
+        with pytest.raises(SegmentationFault):
+            heap.free(pointer + 4)
+
+    def test_realloc_grows_and_preserves_content(self, heap):
+        pointer = heap.malloc(8)
+        heap.space.store(pointer, b"abcdefgh")
+        bigger = heap.realloc(pointer, 32)
+        assert heap.space.load(bigger, 8) == b"abcdefgh"
+        heap.space.store(bigger, b"z" * 32)
+
+    def test_realloc_shrinks(self, heap):
+        pointer = heap.malloc(32)
+        heap.space.store(pointer, b"q" * 32)
+        smaller = heap.realloc(pointer, 4)
+        assert heap.space.load(smaller, 4) == b"qqqq"
+
+    def test_realloc_null_acts_as_malloc(self, heap):
+        pointer = heap.realloc(NULL, 16)
+        assert pointer != NULL
+        assert heap.live_block_count == 1
+
+    def test_realloc_frees_old_block(self, heap):
+        pointer = heap.malloc(8)
+        heap.realloc(pointer, 16)
+        with pytest.raises(SegmentationFault):
+            heap.space.load(pointer, 1)
+
+    def test_calloc_multiplies(self, heap):
+        pointer = heap.calloc(4, 8)
+        assert heap.space.load(pointer, 32) == bytes(32)
+
+
+class TestAllocationTable:
+    def test_block_containing_finds_interior_addresses(self, heap):
+        pointer = heap.malloc(64)
+        block = heap.block_containing(pointer + 10)
+        assert block is not None
+        assert block.base == pointer
+        assert block.size == 64
+
+    def test_block_containing_rejects_non_heap(self, heap):
+        region = heap.space.map_region(16)
+        assert heap.block_containing(region.base) is None
+
+    def test_block_containing_rejects_freed(self, heap):
+        pointer = heap.malloc(16)
+        heap.free(pointer)
+        assert heap.block_containing(pointer) is None
+
+    def test_remaining_from_interior(self, heap):
+        pointer = heap.malloc(100)
+        assert heap.remaining_from(pointer) == 100
+        assert heap.remaining_from(pointer + 60) == 40
+        assert heap.remaining_from(pointer + 99) == 1
+
+    def test_remaining_from_foreign_pointer_is_none(self, heap):
+        assert heap.remaining_from(0x123456) is None
+
+    def test_live_blocks_and_counters(self, heap):
+        a = heap.malloc(8)
+        heap.malloc(8)
+        heap.free(a)
+        assert heap.live_block_count == 1
+        assert heap.malloc_count == 2
+        assert heap.free_count == 1

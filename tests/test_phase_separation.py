@@ -1,0 +1,71 @@
+"""Phase separation: the declaration XML alone must be enough to build
+wrappers (the paper's two-phase architecture, Figure 1).
+
+A deployment scenario: phase 1 runs on a build machine and ships only
+``declarations.xml``; phase 2 regenerates wrappers anywhere, with no
+access to injection reports.
+"""
+
+import pytest
+
+from repro.core import HealersPipeline
+from repro.core.cache import load_declarations, save_declarations
+from repro.declarations import apply_all_manual_edits
+from repro.libc import standard_runtime
+from repro.memory import INVALID_POINTER, NULL
+from repro.wrapper import WrapperLibrary, generate_wrapper_library
+
+
+@pytest.fixture(scope="module")
+def shipped_xml(tmp_path_factory):
+    """Phase 1 output, persisted and reloaded cold."""
+    path = tmp_path_factory.mktemp("ship") / "declarations.xml"
+    hardened = HealersPipeline(
+        functions=["asctime", "strcpy", "closedir", "opendir", "abs"]
+    ).run()
+    save_declarations(hardened.declarations, path)
+    return path
+
+
+class TestPhaseTwoFromXmlOnly:
+    def test_wrapper_built_from_reloaded_declarations_protects(self, shipped_xml):
+        declarations = load_declarations(shipped_xml)
+        wrapper = WrapperLibrary(declarations)
+        runtime = standard_runtime()
+        for bad in (NULL, INVALID_POINTER):
+            outcome = wrapper.call("strcpy", [bad, bad], runtime)
+            assert not outcome.robustness_failure
+
+    def test_manual_edits_reapply_after_reload(self, shipped_xml):
+        declarations = apply_all_manual_edits(load_declarations(shipped_xml))
+        assert declarations["closedir"].arguments[0].robust_type.name == "OPEN_DIR"
+        wrapper = WrapperLibrary(declarations)
+        runtime = standard_runtime()
+        garbage = runtime.space.map_region(72).base
+        outcome = wrapper.call("closedir", [garbage], runtime)
+        assert outcome.returned and outcome.errno_was_set
+
+    def test_codegen_from_reloaded_declarations(self, shipped_xml):
+        declarations = load_declarations(shipped_xml)
+        source = generate_wrapper_library(declarations)
+        assert "check_R_ARRAY_NULL(a1, 44)" in source  # asctime survived
+        assert "int abs (" not in source  # safety attribute survived
+
+    def test_reload_preserves_every_field(self, shipped_xml):
+        declarations = load_declarations(shipped_xml)
+        asctime = declarations["asctime"]
+        assert asctime.version == "GLIBC_2.2"
+        assert asctime.errno_class == "consistent"
+        assert asctime.error_value == 0
+        assert asctime.unsafe
+
+    def test_state_tracking_works_through_reloaded_wrapper(self, shipped_xml):
+        declarations = apply_all_manual_edits(load_declarations(shipped_xml))
+        wrapper = WrapperLibrary(declarations)
+        runtime = standard_runtime()
+        path = runtime.space.alloc_cstring("/tmp").base
+        dirp = wrapper.call("opendir", [path], runtime).return_value
+        assert dirp != NULL
+        assert wrapper.call("closedir", [dirp], runtime).return_value == 0
+        again = wrapper.call("closedir", [dirp], runtime)
+        assert again.returned and again.errno_was_set  # double close blocked

@@ -1,0 +1,126 @@
+"""Fine-grained unit tests: Region internals, Ballista pool builders,
+harness thinning, run metrics."""
+
+import pytest
+
+from repro.apps.runner import RunMetrics
+from repro.ballista import (
+    DIR_POOL,
+    FD_POOL,
+    FILE_POOL,
+    FUNCPTR_POOL,
+    INT_POOL,
+    POINTER_POOL,
+    REAL_POOL,
+    SIZE_POOL,
+    STRING_POOL,
+)
+from repro.ballista.harness import BallistaTest, _thin
+from repro.ballista.pools import WRITABLE_STRING_POOL
+from repro.libc.runtime import standard_runtime
+from repro.memory import AccessKind, Protection, Region, SegmentationFault
+
+
+class TestRegion:
+    def test_contains_and_overlaps(self):
+        region = Region(base=0x1000, size=0x100)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert region.overlaps(0x10F0, 0x20)
+        assert not region.overlaps(0x1100, 0x10)
+
+    def test_check_access_order_protection_before_bounds(self):
+        """A write to a read-only region reports a protection fault at
+        the requested address, even past the end — matching MMU
+        behaviour where the permission bit is page-level."""
+        region = Region(base=0x1000, size=0x10, prot=Protection.READ)
+        with pytest.raises(SegmentationFault) as exc:
+            region.check_access(0x1000, 4, AccessKind.WRITE)
+        assert "protection" in exc.value.reason
+
+    def test_poke_peek_bypass_protection(self):
+        region = Region(base=0x1000, size=4, prot=Protection.NONE)
+        region.poke(0x1000, b"abcd")
+        assert region.peek(0x1000, 4) == b"abcd"
+        with pytest.raises(ValueError):
+            region.poke(0x1000, b"abcde")
+        with pytest.raises(ValueError):
+            region.peek(0x0FFF, 1)
+
+    def test_clone_is_deep(self):
+        region = Region(base=0x1000, size=4)
+        region.write(0x1000, b"orig")
+        clone = region.clone()
+        clone.write(0x1000, b"copy")
+        assert region.read(0x1000, 4) == b"orig"
+
+    def test_data_length_must_match(self):
+        with pytest.raises(ValueError):
+            Region(base=0, size=4, data=bytearray(2))
+
+    def test_protection_describe(self):
+        assert Protection.RW.describe() == "rw"
+        assert Protection.READ.describe() == "r-"
+        assert Protection.NONE.describe() == "--"
+
+
+class TestPoolBuilders:
+    @pytest.mark.parametrize(
+        "pool",
+        [STRING_POOL, WRITABLE_STRING_POOL, POINTER_POOL, FILE_POOL, DIR_POOL,
+         INT_POOL, FD_POOL, SIZE_POOL, REAL_POOL, FUNCPTR_POOL],
+        ids=["string", "wstring", "pointer", "file", "dir", "int", "fd",
+             "size", "real", "funcptr"],
+    )
+    def test_every_value_builds(self, pool):
+        runtime = standard_runtime()
+        for value in pool:
+            built = value.build(runtime)
+            assert isinstance(built, (int, float)), value.label
+
+    def test_labels_are_unique_within_pool(self):
+        for pool in (STRING_POOL, FILE_POOL, DIR_POOL, INT_POOL):
+            labels = [v.label for v in pool]
+            assert len(labels) == len(set(labels))
+
+    def test_each_pool_has_benign_and_exceptional(self):
+        for pool in (STRING_POOL, WRITABLE_STRING_POOL, FILE_POOL, DIR_POOL,
+                     INT_POOL, FD_POOL, SIZE_POOL, REAL_POOL, FUNCPTR_POOL):
+            assert any(v.exceptional for v in pool)
+            assert any(not v.exceptional for v in pool)
+
+
+class TestThinning:
+    def _tests(self, count):
+        return [BallistaTest(f"f{i}", ()) for i in range(count)]
+
+    def test_exact_target(self):
+        thinned = _thin(self._tests(100), 73)
+        assert len(thinned) == 73
+
+    def test_no_op_when_under_target(self):
+        tests = self._tests(10)
+        assert _thin(tests, 20) is tests
+
+    def test_thinning_is_spread_not_truncation(self):
+        thinned = _thin(self._tests(100), 50)
+        names = {t.function for t in thinned}
+        assert "f1" in names or "f0" in names
+        assert any(t.function == f"f{i}" for t in thinned for i in range(90, 100))
+
+
+class TestRunMetrics:
+    def test_derived_ratios(self):
+        metrics = RunMetrics(
+            wall_seconds=2.0, libc_calls=100, library_seconds=0.5,
+            check_seconds=0.25,
+        )
+        assert metrics.calls_per_second == 50
+        assert metrics.library_fraction == 0.25
+        assert metrics.checking_fraction == 0.125
+
+    def test_zero_wall_clock(self):
+        metrics = RunMetrics(0.0, 10, 0.0, 0.0)
+        assert metrics.calls_per_second == 0.0
+        assert metrics.library_fraction == 0.0

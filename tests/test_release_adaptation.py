@@ -1,0 +1,113 @@
+"""The paper's adaptability claim (section 2): "the wrapper generation
+process is highly automated and can easily adapt to new library
+releases.  As shown in [6], new library releases are sometimes more
+robust than previous versions due to bug fixes, and sometimes less
+robust due to bugs introduced in new features."
+
+We simulate three releases of ``asctime`` and show the pipeline
+re-deriving the right wrapper for each with zero manual work:
+
+* v2.2 — the baseline: reads 44 bytes, rejects NULL with EINVAL;
+* v2.3 "bug fix" — also validates the month field (more robust);
+* v2.4 "regression" — new feature reads a 52-byte extended struct and
+  crashes on NULL again (less robust).
+"""
+
+import pytest
+
+from repro.declarations import declaration_from_report
+from repro.injector import FaultInjector
+from repro.libc.catalog import BY_NAME, FunctionSpec
+from repro.libc.errno_codes import EINVAL
+from repro.libc.runtime import standard_runtime
+from repro.libc.timefns import _format_tm, _read_tm
+from repro.libc import common
+from repro.memory import NULL
+from repro.wrapper import WrapperLibrary
+
+
+def asctime_v23(ctx, tm):
+    """More robust: month range-checked, like a bug-fix release."""
+    if tm == NULL:
+        ctx.set_errno(EINVAL)
+        return NULL
+    fields = _read_tm(ctx, tm)
+    if not 0 <= fields["mon"] < 12:
+        ctx.set_errno(EINVAL)
+        return NULL
+    common.write_cstring(ctx, ctx.runtime.asctime_buffer, _format_tm(fields)[:25])
+    return ctx.runtime.asctime_buffer
+
+
+def asctime_v24(ctx, tm):
+    """Less robust: reads a 52-byte extended structure and no longer
+    tolerates NULL (a regression)."""
+    fields = _read_tm(ctx, tm)  # NULL now crashes here
+    ctx.mem.load(tm + 44, 8)  # the new tm_zone pointer field
+    common.write_cstring(ctx, ctx.runtime.asctime_buffer, _format_tm(fields)[:25])
+    return ctx.runtime.asctime_buffer
+
+
+def _spec(model, version):
+    base = BY_NAME["asctime"]
+    return FunctionSpec(
+        name="asctime",
+        prototype=base.prototype,
+        model=model,
+        headers=base.headers,
+        version=version,
+    )
+
+
+def _inject(spec):
+    return FaultInjector(spec).run()
+
+
+class TestReleaseAdaptation:
+    def test_v22_baseline(self):
+        report = _inject(_spec(BY_NAME["asctime"].model, "GLIBC_2.2"))
+        assert report.robust_types[0].robust.render() == "R_ARRAY_NULL[44]"
+
+    def test_v23_bugfix_detected(self):
+        """The injector notices the stronger release on its own: the
+        same wrapper still works, and the robust type is unchanged
+        because invalid *content* now errors instead of crashing."""
+        report = _inject(_spec(asctime_v23, "GLIBC_2.3"))
+        assert report.robust_types[0].robust.render() == "R_ARRAY_NULL[44]"
+        assert report.unsafe  # still crashes for bad pointers
+
+    def test_v24_regression_adapts_size_and_null(self):
+        """The regression release needs a *different* wrapper: 52
+        bytes and no NULL — rediscovered automatically."""
+        report = _inject(_spec(asctime_v24, "GLIBC_2.4"))
+        robust = report.robust_types[0].robust
+        assert robust.render() == "R_ARRAY[52]"
+
+    def test_regenerated_wrapper_protects_each_release(self):
+        """End to end: per-release declarations produce per-release
+        wrappers, each eliminating that release's crashes."""
+        for model, version in (
+            (BY_NAME["asctime"].model, "GLIBC_2.2"),
+            (asctime_v23, "GLIBC_2.3"),
+            (asctime_v24, "GLIBC_2.4"),
+        ):
+            spec = _spec(model, version)
+            declaration = declaration_from_report(_inject(spec), version)
+            assert declaration.version == version
+            wrapper = WrapperLibrary({"asctime": declaration})
+            # The wrapper forwards to *this release's* model.
+            original_spec = BY_NAME["asctime"]
+            try:
+                BY_NAME["asctime"] = spec  # interpose the release
+                runtime = standard_runtime()
+                probes = [
+                    NULL,
+                    0xDEAD0000,
+                    runtime.space.map_region(20).base,
+                    runtime.space.map_region(60).base,
+                ]
+                for probe in probes:
+                    outcome = wrapper.call("asctime", [probe], runtime)
+                    assert not outcome.robustness_failure, (version, hex(probe))
+            finally:
+                BY_NAME["asctime"] = original_spec

@@ -1,0 +1,70 @@
+"""Tests for the text renderers."""
+
+from repro.ballista import (
+    BallistaReport,
+    BallistaTest,
+    TestRecord,
+    bar,
+    render_comparison_table,
+    render_figure6,
+    render_report,
+)
+
+
+def _report(configuration, crash=2, errno=5, silent=3):
+    report = BallistaReport(configuration)
+    for status, count in (("crash", crash), ("errno", errno), ("silent", silent)):
+        for index in range(count):
+            report.records.append(
+                TestRecord(BallistaTest(f"fn{index % 3}", ()), status)
+            )
+    return report
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(100, width=10) == "##########"
+        assert bar(0, width=10) == ".........."
+
+    def test_rounding_and_clamping(self):
+        assert bar(50, width=10) == "#####....."
+        assert bar(150, width=10) == "##########"
+        assert bar(-5, width=10) == ".........."
+
+
+class TestRenderReport:
+    def test_contains_all_categories(self):
+        text = render_report(_report("unwrapped"))
+        for label in ("Errno set", "Silent", "Crash"):
+            assert label in text
+        assert "unwrapped (10 tests)" in text
+        assert "crashing functions: 2" in text
+
+    def test_percentages(self):
+        text = render_report(_report("x", crash=5, errno=5, silent=0))
+        assert " 50.00%" in text
+
+    def test_empty_report(self):
+        text = render_report(BallistaReport("empty"))
+        assert "0 tests" in text
+
+
+class TestRenderFigure6:
+    def test_progression_line(self):
+        reports = [
+            _report("unwrapped", crash=5, errno=5, silent=0),
+            _report("wrapped", crash=0, errno=10, silent=0),
+        ]
+        text = render_figure6(reports)
+        assert "crash rate progression: 50.00% -> 0.00%" in text
+        assert text.count("Errno set") == 2
+
+
+class TestComparisonTable:
+    def test_measured_and_paper_rows_interleave(self):
+        rows = [{"configuration": "unwrapped", "crash_pct": 57.8}]
+        paper = [{"configuration": "unwrapped", "crash_pct": 24.51}]
+        text = render_comparison_table(rows, paper, ["crash_pct"])
+        assert "unwrapped (measured)" in text
+        assert "unwrapped (paper)" in text
+        assert "57.8" in text and "24.51" in text

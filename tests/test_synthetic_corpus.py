@@ -1,0 +1,96 @@
+"""Deeper checks of the synthetic environment's internal consistency."""
+
+import pytest
+
+from repro.cdecl import DeclarationParser, typedef_table
+from repro.syslib import build_environment
+from repro.syslib.synthetic import (
+    EXTERNAL_TOTAL,
+    MAN_COVERAGE,
+    _fictitious_functions,
+)
+import random
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return build_environment()
+
+
+class TestFictitiousFunctions:
+    def test_deterministic_for_fixed_seed(self):
+        first = _fictitious_functions(random.Random(42), 50)
+        second = _fictitious_functions(random.Random(42), 50)
+        assert first == second
+
+    def test_names_unique(self):
+        pairs = _fictitious_functions(random.Random(7), 200)
+        names = [name for name, _ in pairs]
+        assert len(names) == len(set(names))
+
+    def test_every_prototype_parses_to_its_name(self):
+        parser = DeclarationParser(typedef_table())
+        for name, prototype in _fictitious_functions(random.Random(3), 100):
+            parsed = parser.parse_prototype(prototype)
+            assert parsed.name == name
+
+
+class TestEnvironmentInternals:
+    def test_population_size(self, environment):
+        assert len(environment.external_names) == EXTERNAL_TOTAL
+
+    def test_headers_parse_cleanly(self, environment):
+        """Every corpus header must yield at least the prototypes the
+        ground truth places in it."""
+        parser = DeclarationParser(typedef_table())
+        declared_by_header: dict[str, set[str]] = {}
+        for truth in environment.ground_truth.values():
+            for header in truth.headers:
+                declared_by_header.setdefault(header, set()).add(truth.name)
+        for header, expected in declared_by_header.items():
+            text = environment.headers.read(header)
+            assert text is not None, header
+            found = {p.name for p in parser.parse_header(text)}
+            missing = expected - found
+            assert not missing, f"{header}: {missing}"
+
+    def test_include_graph_is_acyclic_enough(self, environment):
+        """transitive_closure must terminate on every entry point."""
+        corpus = environment.headers
+        for path in corpus.paths():
+            closure = corpus.transitive_closure([path])
+            assert path in closure
+            assert len(closure) <= len(corpus.paths())
+
+    def test_symbol_table_round_trips_through_objdump(self, environment):
+        from repro.syslib import parse_objdump
+
+        text = environment.symbol_table.objdump_output()
+        parsed = parse_objdump(text)
+        assert len(parsed.symbols) == len(environment.symbol_table.symbols)
+        assert parsed.internal_fraction() == pytest.approx(
+            environment.symbol_table.internal_fraction()
+        )
+
+    def test_man_coverage_is_seeded_not_emergent(self, environment):
+        expected_pages = round(MAN_COVERAGE * EXTERNAL_TOTAL)
+        assert len(environment.man_pages.pages) == expected_pages
+
+    def test_wrong_header_pages_really_are_wrong(self, environment):
+        """A wrong-header man page's listed headers (and everything
+        they include) must not declare the function."""
+        from repro.manpages import synopsis_headers
+
+        parser = DeclarationParser(typedef_table())
+        for truth in environment.ground_truth.values():
+            if not (truth.has_man_page and truth.man_lists_headers):
+                continue
+            if truth.man_headers_correct or not truth.headers:
+                continue
+            page = environment.man_pages.page_for(truth.name)
+            listed = synopsis_headers(page)
+            closure = environment.headers.transitive_closure(listed)
+            for header in closure:
+                text = environment.headers.read(header) or ""
+                names = {p.name for p in parser.parse_header(text)}
+                assert truth.name not in names, (truth.name, header)

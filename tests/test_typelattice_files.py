@@ -1,0 +1,137 @@
+"""Tests for the file-pointer hierarchy (paper Figure 4) and the DIR,
+string, descriptor, integer, size, real and funcptr families."""
+
+import pytest
+
+from repro.typelattice import FILE_SIZE, DIR_SIZE, Lattice, registry as R
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return Lattice.for_sizes({1, 8, FILE_SIZE, DIR_SIZE, FILE_SIZE + 1})
+
+
+class TestFigure4:
+    def test_fundamental_files_under_r_and_w(self, lattice):
+        assert lattice.is_subtype(R.RONLY_FILE, R.R_FILE)
+        assert lattice.is_subtype(R.RW_FILE, R.R_FILE)
+        assert lattice.is_subtype(R.RW_FILE, R.W_FILE)
+        assert lattice.is_subtype(R.WONLY_FILE, R.W_FILE)
+        assert not lattice.is_subtype(R.RONLY_FILE, R.W_FILE)
+        assert not lattice.is_subtype(R.WONLY_FILE, R.R_FILE)
+
+    def test_r_file_and_w_file_not_comparable(self, lattice):
+        """Paper: "types R_FILE and W_FILE are not comparable because
+        the intersection of their value sets is a strict non-empty
+        subset of both" (it is V(RW_FILE))."""
+        assert not lattice.is_subtype(R.R_FILE, R.W_FILE)
+        assert not lattice.is_subtype(R.W_FILE, R.R_FILE)
+
+    def test_open_file_hierarchy(self, lattice):
+        assert lattice.is_subtype(R.R_FILE, R.OPEN_FILE)
+        assert lattice.is_subtype(R.W_FILE, R.OPEN_FILE)
+        assert lattice.is_subtype(R.OPEN_FILE, R.OPEN_FILE_NULL)
+        assert lattice.is_subtype(R.NULL, R.OPEN_FILE_NULL)
+
+    def test_cross_edge_open_file_is_rw_memory(self, lattice):
+        """OPEN_FILE <= RW_ARRAY[s] for s <= sizeof(FILE)."""
+        assert lattice.is_subtype(R.OPEN_FILE, R.RW_ARRAY(FILE_SIZE))
+        assert lattice.is_subtype(R.OPEN_FILE, R.RW_ARRAY(8))
+        assert not lattice.is_subtype(R.OPEN_FILE, R.RW_ARRAY(FILE_SIZE + 1))
+        assert lattice.is_subtype(R.OPEN_FILE_NULL, R.RW_ARRAY_NULL(FILE_SIZE))
+
+    def test_transitive_file_to_unconstrained(self, lattice):
+        assert lattice.is_subtype(R.RONLY_FILE, R.UNCONSTRAINED)
+
+    def test_corrupt_and_stale_not_open_files(self, lattice):
+        for bad in (R.CORRUPT_FILE, R.STALE_FILE):
+            assert not lattice.is_subtype(bad, R.OPEN_FILE)
+            assert lattice.is_subtype(bad, R.RW_ARRAY(FILE_SIZE))
+
+
+class TestDirFamily:
+    def test_open_dir_hierarchy(self, lattice):
+        assert lattice.is_subtype(R.OPEN_DIR, R.OPEN_DIR_NULL)
+        assert lattice.is_subtype(R.NULL, R.OPEN_DIR_NULL)
+        assert lattice.is_subtype(R.OPEN_DIR, R.RW_ARRAY(DIR_SIZE))
+        assert not lattice.is_subtype(R.CORRUPT_DIR, R.OPEN_DIR)
+        assert lattice.is_subtype(R.STALE_DIR, R.RW_ARRAY(DIR_SIZE))
+
+
+class TestStringFamily:
+    def test_string_fundamentals(self, lattice):
+        assert lattice.is_subtype(R.STRING_RO, R.CSTRING)
+        assert lattice.is_subtype(R.STRING_RW, R.WRITABLE_STRING)
+        assert lattice.is_subtype(R.WRITABLE_STRING, R.CSTRING)
+        assert lattice.is_subtype(R.VALID_MODE, R.MODE_STRING)
+        assert lattice.is_subtype(R.MODE_STRING, R.CSTRING)
+        assert lattice.is_subtype(R.VALID_FORMAT, R.FORMAT_STRING)
+
+    def test_strings_are_readable_memory(self, lattice):
+        assert lattice.is_subtype(R.CSTRING, R.R_ARRAY(1))
+        assert lattice.is_subtype(R.WRITABLE_STRING, R.RW_ARRAY(1))
+        assert not lattice.is_subtype(R.CSTRING, R.R_ARRAY(8))
+
+    def test_null_string_variants(self, lattice):
+        assert lattice.is_subtype(R.NULL, R.CSTRING_NULL)
+        assert lattice.is_subtype(R.CSTRING, R.CSTRING_NULL)
+        assert lattice.is_subtype(R.WRITABLE_STRING_NULL, R.CSTRING_NULL)
+
+    def test_mode_and_format_incomparable(self, lattice):
+        assert not lattice.is_subtype(R.MODE_STRING, R.FORMAT_STRING)
+        assert not lattice.is_subtype(R.FORMAT_STRING, R.MODE_STRING)
+
+
+class TestScalarFamilies:
+    def test_fd_family(self, lattice):
+        assert lattice.is_subtype(R.FD_RW, R.READABLE_FD)
+        assert lattice.is_subtype(R.FD_RW, R.WRITABLE_FD)
+        assert lattice.is_subtype(R.FD_RONLY, R.READABLE_FD)
+        assert not lattice.is_subtype(R.FD_RONLY, R.WRITABLE_FD)
+        assert lattice.is_subtype(R.READABLE_FD, R.OPEN_FD)
+        assert lattice.is_subtype(R.FD_CLOSED, R.ANY_FD)
+        assert not lattice.is_subtype(R.FD_CLOSED, R.OPEN_FD)
+
+    def test_int_family_boundary_split(self, lattice):
+        """The section 4.2 overlapping-types construction: CHAR_RANGE
+        overlaps both NONNEG and NONPOS, so the fundamentals are split
+        at the boundaries."""
+        assert lattice.is_subtype(R.INT_SMALL_NEG, R.CHAR_RANGE)
+        assert lattice.is_subtype(R.INT_SMALL_NEG, R.INT_NONPOS)
+        assert not lattice.is_subtype(R.INT_BIG_NEG, R.CHAR_RANGE)
+        assert lattice.is_subtype(R.INT_ZERO, R.INT_NONNEG)
+        assert lattice.is_subtype(R.INT_ZERO, R.INT_NONPOS)
+        assert lattice.is_subtype(R.INT_ZERO, R.CHAR_RANGE)
+        assert lattice.is_subtype(R.INT_SMALL_POS, R.CHAR_RANGE)
+        assert not lattice.is_subtype(R.INT_BIG_POS, R.CHAR_RANGE)
+        assert not lattice.is_subtype(R.CHAR_RANGE, R.INT_NONNEG)
+        assert not lattice.is_subtype(R.INT_NONNEG, R.CHAR_RANGE)
+
+    def test_size_family(self, lattice):
+        assert lattice.is_subtype(R.SIZE_ZERO, R.REASONABLE_SIZE)
+        assert lattice.is_subtype(R.SIZE_SMALL, R.REASONABLE_SIZE)
+        assert not lattice.is_subtype(R.SIZE_HUGE, R.REASONABLE_SIZE)
+        assert lattice.is_subtype(R.SIZE_HUGE, R.ANY_SIZE)
+
+    def test_real_family(self, lattice):
+        assert lattice.is_subtype(R.REAL_NEG, R.FINITE_REAL)
+        assert not lattice.is_subtype(R.REAL_NAN, R.FINITE_REAL)
+        assert lattice.is_subtype(R.REAL_NAN, R.ANY_REAL)
+
+    def test_funcptr_family(self, lattice):
+        assert lattice.is_subtype(R.VALID_FUNCPTR, R.FUNCPTR)
+        assert lattice.is_subtype(R.FUNCPTR, R.FUNCPTR_NULL)
+        assert lattice.is_subtype(R.NULL, R.FUNCPTR_NULL)
+        assert lattice.is_subtype(R.FUNCPTR_NULL, R.UNCONSTRAINED)
+        assert not lattice.is_subtype(R.VALID_FUNCPTR, R.CSTRING)
+
+
+class TestFamiliesStayDisjoint:
+    def test_scalar_families_not_under_pointer_top(self, lattice):
+        for scalar in (R.INT_ZERO, R.SIZE_SMALL, R.REAL_POS, R.FD_RW):
+            assert not lattice.is_subtype(scalar, R.UNCONSTRAINED)
+
+    def test_pointer_types_not_under_scalar_tops(self, lattice):
+        for top in (R.ANY_INT, R.ANY_SIZE, R.ANY_REAL, R.ANY_FD):
+            assert not lattice.is_subtype(R.NULL, top)
+            assert not lattice.is_subtype(R.RW_FIXED(8), top)

@@ -1,0 +1,219 @@
+"""Tests for the wrapper's checking functions (sections 5.1, 5.2)."""
+
+import math
+
+import pytest
+
+from repro.libc import fileio, standard_runtime
+from repro.libc.dirent_fns import alloc_dir
+from repro.libc.kernel import READ
+from repro.memory import INVALID_POINTER, NULL, Protection
+from repro.sandbox.context import CallContext
+from repro.typelattice import registry as R
+from repro.wrapper import CheckConfig, CheckLibrary, WrapperState
+
+
+@pytest.fixture()
+def runtime():
+    return standard_runtime()
+
+
+@pytest.fixture()
+def checks(runtime):
+    return CheckLibrary(runtime, WrapperState())
+
+
+class TestMemoryChecks:
+    def test_r_array(self, runtime, checks):
+        region = runtime.space.map_region(44, Protection.READ)
+        assert checks.check(R.R_ARRAY(44), region.base)
+        assert not checks.check(R.R_ARRAY(45), region.base)
+        assert not checks.check(R.R_ARRAY(44), NULL)
+        assert not checks.check(R.R_ARRAY(44), INVALID_POINTER)
+
+    def test_w_array_rejects_read_only(self, runtime, checks):
+        region = runtime.space.map_region(44, Protection.READ)
+        assert not checks.check(R.W_ARRAY(44), region.base)
+        rw = runtime.space.map_region(44)
+        assert checks.check(R.W_ARRAY(44), rw.base)
+
+    def test_null_variants(self, runtime, checks):
+        assert checks.check(R.R_ARRAY_NULL(44), NULL)
+        assert not checks.check(R.R_ARRAY(44), NULL)
+        region = runtime.space.map_region(44)
+        assert checks.check(R.RW_ARRAY_NULL(44), region.base)
+
+    def test_heap_block_bounds_are_exact(self, runtime, checks):
+        """Stateful checking: the allocation table gives byte-exact
+        bounds — the defence against same-page overflow (section 8)."""
+        pointer = runtime.heap.malloc(10)
+        assert checks.check(R.RW_ARRAY(10), pointer)
+        assert not checks.check(R.RW_ARRAY(11), pointer)
+        assert checks.check(R.RW_ARRAY(4), pointer + 6)
+        assert not checks.check(R.RW_ARRAY(5), pointer + 6)
+
+    def test_freed_heap_block_rejected(self, runtime, checks):
+        pointer = runtime.heap.malloc(16)
+        runtime.heap.free(pointer)
+        assert not checks.check(R.R_ARRAY(1), pointer)
+
+    def test_unconstrained_accepts_anything(self, checks):
+        for value in (NULL, INVALID_POINTER, 12345):
+            assert checks.check(R.UNCONSTRAINED, value)
+
+
+class TestStringChecks:
+    def test_cstring_requires_terminator(self, runtime, checks):
+        good = runtime.space.alloc_cstring("hello")
+        assert checks.check(R.CSTRING, good.base)
+        unterminated = runtime.space.alloc_bytes(b"\xa5" * 8)
+        assert not checks.check(R.CSTRING, unterminated.base)
+        assert not checks.check(R.CSTRING, NULL)
+        assert checks.check(R.CSTRING_NULL, NULL)
+
+    def test_writable_string(self, runtime, checks):
+        rw = runtime.space.alloc_cstring("text")
+        assert checks.check(R.WRITABLE_STRING, rw.base)
+        ro = runtime.space.alloc_cstring("text", prot=Protection.READ)
+        assert not checks.check(R.WRITABLE_STRING, ro.base)
+
+    def test_unterminated_heap_string_rejected(self, runtime, checks):
+        pointer = runtime.heap.malloc(8)
+        runtime.space.store(pointer, b"\xa5" * 8)
+        assert not checks.check(R.CSTRING, pointer)
+
+    def test_mode_string(self, runtime, checks):
+        for mode in ("r", "w", "a", "r+", "rb", "w+b"):
+            region = runtime.space.alloc_cstring(mode)
+            assert checks.check(R.MODE_STRING, region.base), mode
+        for bad in ("", "x", "hello", "+r"):
+            region = runtime.space.alloc_cstring(bad)
+            assert not checks.check(R.MODE_STRING, region.base), bad
+
+    def test_format_string_blocks_directives_and_percent_n(self, runtime, checks):
+        safe = runtime.space.alloc_cstring("progress 100%% done")
+        assert checks.check(R.FORMAT_STRING, safe.base)
+        plain = runtime.space.alloc_cstring("no directives")
+        assert checks.check(R.FORMAT_STRING, plain.base)
+        for attack in ("%n", "%s%s%s", "value: %d", "%"):
+            region = runtime.space.alloc_cstring(attack)
+            assert not checks.check(R.FORMAT_STRING, region.base), attack
+
+
+class TestFileChecks:
+    def _open_file(self, runtime, readable=True, writable=True):
+        fd = runtime.kernel.open("/tmp/input.txt", READ)
+        return fileio.alloc_file(CallContext(runtime), fd, readable, writable)
+
+    def test_open_file_accepts_live_stream(self, runtime, checks):
+        fp = self._open_file(runtime)
+        assert checks.check(R.OPEN_FILE, fp)
+        assert checks.check(R.OPEN_FILE_NULL, NULL)
+
+    def test_open_file_rejects_dead_descriptor(self, runtime, checks):
+        fp = fileio.alloc_file(CallContext(runtime), 222, True, True)
+        assert not checks.check(R.OPEN_FILE, fp)
+
+    def test_open_file_rejects_inaccessible_memory(self, runtime, checks):
+        assert not checks.check(R.OPEN_FILE, INVALID_POINTER)
+        small = runtime.space.map_region(32)
+        assert not checks.check(R.OPEN_FILE, small.base)
+
+    def test_fileno_fstat_check_is_incomplete_by_design(self, runtime, checks):
+        """Paper: "in theory, this is not a complete test" — a
+        corrupted FILE with a live descriptor passes."""
+        fp = self._open_file(runtime)
+        runtime.space.store_u64(fp + fileio.OFF_BUF, 0xBAD0BAD00000)
+        assert checks.check(R.OPEN_FILE, fp)
+
+    def test_tracked_file_assertion_catches_corruption(self, runtime):
+        state = WrapperState()
+        checks = CheckLibrary(runtime, state)
+        checks.active_assertions = ("track_file",)
+        fp = self._open_file(runtime)
+        assert not checks.check(R.OPEN_FILE, fp)  # never registered
+        state.seed_file(fp)
+        assert checks.check(R.OPEN_FILE, fp)
+
+
+class TestDirChecks:
+    def test_open_dir_is_purely_stateful(self, runtime):
+        state = WrapperState()
+        checks = CheckLibrary(runtime, state)
+        fd = runtime.kernel.open("/tmp", READ)
+        dirp = alloc_dir(CallContext(runtime), ["."], fd)
+        assert not checks.check(R.OPEN_DIR, dirp)
+        state.seed_dir(dirp)
+        assert checks.check(R.OPEN_DIR, dirp)
+        assert checks.check(R.OPEN_DIR_NULL, NULL)
+
+
+class TestScalarChecks:
+    def test_char_range(self, checks):
+        assert checks.check(R.CHAR_RANGE, -128)
+        assert checks.check(R.CHAR_RANGE, 255)
+        assert not checks.check(R.CHAR_RANGE, -129)
+        assert not checks.check(R.CHAR_RANGE, 256)
+
+    def test_fd_checks(self, runtime, checks):
+        fd = runtime.kernel.open("/tmp/input.txt", READ)
+        assert checks.check(R.OPEN_FD, fd)
+        assert checks.check(R.READABLE_FD, fd)
+        assert not checks.check(R.WRITABLE_FD, fd)
+        assert not checks.check(R.OPEN_FD, 444)
+        assert checks.check(R.ANY_FD, -1)
+
+    def test_size_checks(self, checks):
+        assert checks.check(R.REASONABLE_SIZE, 0)
+        assert checks.check(R.REASONABLE_SIZE, 2**30)
+        assert not checks.check(R.REASONABLE_SIZE, 2**31)
+
+    def test_real_checks(self, checks):
+        assert checks.check(R.FINITE_REAL, 1.5)
+        assert not checks.check(R.FINITE_REAL, math.nan)
+        assert not checks.check(R.FINITE_REAL, math.inf)
+        assert checks.check(R.ANY_REAL, math.nan)
+
+    def test_funcptr_checks(self, runtime, checks):
+        pointer = runtime.register_funcptr(lambda ctx, a, b: 0)
+        assert checks.check(R.FUNCPTR, pointer)
+        assert not checks.check(R.FUNCPTR, NULL)
+        assert checks.check(R.FUNCPTR_NULL, NULL)
+        data = runtime.space.map_region(16)
+        assert not checks.check(R.FUNCPTR, data.base)
+
+    def test_unknown_type_raises_key_error(self, checks):
+        with pytest.raises(KeyError):
+            checks.check(R.RONLY_FILE, 0)  # fundamental: no check function
+
+
+class TestProbeModes:
+    def test_page_probe_counts_fewer_probes(self, runtime):
+        big = runtime.space.map_region(3 * 4096)
+        paged = CheckLibrary(runtime, WrapperState(), CheckConfig(page_probe=True))
+        assert paged.check(R.R_ARRAY(3 * 4096), big.base)
+        exhaustive = CheckLibrary(
+            runtime, WrapperState(), CheckConfig(page_probe=False)
+        )
+        assert exhaustive.check(R.R_ARRAY(3 * 4096), big.base)
+        assert paged.probe_bytes < exhaustive.probe_bytes / 100
+
+    def test_page_granularity_misses_same_page_overflow(self, runtime):
+        """The section 8 comparison: with real-MMU page granularity a
+        stateless probe cannot see a same-page overflow, while the
+        stateful heap table rejects it."""
+        pointer = runtime.heap.malloc(10)
+        blind = CheckLibrary(
+            runtime,
+            WrapperState(),
+            CheckConfig(stateful=False, page_granularity=True),
+        )
+        assert blind.check(R.RW_ARRAY(100), pointer)  # overflow passes!
+        stateful = CheckLibrary(runtime, WrapperState(), CheckConfig(stateful=True))
+        assert not stateful.check(R.RW_ARRAY(100), pointer)
+
+    def test_huge_size_fails_fast(self, runtime):
+        checks = CheckLibrary(runtime, WrapperState())
+        region = runtime.space.map_region(64)
+        assert not checks.check(R.RW_ARRAY(2**40), region.base)
+        assert checks.probe_bytes < 100

@@ -1,0 +1,203 @@
+"""Tests for the wrapper library: policies, relational checks,
+state tracking (sections 2, 5)."""
+
+import pytest
+
+from repro.declarations import apply_manual_edits, declaration_from_report
+from repro.injector import inject_function
+from repro.libc import standard_runtime
+from repro.libc.errno_codes import EINVAL
+from repro.memory import INVALID_POINTER, NULL, Protection
+from repro.sandbox import CallStatus
+from repro.wrapper import BUFFER_PLANS, WrapperLibrary, WrapperPolicy
+
+
+@pytest.fixture(scope="module")
+def declarations():
+    names = ("asctime", "strcpy", "strlen", "opendir", "readdir", "closedir",
+             "fopen", "fclose", "abs", "strtok", "fgets")
+    return {name: declaration_from_report(inject_function(name)) for name in names}
+
+
+@pytest.fixture(scope="module")
+def semi_declarations(declarations):
+    return {name: apply_manual_edits(d) for name, d in declarations.items()}
+
+
+@pytest.fixture()
+def runtime():
+    return standard_runtime()
+
+
+class TestRobustPolicy:
+    def test_rejection_returns_declared_error_value(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        out = wrapper.call("asctime", [INVALID_POINTER], runtime)
+        assert out.status is CallStatus.RETURNED
+        assert out.return_value == 0
+        assert out.errno == EINVAL
+
+    def test_valid_arguments_forwarded(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        tm = runtime.space.map_region(44).base
+        out = wrapper.call("asctime", [tm], runtime)
+        assert out.returned and out.return_value != NULL
+
+    def test_safe_functions_not_checked(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        wrapper.call("abs", [-5], runtime)
+        assert wrapper.stats.checks == 0
+        assert wrapper.stats.forwarded == 1
+
+    def test_wrap_safe_flag_forces_checks(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations, wrap_safe=True)
+        wrapper.call("abs", [-5], runtime)
+        assert wrapper.stats.checks > 0
+
+    def test_undeclared_function_forwarded(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        out = wrapper.call("rand", [], runtime)
+        assert out.returned
+
+    def test_violation_statistics(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        wrapper.call("asctime", [NULL], runtime)  # NULL allowed (R_ARRAY_NULL)
+        wrapper.call("asctime", [INVALID_POINTER], runtime)
+        assert wrapper.stats.violations == 1
+        assert wrapper.stats.per_function["asctime"] == 2
+
+
+class TestRelationalChecks:
+    def test_strcpy_heap_overflow_blocked(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        dst = runtime.heap.malloc(4)
+        src = runtime.space.alloc_cstring("much longer than four").base
+        out = wrapper.call("strcpy", [dst, src], runtime)
+        assert out.returned and out.errno == EINVAL
+
+    def test_strcpy_exact_fit_allowed(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        dst = runtime.heap.malloc(6)
+        src = runtime.space.alloc_cstring("hello").base
+        out = wrapper.call("strcpy", [dst, src], runtime)
+        assert out.return_value == dst
+        assert runtime.space.read_cstring(dst) == b"hello"
+
+    def test_fgets_buffer_capacity_enforced(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations)
+        fp = wrapper.call(
+            "fopen",
+            [runtime.space.alloc_cstring("/tmp/input.txt").base,
+             runtime.space.alloc_cstring("r").base],
+            runtime,
+        ).return_value
+        small = runtime.heap.malloc(8)
+        out = wrapper.call("fgets", [small, 100, fp], runtime)
+        assert out.returned and out.errno_was_set
+        out = wrapper.call("fgets", [small, 8, fp], runtime)
+        assert out.return_value == small
+
+    def test_relational_disabled_lets_overflow_crash(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations, relational=False)
+        dst = runtime.heap.malloc(4)
+        src = runtime.space.alloc_cstring("much longer than four").base
+        out = wrapper.call("strcpy", [dst, src], runtime)
+        assert out.crashed  # W_ARRAY[1] alone cannot stop it
+
+    def test_every_plan_references_valid_arguments(self):
+        from repro.cdecl import DeclarationParser, typedef_table
+        from repro.libc.catalog import BY_NAME
+
+        parser = DeclarationParser(typedef_table())
+        for name, plans in BUFFER_PLANS.items():
+            arity = parser.parse_prototype(BY_NAME[name].prototype).ftype.arity
+            for plan in plans:
+                assert plan.buffer_index < arity, name
+
+
+class TestStateTracking:
+    def test_dir_lifecycle_through_wrapper(self, semi_declarations, runtime):
+        wrapper = WrapperLibrary(semi_declarations)
+        path = runtime.space.alloc_cstring("/tmp").base
+        dirp = wrapper.call("opendir", [path], runtime).return_value
+        assert dirp in wrapper.state.dir_table
+        out = wrapper.call("readdir", [dirp], runtime)
+        assert out.returned and out.return_value != NULL
+        assert wrapper.call("closedir", [dirp], runtime).return_value == 0
+        assert dirp not in wrapper.state.dir_table
+
+    def test_closedir_rejects_untracked_pointer(self, semi_declarations, runtime):
+        """The section 6 manual edit: closedir's argument must come
+        from opendir."""
+        wrapper = WrapperLibrary(semi_declarations)
+        fake = runtime.space.map_region(72).base
+        out = wrapper.call("closedir", [fake], runtime)
+        assert out.returned and out.errno_was_set
+
+    def test_double_closedir_rejected(self, semi_declarations, runtime):
+        wrapper = WrapperLibrary(semi_declarations)
+        path = runtime.space.alloc_cstring("/tmp").base
+        dirp = wrapper.call("opendir", [path], runtime).return_value
+        assert wrapper.call("closedir", [dirp], runtime).return_value == 0
+        out = wrapper.call("closedir", [dirp], runtime)
+        assert out.returned and out.errno_was_set  # no crash, no double free
+
+    def test_corrupt_file_rejected_only_with_tracking(self, declarations,
+                                                      semi_declarations, runtime):
+        from repro.libc import fileio
+
+        args = [runtime.space.alloc_cstring("/tmp/input.txt").base,
+                runtime.space.alloc_cstring("r").base]
+        auto = WrapperLibrary(declarations)
+        fp = auto.call("fopen", list(args), runtime).return_value
+        runtime.space.store_u64(fp + fileio.OFF_BUF, 0xBAD0BAD00000)
+        # Full-auto: fileno/fstat passes, the crash goes through.
+        assert auto.call("fclose", [fp], runtime).crashed
+
+        semi = WrapperLibrary(semi_declarations)
+        fp2 = semi.call("fopen", list(args), runtime).return_value
+        runtime.space.store_u64(fp2 + fileio.OFF_BUF, 0xBAD0BAD00000)
+        semi.state.file_table.discard(fp2)  # "not opened through us"
+        out = semi.call("fclose", [fp2], runtime)
+        assert out.returned and out.errno_was_set
+
+    def test_strtok_state_assertion(self, semi_declarations, runtime):
+        wrapper = WrapperLibrary(semi_declarations)
+        delim = runtime.space.alloc_cstring(",").base
+        out = wrapper.call("strtok", [NULL, delim], runtime)
+        assert out.returned and out.errno_was_set  # no saved state
+        s = runtime.space.alloc_cstring("a,b").base
+        first = wrapper.call("strtok", [s, delim], runtime)
+        assert runtime.space.read_cstring(first.return_value) == b"a"
+        second = wrapper.call("strtok", [NULL, delim], runtime)
+        assert runtime.space.read_cstring(second.return_value) == b"b"
+
+
+class TestPolicies:
+    def test_debug_policy_aborts_on_violation(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations, policy=WrapperPolicy.DEBUG)
+        out = wrapper.call("asctime", [INVALID_POINTER], runtime)
+        assert out.status is CallStatus.ABORTED
+        assert "asctime" in out.detail
+
+    def test_logging_policy_records_violations(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations, policy=WrapperPolicy.LOGGING)
+        wrapper.call("asctime", [INVALID_POINTER], runtime)
+        wrapper.call("strlen", [NULL], runtime)
+        assert len(wrapper.state.log) == 2
+        assert any("asctime" in line for line in wrapper.state.log)
+
+    def test_minimal_policy_blocks_wild_pointers_only(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations, policy=WrapperPolicy.MINIMAL)
+        out = wrapper.call("asctime", [INVALID_POINTER], runtime)
+        assert out.returned and out.errno_was_set
+        # Content-level problems pass through under MINIMAL.
+        small = runtime.space.map_region(20).base
+        assert wrapper.call("asctime", [small], runtime).crashed
+
+    def test_measure_policy_never_checks(self, declarations, runtime):
+        wrapper = WrapperLibrary(declarations, policy=WrapperPolicy.MEASURE)
+        out = wrapper.call("strlen", [NULL], runtime)
+        assert out.crashed  # forwarded unchecked
+        assert wrapper.stats.checks == 0
+        assert wrapper.stats.calls == 1

@@ -1,0 +1,90 @@
+"""Unit tests for wrapper state tracking and small helpers."""
+
+import pytest
+
+from repro.libc.runtime import standard_runtime
+from repro.memory import NULL
+from repro.sandbox.outcome import CallOutcome, CallStatus
+from repro.typelattice.instances import TypeInstance, parse_rendered
+from repro.wrapper import WrapperState
+
+
+def returned(value):
+    return CallOutcome(CallStatus.RETURNED, return_value=value)
+
+
+class TestObserveCall:
+    def test_opendir_registers_and_closedir_unregisters(self):
+        state = WrapperState()
+        state.observe_call("opendir", (0x100,), returned(0x5000))
+        assert state.assert_tracked_dir(0x5000)
+        state.observe_call("closedir", (0x5000,), returned(0))
+        assert not state.assert_tracked_dir(0x5000)
+
+    def test_failed_opendir_not_registered(self):
+        state = WrapperState()
+        state.observe_call("opendir", (0x100,), returned(NULL))
+        crash = CallOutcome(CallStatus.CRASHED)
+        state.observe_call("opendir", (0x100,), crash)
+        assert not state.dir_table
+
+    def test_fopen_family_registers_files(self):
+        state = WrapperState()
+        for name in ("fopen", "fdopen", "tmpfile"):
+            state.observe_call(name, (), returned(0x6000 + hash(name) % 100))
+        assert len(state.file_table) == 3
+
+    def test_fclose_unregisters(self):
+        state = WrapperState()
+        state.observe_call("fopen", (), returned(0x6000))
+        state.observe_call("fclose", (0x6000,), returned(0))
+        assert not state.assert_tracked_file(0x6000)
+
+    def test_freopen_keeps_existing_stream(self):
+        state = WrapperState()
+        state.seed_file(0x7000)
+        state.observe_call("freopen", (0x1, 0x2, 0x7000), returned(0x7000))
+        assert state.assert_tracked_file(0x7000)
+
+    def test_freopen_registers_new_stream(self):
+        state = WrapperState()
+        state.observe_call("freopen", (0x1, 0x2, 0x9999), returned(0x8000))
+        assert state.assert_tracked_file(0x8000)
+
+
+class TestAssertions:
+    def test_tracked_file_null_policy(self):
+        state = WrapperState()
+        assert state.assert_tracked_file(NULL, allow_null=True)
+        assert not state.assert_tracked_file(NULL, allow_null=False)
+
+    def test_strtok_state(self):
+        state = WrapperState()
+        runtime = standard_runtime()
+        assert not state.assert_strtok_state(runtime, NULL)
+        runtime.strtok_state = 0x1234
+        assert state.assert_strtok_state(runtime, NULL)
+        assert state.assert_strtok_state(runtime, 0x5678)
+
+    def test_violation_log(self):
+        state = WrapperState()
+        state.record_violation("strcpy", "dst too small")
+        assert state.log == ["strcpy: dst too small"]
+
+
+class TestTypeInstanceHelpers:
+    def test_parse_rendered_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_rendered("not a type!!")
+        with pytest.raises(ValueError):
+            parse_rendered("R_ARRAY[abc]")
+
+    def test_with_param(self):
+        base = TypeInstance("R_ARRAY", 10)
+        bumped = base.with_param(44)
+        assert bumped.param == 44 and bumped.name == "R_ARRAY"
+        assert base.param == 10
+
+    def test_str_and_render_agree(self):
+        instance = TypeInstance("RW_ARRAY_NULL", 72)
+        assert str(instance) == instance.render() == "RW_ARRAY_NULL[72]"
