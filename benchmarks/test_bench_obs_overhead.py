@@ -1,0 +1,73 @@
+"""Micro-bench: overhead of enabled tracing on the injection pipeline.
+
+The ISSUE's bar for the obs subsystem is that default-on
+instrumentation stays near-free: a 5-function ``HealersPipeline.run``
+with a live :class:`repro.obs.Telemetry` must be less than 5% slower
+(wall clock) than the same campaign through :data:`NULL_TELEMETRY`.
+
+The measured ratio is exported to ``BENCH_obs.json`` via
+:func:`repro.obs.export_bench_json` so CI archives the trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import HealersPipeline
+from repro.obs import NULL_TELEMETRY, Telemetry, export_bench_json
+
+#: The 5-function campaign: a mix of string scanners (crash-heavy,
+#: retry-heavy) and scalar functions (vector-heavy, crash-free).
+BENCH_FUNCTIONS = ["strlen", "strcpy", "abs", "atoi", "asctime"]
+
+#: Acceptance bar from the ISSUE: enabled tracing costs < 5%.
+MAX_OVERHEAD = 0.05
+
+REPEATS = 3
+
+
+def _time_campaign(telemetry) -> float:
+    """Best-of-N wall clock of one 5-function pipeline run."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        HealersPipeline(functions=BENCH_FUNCTIONS, telemetry=telemetry).run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_tracing_overhead_under_5_percent():
+    # Warm up imports, parser tables and allocator pools so neither
+    # configuration pays first-run costs.
+    HealersPipeline(functions=["abs"]).run()
+
+    baseline = _time_campaign(NULL_TELEMETRY)
+    telemetry = Telemetry()
+    traced = _time_campaign(telemetry)
+
+    overhead = traced / baseline - 1.0
+    spans = sum(1 for r in telemetry.tracer.records() if r["type"] == "span")
+    sandbox_calls = sum(
+        int(s["value"])
+        for s in telemetry.registry.collect()
+        if s["name"] == "sandbox.calls"
+    )
+    payload = {
+        "functions": BENCH_FUNCTIONS,
+        "repeats": REPEATS,
+        "baseline_seconds": round(baseline, 4),
+        "traced_seconds": round(traced, 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+        "spans_recorded": spans,
+        "sandbox_calls": sandbox_calls,
+    }
+    export_bench_json("obs_overhead", payload)
+    print(f"\n=== obs tracing overhead ===\n  {payload}")
+
+    assert sandbox_calls > 0, "traced run recorded no sandbox calls"
+    assert spans > sandbox_calls, "per-call spans missing from trace"
+    assert overhead < MAX_OVERHEAD, (
+        f"enabled tracing cost {overhead:.1%} (> {MAX_OVERHEAD:.0%}): "
+        f"baseline {baseline:.3f}s vs traced {traced:.3f}s"
+    )

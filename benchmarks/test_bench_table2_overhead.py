@@ -46,9 +46,12 @@ def table2(hardened86):
 
 
 def test_table2_full(table2, benchmark):
+    from repro.obs import export_bench_json
+
     rows = [row.as_dict() for row in table2.values()]
     benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
     print_table("Table 2: execution overhead", rows, PAPER_ROWS)
+    export_bench_json("table2_overhead", {"rows": rows})
     for row in rows:
         benchmark.extra_info[row["app"]] = row
 

@@ -15,7 +15,6 @@ For each application the paper reports four numbers:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -23,6 +22,8 @@ from repro.apps.workloads import Application
 from repro.declarations.model import FunctionDeclaration
 from repro.libc.catalog import BY_NAME
 from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.obs.metrics import Counter, Timer
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sandbox import Sandbox
 from repro.wrapper import CheckConfig, WrapperLibrary, WrapperPolicy
 
@@ -76,62 +77,85 @@ def run_application(
     policy: WrapperPolicy = WrapperPolicy.ROBUST,
     wrapped: bool = True,
     runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
+    telemetry=NULL_TELEMETRY,
 ) -> RunMetrics:
-    """Execute one application once, per its process profile."""
-    total_calls = 0
-    library_seconds = 0.0
-    check_seconds = 0.0
-    load_seconds = 0.0
-    started = time.perf_counter()
-    for _ in range(app.profile.processes):
-        runtime = runtime_factory()
-        app.prepare(runtime)
-        if wrapped and declarations is not None:
-            load_started = time.perf_counter()
-            wrapper = WrapperLibrary(declarations, policy=policy, check_config=CheckConfig())
-            load_seconds += time.perf_counter() - load_started
+    """Execute one application once, per its process profile.
 
-            def call(name: str, *args):
-                outcome = wrapper.call(name, list(args), runtime)
-                return outcome.return_value
+    Timing is accumulated in per-run obs instruments (the measurement
+    wrapper of section 7); the returned :class:`RunMetrics` is built
+    from their totals, so its public shape is unchanged.
+    """
+    calls = Counter("app.libc_calls")
+    library = Timer("app.library_seconds")
+    checks = Timer("app.check_seconds")
+    loads = Timer("app.load_seconds")
+    wall = Timer("app.wall_seconds")
+    with telemetry.span(
+        "app.run", app=app.profile.name, policy=policy.value, wrapped=wrapped
+    ) as span:
+        with wall.time():
+            for _ in range(app.profile.processes):
+                runtime = runtime_factory()
+                app.prepare(runtime)
+                if wrapped and declarations is not None:
+                    with loads.time():
+                        wrapper = WrapperLibrary(
+                            declarations,
+                            policy=policy,
+                            check_config=CheckConfig(),
+                            telemetry=telemetry,
+                        )
 
-            app.run(call, runtime)
-            total_calls += wrapper.stats.calls
-            library_seconds += wrapper.stats.library_seconds
-            check_seconds += wrapper.stats.check_seconds
-        else:
-            sandbox = Sandbox()
-            state = {"calls": 0, "lib": 0.0}
+                    def call(name: str, *args):
+                        outcome = wrapper.call(name, list(args), runtime)
+                        return outcome.return_value
 
-            def call(name: str, *args):
-                state["calls"] += 1
-                t0 = time.perf_counter()
-                outcome = sandbox.call(BY_NAME[name].model, list(args), runtime)
-                state["lib"] += time.perf_counter() - t0
-                return outcome.return_value
+                    app.run(call, runtime)
+                    calls.inc(wrapper.stats.calls)
+                    library.observe(wrapper.stats.library_seconds)
+                    checks.observe(wrapper.stats.check_seconds)
+                else:
+                    sandbox = Sandbox(telemetry=telemetry)
 
-            app.run(call, runtime)
-            total_calls += state["calls"]
-            library_seconds += state["lib"]
-    wall = time.perf_counter() - started
-    return RunMetrics(wall, total_calls, library_seconds, check_seconds, load_seconds)
+                    def call(name: str, *args):
+                        calls.inc()
+                        with library.time():
+                            outcome = sandbox.call(
+                                BY_NAME[name].model, list(args), runtime
+                            )
+                        return outcome.return_value
+
+                    app.run(call, runtime)
+        span.set(
+            calls=calls.value,
+            wall_seconds=round(wall.seconds, 6),
+            library_seconds=round(library.seconds, 6),
+            check_seconds=round(checks.seconds, 6),
+        )
+    return RunMetrics(
+        wall.seconds, calls.value, library.seconds, checks.seconds, loads.seconds
+    )
 
 
 def table2_row(
     app: Application,
     declarations: dict[str, FunctionDeclaration],
     repeats: int = 3,
+    telemetry=NULL_TELEMETRY,
 ) -> Table2Row:
     """Compute one application's Table 2 row (best-of-N timing)."""
     measures = [
-        run_application(app, declarations, WrapperPolicy.MEASURE)
+        run_application(app, declarations, WrapperPolicy.MEASURE, telemetry=telemetry)
         for _ in range(repeats)
     ]
     robust = [
-        run_application(app, declarations, WrapperPolicy.ROBUST)
+        run_application(app, declarations, WrapperPolicy.ROBUST, telemetry=telemetry)
         for _ in range(repeats)
     ]
-    plain = [run_application(app, wrapped=False) for _ in range(repeats)]
+    plain = [
+        run_application(app, wrapped=False, telemetry=telemetry)
+        for _ in range(repeats)
+    ]
 
     measure = min(measures, key=lambda m: m.wall_seconds)
     protected = min(robust, key=lambda m: m.wall_seconds)

@@ -25,6 +25,7 @@ from repro.ballista.pools import PoolValue, pool_for
 from repro.cdecl import DeclarationParser, typedef_table
 from repro.libc.catalog import BALLISTA_SET, BY_NAME, FunctionSpec
 from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sandbox import CallOutcome, CallStatus, Sandbox
 from repro.wrapper.wrapper import WrapperLibrary
 
@@ -116,11 +117,13 @@ class BallistaHarness:
         runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
         test_cap: int = DEFAULT_TEST_CAP,
         total_target: Optional[int] = None,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.functions = list(functions or BALLISTA_SET)
         self.runtime_factory = runtime_factory
         self.test_cap = test_cap
         self.total_target = total_target
+        self.telemetry = telemetry
         self.parser = DeclarationParser(typedef_table())
         self._tests: Optional[list[BallistaTest]] = None
 
@@ -174,31 +177,48 @@ class BallistaHarness:
         step_budget: int = 1_000_000,
     ) -> BallistaReport:
         """Execute every test; each runs in a fork of a base runtime."""
+        telemetry = self.telemetry.scope(configuration=configuration)
         report = BallistaReport(configuration)
-        sandbox = Sandbox(step_budget=step_budget)
+        sandbox = Sandbox(step_budget=step_budget, telemetry=telemetry)
         base = self.runtime_factory()
-        for test in self.tests():
-            runtime = base.fork()
-            if wrapper is not None:
-                # Each test is a fresh forked process image; tracking
-                # tables from previous tests refer to addresses that
-                # the fork re-uses, so they must not leak across tests.
-                wrapper.state.file_table.clear()
-                wrapper.state.dir_table.clear()
-            values = []
-            for pool_value in test.values:
-                value = pool_value.build(runtime)
-                values.append(value)
-                if wrapper is not None and pool_value.seed == "file":
-                    wrapper.state.seed_file(value)
-                elif wrapper is not None and pool_value.seed == "dir":
-                    wrapper.state.seed_dir(value)
-            spec = BY_NAME[test.function]
-            if wrapper is not None:
-                outcome = wrapper.call(test.function, values, runtime)
-            else:
-                outcome = sandbox.call(spec.model, values, runtime)
-            report.records.append(TestRecord(test, *_classify(outcome)))
+        status_counters = {
+            status: telemetry.counter("ballista.tests", status=status)
+            for status in ("crash", "errno", "silent")
+        }
+        with telemetry.span("campaign", kind="ballista") as campaign:
+            for test in self.tests():
+                runtime = base.fork()
+                if wrapper is not None:
+                    # Each test is a fresh forked process image; tracking
+                    # tables from previous tests refer to addresses that
+                    # the fork re-uses, so they must not leak across tests.
+                    wrapper.state.file_table.clear()
+                    wrapper.state.dir_table.clear()
+                values = []
+                for pool_value in test.values:
+                    value = pool_value.build(runtime)
+                    values.append(value)
+                    if wrapper is not None and pool_value.seed == "file":
+                        wrapper.state.seed_file(value)
+                    elif wrapper is not None and pool_value.seed == "dir":
+                        wrapper.state.seed_dir(value)
+                spec = BY_NAME[test.function]
+                with telemetry.span(
+                    "ballista.test", function=test.function
+                ) as test_span:
+                    if wrapper is not None:
+                        outcome = wrapper.call(test.function, values, runtime)
+                    else:
+                        outcome = sandbox.call(spec.model, values, runtime)
+                    status, detail = _classify(outcome)
+                    test_span.set(status=status)
+                status_counters[status].inc()
+                report.records.append(TestRecord(test, status, detail))
+            campaign.set(
+                configuration=configuration,
+                tests=report.total,
+                crashes=report.count("crash"),
+            )
         return report
 
 

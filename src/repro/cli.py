@@ -9,14 +9,41 @@ Exposes the pipeline the way the real HEALERS tooling would be driven:
 * ``bitflips``           — the section-9 bit-flip campaign
 * ``diff``               — compare declaration bundles across releases
 * ``list``               — the simulated library's catalog
+* ``report``             — summarize a campaign telemetry trace
+
+``inject``, ``harden`` and ``ballista`` accept ``--trace PATH`` to
+record the run's telemetry as a JSONL trace readable by ``report``;
+``extract`` and ``inject`` accept ``--json`` for scriptable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
+
+
+def _telemetry_for(args: argparse.Namespace):
+    """A live Telemetry when ``--trace`` was given, else the no-op."""
+    from repro.obs import NULL_TELEMETRY, Telemetry
+
+    if getattr(args, "trace", None):
+        return Telemetry()
+    return NULL_TELEMETRY
+
+
+def _export_trace(telemetry, args: argparse.Namespace) -> None:
+    path = getattr(args, "trace", None)
+    if path and telemetry.enabled:
+        try:
+            records = telemetry.export_jsonl(path)
+        except OSError as exc:
+            print(f"cannot write trace {path}: {exc}", file=sys.stderr)
+            return
+        # stderr so --json stdout stays machine-parseable
+        print(f"trace: {records} records -> {path}", file=sys.stderr)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -37,6 +64,19 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     from repro.syslib import build_environment
 
     report = Extractor(build_environment()).run()
+    if args.json:
+        document: dict[str, object] = {"stats": report.stats.summary()}
+        if args.verbose:
+            document["functions"] = {
+                name: {
+                    "route": fn.route.value,
+                    "prototype": fn.prototype.render() if fn.prototype else None,
+                    "headers_searched": fn.headers_searched,
+                }
+                for name, fn in sorted(report.functions.items())
+            }
+        print(json.dumps(document, indent=2))
+        return 0
     for key, value in report.stats.summary().items():
         print(f"{key:28s} {value}")
     if args.verbose:
@@ -55,14 +95,38 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown functions: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for name in args.functions:
-        report = inject_function(name)
-        declaration = declaration_from_report(report)
-        if args.semi_auto:
-            declaration = apply_manual_edits(declaration)
-        print(declaration.to_xml())
-        print(f"<!-- {report.calls_made} calls, {report.retries} retries, "
-              f"{report.crashes} crashes -->\n")
+    telemetry = _telemetry_for(args)
+    rows: list[dict[str, object]] = []
+    with telemetry.span("campaign", kind="inject", functions=len(args.functions)):
+        for name in args.functions:
+            report = inject_function(name, telemetry=telemetry)
+            declaration = declaration_from_report(report)
+            if args.semi_auto:
+                declaration = apply_manual_edits(declaration)
+            if args.json:
+                rows.append(
+                    {
+                        "function": name,
+                        "unsafe": report.unsafe,
+                        "vectors": report.vectors_run,
+                        "calls": report.calls_made,
+                        "retries": report.retries,
+                        "crashes": report.crashes,
+                        "hangs": report.hangs,
+                        "errno_class": report.errno_class.describe(),
+                        "robust_types": [
+                            t.robust.render() for t in report.robust_types
+                        ],
+                        "assertions": sorted(declaration.assertions),
+                    }
+                )
+            else:
+                print(declaration.to_xml())
+                print(f"<!-- {report.calls_made} calls, {report.retries} retries, "
+                      f"{report.crashes} crashes -->\n")
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    _export_trace(telemetry, args)
     return 0
 
 
@@ -72,11 +136,13 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     from repro.wrapper import generate_checks_header
 
     functions = args.functions or None
+    telemetry = _telemetry_for(args)
     pipeline = HealersPipeline(
         functions=functions,
         progress=lambda name, report: print(
             f"  {'UNSAFE' if report.unsafe else 'safe  '} {name}"
         ),
+        telemetry=telemetry,
     )
     hardened = pipeline.run()
     out = Path(args.output)
@@ -86,10 +152,16 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     )
     (out / "healers_checks.h").write_text(generate_checks_header())
     save_declarations(hardened.declarations, out / "declarations.xml")
+    reports = hardened.reports.values()
     print(f"\nwrote {out}/healers_wrapper.c, healers_checks.h, declarations.xml")
     print(f"{len(hardened.unsafe_functions())} unsafe / "
           f"{len(hardened.safe_functions())} safe functions "
-          f"in {hardened.elapsed_seconds:.1f}s")
+          f"in {hardened.elapsed_seconds:.1f}s "
+          f"({sum(r.vectors_run for r in reports)} vectors, "
+          f"{sum(r.calls_made for r in reports)} calls, "
+          f"{sum(r.crashes for r in reports)} crashes, "
+          f"{sum(r.hangs for r in reports)} hangs)")
+    _export_trace(telemetry, args)
     return 0
 
 
@@ -99,18 +171,21 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
     from repro.core.cache import load_or_generate
     from repro.libc.catalog import BY_NAME
 
+    telemetry = _telemetry_for(args)
     if args.functions:
-        hardened = HealersPipeline(functions=args.functions).run()
-        harness = BallistaHarness(functions=[BY_NAME[n] for n in args.functions])
+        hardened = HealersPipeline(functions=args.functions, telemetry=telemetry).run()
+        harness = BallistaHarness(
+            functions=[BY_NAME[n] for n in args.functions], telemetry=telemetry
+        )
     else:
         hardened = load_or_generate()
-        harness = BallistaHarness(total_target=11995)
+        harness = BallistaHarness(total_target=11995, telemetry=telemetry)
     print(f"{len(harness.tests())} tests")
     configurations = [("unwrapped", None)]
     if not args.unwrapped_only:
         configurations += [
-            ("full-auto", hardened.wrapper()),
-            ("semi-auto", hardened.wrapper(semi_auto=True)),
+            ("full-auto", hardened.wrapper(telemetry=telemetry)),
+            ("semi-auto", hardened.wrapper(semi_auto=True, telemetry=telemetry)),
         ]
     from repro.ballista import render_figure6
 
@@ -124,6 +199,7 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
             if report.count("crash"):
                 print(f"{report.configuration} crashing: "
                       f"{report.crashing_functions()}")
+    _export_trace(telemetry, args)
     return 0
 
 
@@ -163,6 +239,43 @@ def _cmd_bitflips(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import render_report, summarize_trace_file
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"no such trace: {path}", file=sys.stderr)
+        return 2
+    try:
+        summary = summarize_trace_file(path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "sandbox_calls": summary.sandbox_calls,
+                    "phases": {
+                        name: {
+                            "count": phase.count,
+                            "total_seconds": phase.total_seconds,
+                            "mean_seconds": phase.mean_seconds,
+                            "max_seconds": phase.max_seconds,
+                        }
+                        for name, phase in summary.phases.items()
+                    },
+                    "functions": summary.functions,
+                    "counters": summary.counters,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(render_report(summary, source=str(path)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -175,22 +288,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     extract = sub.add_parser("extract", help="section-3 extraction statistics")
     extract.add_argument("-v", "--verbose", action="store_true")
+    extract.add_argument("--json", action="store_true",
+                         help="emit the statistics as JSON")
 
     inject = sub.add_parser("inject", help="fault-inject functions, print declarations")
     inject.add_argument("functions", nargs="+")
     inject.add_argument("--semi-auto", action="store_true",
                         help="apply the manual edits before printing")
+    inject.add_argument("--json", action="store_true",
+                        help="emit per-function campaign stats as JSON")
+    inject.add_argument("--trace", metavar="PATH",
+                        help="write a JSONL telemetry trace of the campaign")
 
     harden = sub.add_parser("harden", help="run the pipeline, write C artifacts")
     harden.add_argument("functions", nargs="*",
                         help="functions to harden (default: the 86-function set)")
     harden.add_argument("-o", "--output", default="healers_out")
     harden.add_argument("--semi-auto", action="store_true")
+    harden.add_argument("--trace", metavar="PATH",
+                        help="write a JSONL telemetry trace of the campaign")
 
     ballista = sub.add_parser("ballista", help="run the Figure-6 evaluation")
     ballista.add_argument("functions", nargs="*")
     ballista.add_argument("--unwrapped-only", action="store_true")
     ballista.add_argument("-v", "--verbose", action="store_true")
+    ballista.add_argument("--trace", metavar="PATH",
+                          help="write a JSONL telemetry trace of the evaluation")
+
+    report = sub.add_parser("report", help="summarize a campaign telemetry trace")
+    report.add_argument("trace", help="JSONL trace written by --trace")
+    report.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON")
 
     bitflips = sub.add_parser("bitflips", help="run the bit-flip campaign")
     bitflips.add_argument("functions", nargs="*")
@@ -212,6 +340,7 @@ _COMMANDS = {
     "ballista": _cmd_ballista,
     "bitflips": _cmd_bitflips,
     "diff": _cmd_diff,
+    "report": _cmd_report,
 }
 
 

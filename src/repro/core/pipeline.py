@@ -26,6 +26,7 @@ from repro.declarations import (
 from repro.injector import FaultInjector, InjectionReport
 from repro.libc.catalog import BALLISTA_SET, BY_NAME, FunctionSpec
 from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.wrapper import CheckConfig, WrapperLibrary, WrapperPolicy
 from repro.wrapper.codegen import generate_wrapper_library
 
@@ -45,6 +46,7 @@ class HardenedLibrary:
         semi_auto: bool = False,
         check_config: Optional[CheckConfig] = None,
         relational: bool = True,
+        telemetry=NULL_TELEMETRY,
     ) -> WrapperLibrary:
         """Instantiate an executable wrapper over the declarations."""
         declarations = self.semi_auto_declarations if semi_auto else self.declarations
@@ -53,6 +55,7 @@ class HardenedLibrary:
             policy=policy,
             check_config=check_config,
             relational=relational,
+            telemetry=telemetry,
         )
 
     def wrapper_source(self, semi_auto: bool = False) -> str:
@@ -76,6 +79,7 @@ class HealersPipeline:
         runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
         max_vectors: int = 1200,
         progress: Optional[Callable[[str, InjectionReport], None]] = None,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         if functions is None:
             self.specs: list[FunctionSpec] = list(BALLISTA_SET)
@@ -84,28 +88,42 @@ class HealersPipeline:
         self.runtime_factory = runtime_factory
         self.max_vectors = max_vectors
         self.progress = progress
+        self.telemetry = telemetry
 
     def run(self) -> HardenedLibrary:
+        telemetry = self.telemetry
         started = time.perf_counter()
         reports: dict[str, InjectionReport] = {}
         declarations: dict[str, FunctionDeclaration] = {}
-        for spec in self.specs:
-            injector = FaultInjector(
-                spec,
-                runtime_factory=self.runtime_factory,
-                max_vectors=self.max_vectors,
+        with telemetry.span(
+            "campaign", kind="harden", functions=len(self.specs)
+        ) as campaign:
+            for spec in self.specs:
+                injector = FaultInjector(
+                    spec,
+                    runtime_factory=self.runtime_factory,
+                    max_vectors=self.max_vectors,
+                    telemetry=telemetry,
+                )
+                report = injector.run()
+                reports[spec.name] = report
+                declarations[spec.name] = declaration_from_report(report, spec.version)
+                if self.progress is not None:
+                    self.progress(spec.name, report)
+            with telemetry.span("pipeline.manual_edits"):
+                semi = apply_all_manual_edits(declarations)
+            campaign.set(
+                calls=sum(r.calls_made for r in reports.values()),
+                crashes=sum(r.crashes for r in reports.values()),
+                unsafe=sum(1 for r in reports.values() if r.unsafe),
             )
-            report = injector.run()
-            reports[spec.name] = report
-            declarations[spec.name] = declaration_from_report(report, spec.version)
-            if self.progress is not None:
-                self.progress(spec.name, report)
-        semi = apply_all_manual_edits(declarations)
+        elapsed = time.perf_counter() - started
+        telemetry.timer("pipeline.run_seconds").observe(elapsed)
         return HardenedLibrary(
             declarations=declarations,
             semi_auto_declarations=semi,
             reports=reports,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
         )
 
 

@@ -36,6 +36,7 @@ from repro.libc.catalog import (
     VOID,
 )
 from repro.libc.runtime import LibcRuntime, standard_runtime
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sandbox import CallOutcome, CallStatus, Sandbox
 from repro.typelattice import (
     AUTO_CHECKABLE,
@@ -105,6 +106,7 @@ class FaultInjector:
         runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
         max_vectors: int = MAX_VECTORS,
         checkable: Callable = auto_checkable,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.spec = spec
         self.parser = parser or DeclarationParser(typedef_table())
@@ -112,6 +114,9 @@ class FaultInjector:
         self.runtime_factory = runtime_factory
         self.max_vectors = max_vectors
         self.checkable = checkable
+        #: per-function telemetry scope: every metric/span recorded by
+        #: this injector (and its sandbox) carries ``function=<name>``.
+        self.telemetry = telemetry.scope(function=spec.name)
         self.generators: list[list[TestCaseGenerator]] = []
         for parameter in self.prototype.ftype.parameters:
             resolved = self.parser.resolve(parameter.ctype)
@@ -120,44 +125,64 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def run(self) -> InjectionReport:
         """Execute the full injection campaign for this function."""
+        telemetry = self.telemetry
         templates_per_arg = [
             [t for g in gens for t in g.templates()] for gens in self.generators
         ]
-        sandbox = Sandbox()
+        sandbox = Sandbox(telemetry=telemetry)
         base_runtime = self.runtime_factory()
         observations: list[VectorObservation] = []
         calls = retries = crashes = hangs = 0
         returned_values: list[object] = []
         errno_returns: list[tuple[object, int]] = []
+        retry_counter = telemetry.counter("injector.retries")
 
-        vectors = list(self._enumerate_vectors(templates_per_arg))
-        for vector in vectors:
-            outcome, materialized, blamed, vector_retries, intermediate = (
-                self._run_vector(sandbox, base_runtime, vector)
-            )
-            calls += 1 + vector_retries
-            retries += vector_retries
-            # Adjusted-away attempts are part of the generator's test
-            # case sequence ("a posteriori we know the sequence") and
-            # enter the robust type computation as crashes.
-            observations.extend(intermediate)
-            crashes += len(intermediate)
-            fundamentals = tuple(m.fundamental for m in materialized)
-            result = self._classify_outcome(outcome)
-            if result is TestResult.FAILURE:
-                if outcome.status is CallStatus.HUNG:
-                    hangs += 1
+        with telemetry.span("injector.function") as function_span:
+            vectors = list(self._enumerate_vectors(templates_per_arg))
+            for index, vector in enumerate(vectors):
+                with telemetry.span("injector.vector", index=index) as vector_span:
+                    outcome, materialized, blamed, vector_retries, intermediate = (
+                        self._run_vector(sandbox, base_runtime, vector)
+                    )
+                    vector_span.set(
+                        status=outcome.status.name, retries=vector_retries
+                    )
+                calls += 1 + vector_retries
+                retries += vector_retries
+                retry_counter.inc(vector_retries)
+                # Adjusted-away attempts are part of the generator's test
+                # case sequence ("a posteriori we know the sequence") and
+                # enter the robust type computation as crashes.
+                observations.extend(intermediate)
+                crashes += len(intermediate)
+                fundamentals = tuple(m.fundamental for m in materialized)
+                result = self._classify_outcome(outcome)
+                if result is TestResult.FAILURE:
+                    if outcome.status is CallStatus.HUNG:
+                        hangs += 1
+                    else:
+                        crashes += 1
                 else:
-                    crashes += 1
-            else:
-                returned_values.append(outcome.return_value)
-                if outcome.errno_was_set:
-                    errno_returns.append((outcome.return_value, outcome.errno))
-            observations.append(VectorObservation(fundamentals, result, blamed))
+                    returned_values.append(outcome.return_value)
+                    if outcome.errno_was_set:
+                        errno_returns.append((outcome.return_value, outcome.errno))
+                observations.append(VectorObservation(fundamentals, result, blamed))
 
-        errno_class = self._classify_errno(errno_returns)
-        unsafe = crashes + hangs > 0
-        robust_types = self._compute_robust_types(observations)
+            errno_class = self._classify_errno(errno_returns)
+            unsafe = crashes + hangs > 0
+            robust_types = self._compute_robust_types(observations)
+            function_span.set(
+                vectors=len(vectors),
+                calls=calls,
+                retries=retries,
+                crashes=crashes,
+                hangs=hangs,
+                unsafe=unsafe,
+            )
+        telemetry.counter("injector.functions").inc()
+        telemetry.counter(
+            "injector.verdicts", verdict="unsafe" if unsafe else "safe"
+        ).inc()
         return InjectionReport(
             name=self.spec.name,
             prototype=self.prototype,
@@ -342,6 +367,7 @@ def inject_function(
     runtime_factory: Callable[[], LibcRuntime] = standard_runtime,
     max_vectors: int = MAX_VECTORS,
     checkable: Callable = auto_checkable,
+    telemetry=NULL_TELEMETRY,
 ) -> InjectionReport:
     """Convenience: build and run the injector for a catalog function."""
     from repro.libc.catalog import BY_NAME
@@ -351,5 +377,6 @@ def inject_function(
         runtime_factory=runtime_factory,
         max_vectors=max_vectors,
         checkable=checkable,
+        telemetry=telemetry,
     )
     return injector.run()

@@ -1,0 +1,61 @@
+"""``repro.obs`` — observability for the HEALERS pipeline.
+
+Three layers, importable with zero third-party dependencies:
+
+* :mod:`repro.obs.metrics` — labeled Counter/Gauge/Histogram/Timer
+  series in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracing` — structured span/event records in a ring
+  buffer with a JSONL exporter;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` façade threaded
+  through the pipeline, with :data:`NULL_TELEMETRY` as the inert
+  default for library callers.
+
+See ``docs/observability.md`` for the event schema and the metric
+naming conventions.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.report import (
+    DEFAULT_BENCH_PATH,
+    PhaseTiming,
+    TraceSummary,
+    export_bench_json,
+    render_report,
+    summarize_trace,
+    summarize_trace_file,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    ScopedTelemetry,
+    Telemetry,
+)
+from repro.obs.tracing import Span, Tracer, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "Span",
+    "Tracer",
+    "read_trace",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "ScopedTelemetry",
+    "Telemetry",
+    "DEFAULT_BENCH_PATH",
+    "PhaseTiming",
+    "TraceSummary",
+    "export_bench_json",
+    "render_report",
+    "summarize_trace",
+    "summarize_trace_file",
+]

@@ -1,0 +1,266 @@
+"""Zero-dependency metrics registry for the HEALERS pipeline.
+
+Four instrument kinds, all supporting labeled series:
+
+* :class:`Counter`   — monotonically increasing count
+  (``sandbox.calls{status=CRASHED}``, ``injector.retries``);
+* :class:`Gauge`     — a value that can go up and down
+  (``pipeline.functions_pending``);
+* :class:`Histogram` — a distribution with deterministic bounded
+  sampling for quantiles (``wrapper.check_ns{function=strcpy}``);
+* :class:`Timer`     — a histogram of elapsed seconds with a
+  context-manager interface.
+
+Series are identified by ``(name, labels)``; :class:`MetricsRegistry`
+hands out the same instrument object for the same identity, so hot
+paths can hold a reference and skip the lookup.  Everything is plain
+Python with no I/O on the record path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Optional
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Common identity bits of one labeled series."""
+
+    kind = "instrument"
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def series_key(self) -> str:
+        """Prometheus-style rendering, e.g. ``sandbox.calls{status=CRASHED}``."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+    def snapshot(self) -> dict[str, object]:
+        raise NotImplementedError
+
+
+class Counter(Instrument):
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.label_dict,
+            "value": self.value,
+        }
+
+
+class Gauge(Instrument):
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.label_dict,
+            "value": self.value,
+        }
+
+
+#: Histogram sample retention bound.  Past it, samples are decimated
+#: deterministically (keep every other retained sample, double the
+#: stride), so quantiles stay representative without unbounded memory.
+DEFAULT_SAMPLE_CAP = 4096
+
+
+class Histogram(Instrument):
+    kind = "histogram"
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_cap", "_stride", "_skip")
+
+    def __init__(
+        self, name: str, labels: LabelSet = (), sample_cap: int = DEFAULT_SAMPLE_CAP
+    ) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: list[float] = []
+        self._cap = sample_cap
+        self._stride = 1  # record every _stride-th observation
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self._samples.append(value)
+        if len(self._samples) >= self._cap:
+            # Deterministic decimation: halve retained samples, halve
+            # the future sampling rate.
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.label_dict,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Timer(Histogram):
+    """A histogram of elapsed seconds with ``with timer.time():``."""
+
+    kind = "timer"
+
+    __slots__ = ()
+
+    def time(self) -> "_TimerSpan":
+        return _TimerSpan(self)
+
+    @property
+    def seconds(self) -> float:
+        """Total accumulated seconds (Table-2 style aggregation)."""
+        return self.total
+
+
+class _TimerSpan:
+    __slots__ = ("_timer", "_started")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._started = 0.0
+
+    def __enter__(self) -> "_TimerSpan":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.observe(time.perf_counter() - self._started)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every labeled series."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, str, LabelSet], Instrument] = {}
+
+    def _get(self, cls: type, name: str, labels: dict[str, object]) -> Instrument:
+        key = (cls.kind, name, _labelset(labels))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = cls(name, key[2])
+            self._series[key] = instrument
+        elif not isinstance(instrument, cls):  # pragma: no cover - defensive
+            raise TypeError(
+                f"series {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        return self._get(Timer, name, labels)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._series.values())
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series(self, name: str) -> list[Instrument]:
+        """Every labeled series registered under ``name``."""
+        return [i for i in self._series.values() if i.name == name]
+
+    def value(self, name: str, **labels: object) -> float:
+        """Read a counter/gauge value without creating the series."""
+        key_labels = _labelset(labels)
+        for instrument in self._series.values():
+            if instrument.name == name and instrument.labels == key_labels:
+                return getattr(instrument, "value", 0)
+        return 0
+
+    def collect(self) -> list[dict[str, object]]:
+        """Snapshot every series, sorted by identity for stable output."""
+        return [
+            instrument.snapshot()
+            for instrument in sorted(
+                self._series.values(), key=lambda i: (i.name, i.labels, i.kind)
+            )
+        ]

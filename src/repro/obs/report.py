@@ -1,0 +1,204 @@
+"""Reporting surfaces: trace summaries and the bench JSON exporter.
+
+``python -m repro report TRACE.jsonl`` goes through
+:func:`summarize_trace` + :func:`render_report`; benchmarks call
+:func:`export_bench_json` so the perf trajectory accumulates in one
+machine-readable ``BENCH_obs.json`` instead of scrolling away in
+pytest output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.tracing import read_trace
+
+#: Default location of the machine-readable bench trajectory.
+DEFAULT_BENCH_PATH = "BENCH_obs.json"
+
+
+@dataclass
+class PhaseTiming:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro report`` prints, as data."""
+
+    header: dict = field(default_factory=dict)
+    spans: int = 0
+    events: int = 0
+    sandbox_calls: dict[str, int] = field(default_factory=dict)
+    phases: dict[str, PhaseTiming] = field(default_factory=dict)
+    functions: list[dict] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_sandbox_calls(self) -> int:
+        return sum(self.sandbox_calls.values())
+
+
+def summarize_trace(records: list[dict]) -> TraceSummary:
+    """Fold a trace's records into the report summary."""
+    summary = TraceSummary()
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "trace":
+            summary.header = record
+        elif rtype == "span":
+            summary.spans += 1
+            name = record.get("name", "?")
+            phase = summary.phases.get(name)
+            if phase is None:
+                phase = summary.phases[name] = PhaseTiming(name)
+            duration = float(record.get("duration", 0.0))
+            phase.count += 1
+            phase.total_seconds += duration
+            phase.max_seconds = max(phase.max_seconds, duration)
+            if name == "injector.function":
+                attrs = record.get("attrs", {})
+                summary.functions.append(
+                    {
+                        "function": attrs.get("function", "?"),
+                        "seconds": duration,
+                        "vectors": attrs.get("vectors"),
+                        "calls": attrs.get("calls"),
+                        "crashes": attrs.get("crashes"),
+                        "unsafe": attrs.get("unsafe"),
+                    }
+                )
+        elif rtype == "event":
+            summary.events += 1
+        elif rtype == "metric":
+            name = record.get("name", "?")
+            labels = record.get("labels", {})
+            if name == "sandbox.calls" and "status" in labels:
+                status = labels["status"]
+                summary.sandbox_calls[status] = summary.sandbox_calls.get(
+                    status, 0
+                ) + int(record.get("value", 0))
+            elif record.get("kind") == "counter":
+                series = name
+                if labels:
+                    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                    series = f"{name}{{{inner}}}"
+                summary.counters[series] = summary.counters.get(series, 0) + int(
+                    record.get("value", 0)
+                )
+    return summary
+
+
+def summarize_trace_file(path: str | Path) -> TraceSummary:
+    return summarize_trace(read_trace(path))
+
+
+def render_report(summary: TraceSummary, source: str = "") -> str:
+    """Human-readable campaign summary table."""
+    lines: list[str] = []
+    title = f"campaign telemetry{f': {source}' if source else ''}"
+    lines.append(title)
+    lines.append("=" * len(title))
+    dropped = summary.header.get("dropped", 0)
+    lines.append(
+        f"records: {summary.spans} spans, {summary.events} events"
+        + (f" ({dropped} dropped from ring buffer)" if dropped else "")
+    )
+
+    lines.append("")
+    lines.append("sandbox calls by status")
+    if summary.sandbox_calls:
+        for status in sorted(summary.sandbox_calls):
+            lines.append(f"  {status:10s} {summary.sandbox_calls[status]:>10d}")
+        lines.append(f"  {'total':10s} {summary.total_sandbox_calls:>10d}")
+    else:
+        lines.append("  (no sandbox.calls metrics in trace)")
+
+    lines.append("")
+    lines.append("per-phase timings")
+    if summary.phases:
+        lines.append(
+            f"  {'phase':22s} {'count':>8s} {'total':>10s} {'mean':>10s} {'max':>10s}"
+        )
+        for phase in sorted(
+            summary.phases.values(), key=lambda p: -p.total_seconds
+        ):
+            lines.append(
+                f"  {phase.name:22s} {phase.count:>8d} "
+                f"{phase.total_seconds:>9.3f}s {phase.mean_seconds * 1e3:>8.2f}ms "
+                f"{phase.max_seconds * 1e3:>8.2f}ms"
+            )
+    else:
+        lines.append("  (no spans in trace)")
+
+    if summary.functions:
+        lines.append("")
+        lines.append("slowest functions")
+        ranked = sorted(summary.functions, key=lambda f: -f["seconds"])[:10]
+        lines.append(
+            f"  {'function':14s} {'seconds':>8s} {'vectors':>8s} "
+            f"{'calls':>8s} {'crashes':>8s}  verdict"
+        )
+        for row in ranked:
+            verdict = (
+                "UNSAFE" if row["unsafe"] else "safe"
+            ) if row["unsafe"] is not None else "?"
+            lines.append(
+                f"  {row['function']:14s} {row['seconds']:>8.3f} "
+                f"{_cell(row['vectors']):>8s} {_cell(row['calls']):>8s} "
+                f"{_cell(row['crashes']):>8s}  {verdict}"
+            )
+
+    other = {
+        name: value
+        for name, value in summary.counters.items()
+        if not name.startswith("sandbox.calls")
+    }
+    if other:
+        lines.append("")
+        lines.append("counters")
+        for name in sorted(other):
+            lines.append(f"  {name:40s} {other[name]:>10d}")
+    return "\n".join(lines)
+
+
+def _cell(value: Optional[object]) -> str:
+    return "-" if value is None else str(value)
+
+
+def export_bench_json(
+    name: str, payload: dict, path: str | Path = DEFAULT_BENCH_PATH
+) -> dict:
+    """Merge one benchmark's result into ``BENCH_obs.json``.
+
+    The file maps benchmark name -> latest result, so reruns update in
+    place and the file stays a stable machine-readable surface for CI
+    artifacts.  Returns the full document written.
+    """
+    out = Path(path)
+    document: dict = {"version": 1, "benchmarks": {}}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text(encoding="utf-8"))
+            if isinstance(existing, dict) and isinstance(
+                existing.get("benchmarks"), dict
+            ):
+                document = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # unreadable trajectory file: start fresh
+    document["benchmarks"][name] = payload
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return document

@@ -1,0 +1,213 @@
+"""The telemetry object threaded through the pipeline.
+
+Library call sites take a ``telemetry`` argument defaulting to
+:data:`NULL_TELEMETRY` — a shared, inert instance whose every
+operation is a constant-time no-op, so un-instrumented callers pay one
+attribute lookup and an empty method call per record point.  Passing
+a real :class:`Telemetry` turns the same call sites into metric
+updates and trace spans.
+
+:meth:`Telemetry.scope` returns a :class:`ScopedTelemetry` view that
+stamps a fixed context (e.g. ``function=strcpy``) onto every metric
+label set and span attribute recorded through it — the mechanism that
+turns ``wrapper.check_ns`` into ``wrapper.check_ns{function=strcpy}``
+without threading the function name separately.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from repro.obs.tracing import Span, Tracer
+
+
+class _NullInstrument:
+    """Absorbs every instrument/span operation; always falsy."""
+
+    __slots__ = ()
+
+    value = 0
+    count = 0
+    total = 0.0
+    seconds = 0.0
+
+    def inc(self, amount=1):
+        pass
+
+    def dec(self, amount=1):
+        pass
+
+    def set(self, *args, **kwargs):
+        return self
+
+    def observe(self, value):
+        pass
+
+    def time(self):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullTelemetry:
+    """The default, disabled telemetry: every path is a no-op.
+
+    One shared instance (:data:`NULL_TELEMETRY`) is enough — it holds
+    no state, so sharing across sandboxes/pipelines is safe.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    # -- metrics -------------------------------------------------------
+    def counter(self, name: str, **labels: object):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: object):
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str, **labels: object):
+        return _NULL_INSTRUMENT
+
+    # -- tracing -------------------------------------------------------
+    def span(self, name: str, **attrs: object):
+        return _NULL_INSTRUMENT
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    # -- context -------------------------------------------------------
+    def scope(self, **context: object) -> "NullTelemetry":
+        return self
+
+    # -- export --------------------------------------------------------
+    def export_jsonl(self, path) -> int:
+        return 0
+
+
+#: The module-wide inert default for library callers.
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """Live telemetry: a metrics registry plus an event tracer."""
+
+    __slots__ = ("registry", "tracer")
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    # -- metrics -------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self.registry.histogram(name, **labels)
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        return self.registry.timer(name, **labels)
+
+    # -- tracing -------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        self.tracer.event(name, **attrs)
+
+    # -- context -------------------------------------------------------
+    def scope(self, **context: object) -> "ScopedTelemetry":
+        return ScopedTelemetry(self, context)
+
+    # -- export --------------------------------------------------------
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write the trace plus a metrics snapshot as JSONL."""
+        metric_records = (
+            {"type": "metric", **snapshot} for snapshot in self.registry.collect()
+        )
+        return self.tracer.export_jsonl(path, extra_records=metric_records)
+
+
+class ScopedTelemetry:
+    """A telemetry view with a fixed context merged into every record.
+
+    Scopes nest: ``telemetry.scope(function="strcpy").scope(phase="x")``
+    stamps both keys.  Explicit labels/attrs at the record site win
+    over the scope context.
+    """
+
+    __slots__ = ("_base", "context")
+
+    enabled = True
+
+    def __init__(self, base: Telemetry, context: dict[str, object]) -> None:
+        self._base = base
+        self.context = context
+
+    def _merged(self, overrides: dict[str, object]) -> dict[str, object]:
+        if not overrides:
+            return dict(self.context)
+        merged = dict(self.context)
+        merged.update(overrides)
+        return merged
+
+    # -- metrics -------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._base.counter(name, **self._merged(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._base.gauge(name, **self._merged(labels))
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._base.histogram(name, **self._merged(labels))
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        return self._base.timer(name, **self._merged(labels))
+
+    # -- tracing -------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        return self._base.span(name, **self._merged(attrs))
+
+    def event(self, name: str, **attrs: object) -> None:
+        self._base.event(name, **self._merged(attrs))
+
+    # -- context -------------------------------------------------------
+    def scope(self, **context: object) -> "ScopedTelemetry":
+        return ScopedTelemetry(self._base, self._merged(context))
+
+    # -- export --------------------------------------------------------
+    def export_jsonl(self, path: str | Path) -> int:
+        return self._base.export_jsonl(path)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._base.registry
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._base.tracer

@@ -1,0 +1,186 @@
+"""Structured event tracing for campaign telemetry.
+
+A :class:`Tracer` records *spans* (timed, nested intervals) and
+*events* (instantaneous points) into a bounded in-memory ring buffer.
+Span nesting follows the pipeline's call structure::
+
+    campaign > injector.function > injector.vector > sandbox.call
+
+Records are plain dicts so the JSONL exporter is a straight
+``json.dumps`` per line; :func:`read_trace` is the inverse.  The ring
+buffer keeps the *last* ``capacity`` records, which for campaign
+workloads means the newest, most interesting tail survives unbounded
+runs.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import time
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: Default ring-buffer capacity; a full 86-function injection campaign
+#: emits ~100k call spans, so the default keeps roughly the last two
+#: functions' worth plus every coarser span.
+DEFAULT_CAPACITY = 262_144
+
+#: Record schema version, stamped on the trace header.
+TRACE_VERSION = 1
+
+
+class Span:
+    """One open interval; finished (and recorded) on ``__exit__``.
+
+    Attributes may be attached after entry via :meth:`set` — the
+    pattern for values only known at the end of the interval (a call's
+    terminal status, a function's crash count).
+    """
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "attrs", "start", "end")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: dict[str, object],
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end: Optional[float] = None
+
+    def set(self, **attrs: object) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        self.start = self.tracer.clock()
+        self.tracer._stack.append(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = self.tracer.clock()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = self.tracer._stack
+        # Tolerate exits out of order (a caller leaking a span) by
+        # popping back to this span rather than corrupting parentage.
+        while stack and stack[-1] != self.span_id:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self.tracer._record(
+            {
+                "type": "span",
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "name": self.name,
+                "start": round(self.start - self.tracer.epoch, 9),
+                "duration": round(self.duration, 9),
+                "attrs": self.attrs,
+            }
+        )
+
+
+class Tracer:
+    """Span/event recorder over a bounded ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, clock=time.perf_counter) -> None:
+        self.capacity = capacity
+        self.clock = clock
+        self.epoch = clock()
+        self.dropped = 0
+        self._next_id = 1
+        self._stack: list[int] = []
+        self._buffer: collections.deque[dict] = collections.deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def _record(self, record: dict) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(record)
+
+    @property
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attrs: object) -> Span:
+        span_id = self._next_id
+        self._next_id += 1
+        return Span(self, span_id, self.current_span_id, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        self._record(
+            {
+                "type": "event",
+                "parent": self.current_span_id,
+                "name": name,
+                "at": round(self.clock() - self.epoch, 9),
+                "attrs": attrs,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """Snapshot of the buffered records, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.dropped = 0
+
+    def export_jsonl(
+        self, path: str | Path, extra_records: Iterable[dict] = ()
+    ) -> int:
+        """Write the trace as JSON Lines; returns the record count.
+
+        The first line is a header record (``type: trace``); metric
+        snapshots or other summary records may be appended by the
+        caller via ``extra_records``.
+        """
+        records = self.records()
+        extras = list(extra_records)
+        header = {
+            "type": "trace",
+            "version": TRACE_VERSION,
+            "records": len(records) + len(extras),
+            "dropped": self.dropped,
+        }
+        out = Path(path)
+        with out.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for record in records:
+                handle.write(json.dumps(record, default=str) + "\n")
+            for record in extras:
+                handle.write(json.dumps(record, default=str) + "\n")
+        return 1 + len(records) + len(extras)
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace back into records (header included)."""
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not a JSONL trace record: {exc}"
+                ) from exc
+    return records

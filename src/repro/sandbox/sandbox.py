@@ -7,6 +7,10 @@ calls").  :class:`Sandbox` provides the same contract: it runs one call,
 converts faults, hangs and aborts into a structured
 :class:`~repro.sandbox.outcome.CallOutcome`, and — in isolated mode —
 discards all side effects by running against a forked runtime.
+
+Every call is accounted per terminal status (:attr:`Sandbox.stats`)
+and, when a live telemetry object is supplied, recorded as a
+``sandbox.call`` span plus a ``sandbox.calls{status=...}`` counter.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.memory.faults import BusError, OutOfMemory, SegmentationFault
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sandbox.context import Abort, CallContext, Hang
 from repro.sandbox.outcome import CallOutcome, CallStatus
 
@@ -35,15 +40,28 @@ class Sandbox:
             mutated, matching the paper's child-process design.  The
             injector uses isolation; the wrapper evaluation, which
             needs persistent libc state (open files, heap), does not.
+        telemetry: a :class:`repro.obs.Telemetry` (or a scope of one);
+            defaults to the inert no-op object.
     """
 
     def __init__(
-        self, step_budget: int = DEFAULT_STEP_BUDGET, isolate: bool = False
+        self,
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        isolate: bool = False,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.step_budget = step_budget
         self.isolate = isolate
+        self.telemetry = telemetry
         #: total sandboxed calls, exposed for the benches
         self.call_count = 0
+        self._status_counts: dict[str, int] = {}
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Outcome counts by :class:`CallStatus` name, e.g.
+        ``{"RETURNED": 118, "CRASHED": 4}``."""
+        return dict(self._status_counts)
 
     def call(
         self, function: LibcModel, arguments: Sequence[Any], runtime: Any
@@ -60,6 +78,18 @@ class Sandbox:
         # errno is only reported when the callee writes it, so clear
         # the "was set" tracking per call via a fresh context.
         ctx = CallContext(target, self.step_budget)
+        with self.telemetry.span("sandbox.call") as span:
+            outcome = self._execute(function, arguments, target, ctx)
+            status = outcome.status.name
+            self._status_counts[status] = self._status_counts.get(status, 0) + 1
+            self.telemetry.counter("sandbox.calls", status=status).inc()
+            span.set(status=status, steps=outcome.steps)
+        return outcome
+
+    @staticmethod
+    def _execute(
+        function: LibcModel, arguments: Sequence[Any], target: Any, ctx: CallContext
+    ) -> CallOutcome:
         try:
             value = function(ctx, *arguments)
         except SegmentationFault as fault:

@@ -27,6 +27,7 @@ from repro.declarations.model import FunctionDeclaration
 from repro.libc.catalog import BY_NAME, FunctionSpec
 from repro.libc.errno_codes import EINVAL
 from repro.libc.runtime import LibcRuntime
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sandbox import CallOutcome, CallStatus, Sandbox
 from repro.typelattice.instances import TypeInstance
 from repro.wrapper.checks import CheckConfig, CheckLibrary
@@ -74,15 +75,17 @@ class WrapperLibrary:
         relational: bool = True,
         wrap_safe: bool = False,
         step_budget: int = 1_000_000,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.declarations = declarations
         self.policy = policy
         self.check_config = check_config or CheckConfig()
         self.relational = relational
         self.wrap_safe = wrap_safe
+        self.telemetry = telemetry
         self.state = WrapperState()
         self.stats = WrapperStats()
-        self.sandbox = Sandbox(step_budget=step_budget)
+        self.sandbox = Sandbox(step_budget=step_budget, telemetry=telemetry)
         #: assertions enabled anywhere force state interception
         self.tracked_assertions: frozenset[str] = frozenset(
             name for decl in declarations.values() for name in decl.assertions
@@ -94,6 +97,7 @@ class WrapperLibrary:
         """Invoke ``name`` through the wrapper."""
         spec = BY_NAME[name]
         self.stats.record_call(name)
+        self.telemetry.counter("wrapper.calls").inc()
         declaration = self.declarations.get(name)
 
         if self._in_flag:
@@ -122,7 +126,12 @@ class WrapperLibrary:
 
         started = time.perf_counter()
         violation = self._check_arguments(declaration, args, runtime, name)
-        self.stats.check_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.stats.check_seconds += elapsed
+        if self.telemetry.enabled:
+            self.telemetry.histogram("wrapper.check_ns", function=name).observe(
+                elapsed * 1e9
+            )
         if violation is not None:
             return self._reject(declaration, violation, name)
         return self._forward(spec, args, runtime, name)
@@ -219,6 +228,8 @@ class WrapperLibrary:
     ) -> CallOutcome:
         """Prefix-code rejection: set errno, return the error code."""
         self.stats.violations += 1
+        self.telemetry.counter("wrapper.violations", function=name).inc()
+        self.telemetry.event("wrapper.violation", function=name, detail=violation)
         if self.policy in (WrapperPolicy.LOGGING, WrapperPolicy.DEBUG):
             self.state.record_violation(name, violation)
         if self.policy is WrapperPolicy.DEBUG:

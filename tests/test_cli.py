@@ -99,3 +99,98 @@ class TestDiff:
         out = capsys.readouterr().out
         assert "asctime: retyped" in out
         assert "wrappers to regenerate: asctime" in out
+
+
+class TestJsonOutput:
+    def test_extract_json(self, capsys):
+        import json
+
+        assert main(["extract", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["stats"]["man_coverage_pct"] == 51.1
+
+    def test_extract_json_verbose_lists_functions(self, capsys):
+        import json
+
+        assert main(["extract", "--json", "-v"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "asctime" in document["functions"]
+        assert "route" in document["functions"]["asctime"]
+
+    def test_inject_json(self, capsys):
+        import json
+
+        assert main(["inject", "--json", "asctime"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["function"] == "asctime"
+        assert row["vectors"] > 0
+        assert row["calls"] >= row["vectors"]
+        assert "R_ARRAY_NULL[44]" in row["robust_types"]
+
+
+class TestHardenSummary:
+    def test_summary_includes_vector_and_crash_counts(self, tmp_path, capsys):
+        assert main(["harden", "strcpy", "-o", str(tmp_path)]) == 0
+        summary = capsys.readouterr().out.splitlines()[-1]
+        assert "vectors" in summary
+        assert "crashes" in summary
+        assert "calls" in summary
+
+
+class TestTraceAndReport:
+    def test_inject_trace_report_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["inject", "asctime", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert trace.exists()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "sandbox calls by status" in out
+        assert "RETURNED" in out
+        assert "injector.vector" in out
+        assert "campaign" in out
+
+    def test_trace_spans_nest(self, tmp_path):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["inject", "asctime", "--trace", str(trace)]) == 0
+        spans = {
+            r["id"]: r for r in read_trace(trace) if r.get("type") == "span"
+        }
+        call = next(s for s in spans.values() if s["name"] == "sandbox.call")
+        vector = spans[call["parent"]]
+        function = spans[vector["parent"]]
+        campaign = spans[function["parent"]]
+        assert vector["name"] == "injector.vector"
+        assert function["name"] == "injector.function"
+        assert campaign["name"] == "campaign"
+        assert campaign["parent"] is None
+
+    def test_report_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["inject", "asctime", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--json", str(trace)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sandbox_calls"]["RETURNED"] > 0
+        assert "injector.function" in document["phases"]
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_ballista_trace(self, tmp_path, capsys):
+        trace = tmp_path / "b.jsonl"
+        assert main(
+            ["ballista", "strlen", "--unwrapped-only", "--trace", str(trace)]
+        ) == 0
+        assert trace.exists()
+        from repro.obs import summarize_trace_file
+
+        summary = summarize_trace_file(trace)
+        assert summary.counters.get("ballista.tests{configuration=unwrapped,status=crash}", 0) > 0

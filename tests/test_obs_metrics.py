@@ -1,0 +1,143 @@
+"""Unit tests for the obs metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Timer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("sandbox.calls")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_series_key_without_labels(self):
+        assert Counter("injector.retries").series_key() == "injector.retries"
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("pipeline.pending")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        histogram = Histogram("wrapper.check_ns")
+        for value in (4.0, 1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == 2.5
+
+    def test_quantiles_nearest_rank(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert abs(histogram.quantile(0.5) - 50.0) <= 1.0
+        assert abs(histogram.quantile(0.95) - 95.0) <= 1.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_decimation_keeps_aggregates_exact(self):
+        histogram = Histogram("h", sample_cap=64)
+        n = 10_000
+        for value in range(n):
+            histogram.observe(float(value))
+        # Aggregates never decimate...
+        assert histogram.count == n
+        assert histogram.max == float(n - 1)
+        # ...and the retained sample stays bounded but representative.
+        assert len(histogram._samples) <= 64
+        assert abs(histogram.quantile(0.5) - n / 2) < n * 0.1
+
+    def test_decimation_is_deterministic(self):
+        def build():
+            histogram = Histogram("h", sample_cap=32)
+            for value in range(1000):
+                histogram.observe(float(value))
+            return histogram._samples
+
+        assert build() == build()
+
+
+class TestTimer:
+    def test_context_manager_observes_elapsed(self):
+        timer = Timer("t")
+        with timer.time():
+            pass
+        with timer.time():
+            pass
+        assert timer.count == 2
+        assert timer.seconds >= 0.0
+        assert timer.seconds == timer.total
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("sandbox.calls", status="CRASHED")
+        b = registry.counter("sandbox.calls", status="CRASHED")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_label_values_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("sandbox.calls", status="CRASHED").inc()
+        registry.counter("sandbox.calls", status="RETURNED").inc(3)
+        assert len(registry.series("sandbox.calls")) == 2
+        assert registry.value("sandbox.calls", status="RETURNED") == 3
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", x="1", y="2")
+        b = registry.counter("c", y="2", x="1")
+        assert a is b
+        assert a.series_key() == "c{x=1,y=2}"
+
+    def test_value_does_not_create_series(self):
+        registry = MetricsRegistry()
+        assert registry.value("never.recorded") == 0
+        assert len(registry) == 0
+
+    def test_collect_snapshots_every_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("ns").observe(1.0)
+        with registry.timer("secs").time():
+            pass
+        kinds = {snap["kind"] for snap in registry.collect()}
+        assert kinds == {"counter", "gauge", "histogram", "timer"}
+        counter_snap = next(
+            s for s in registry.collect() if s["name"] == "calls"
+        )
+        assert counter_snap["value"] == 2
+
+    def test_histogram_snapshot_has_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("ns", function="strcpy")
+        for value in range(10):
+            histogram.observe(float(value))
+        snap = histogram.snapshot()
+        assert snap["labels"] == {"function": "strcpy"}
+        assert {"p50", "p95", "p99", "mean", "count"} <= set(snap)

@@ -1,0 +1,185 @@
+"""Unit tests for tracing and the telemetry façade (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    Tracer,
+    read_trace,
+    render_report,
+    summarize_trace,
+)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("campaign") as campaign:
+            with tracer.span("injector.function") as function:
+                with tracer.span("sandbox.call"):
+                    pass
+        spans = {r["name"]: r for r in tracer.records()}
+        assert spans["campaign"]["parent"] is None
+        assert spans["injector.function"]["parent"] == campaign.span_id
+        assert spans["sandbox.call"]["parent"] == function.span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        children = [r for r in tracer.records() if r["name"] in "ab"]
+        assert [c["parent"] for c in children] == [parent.span_id] * 2
+
+    def test_attrs_set_after_entry(self):
+        tracer = Tracer()
+        with tracer.span("call", kind="x") as span:
+            span.set(status="CRASHED")
+        record = tracer.records()[0]
+        assert record["attrs"] == {"kind": "x", "status": "CRASHED"}
+
+    def test_exception_tagged_and_stack_popped(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.current_span_id is None
+        assert tracer.records()[0]["attrs"]["error"] == "RuntimeError"
+
+    def test_duration_measured(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        assert tracer.records()[0]["duration"] >= 0.0
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            tracer.event("violation", detail="arg 0")
+        event = next(r for r in tracer.records() if r["type"] == "event")
+        assert event["parent"] == parent.span_id
+        assert event["attrs"] == {"detail": "arg 0"}
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            tracer.event("e", index=index)
+        records = tracer.records()
+        assert len(records) == 4
+        assert [r["attrs"]["index"] for r in records] == [6, 7, 8, 9]
+        assert tracer.dropped == 6
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_read_back(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("campaign", functions=2):
+            tracer.event("marker")
+        path = tmp_path / "trace.jsonl"
+        written = tracer.export_jsonl(path)
+        records = read_trace(path)
+        assert written == len(records) == 3  # header + event + span
+        header = records[0]
+        assert header["type"] == "trace"
+        assert header["records"] == 2
+        names = {r.get("name") for r in records[1:]}
+        assert names == {"campaign", "marker"}
+
+    def test_invalid_jsonl_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "trace"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(path)
+
+    def test_telemetry_export_appends_metric_records(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.counter("sandbox.calls", status="CRASHED").inc(7)
+        with telemetry.span("campaign"):
+            pass
+        path = tmp_path / "t.jsonl"
+        telemetry.export_jsonl(path)
+        records = read_trace(path)
+        metrics = [r for r in records if r["type"] == "metric"]
+        assert metrics == [
+            {
+                "type": "metric",
+                "kind": "counter",
+                "name": "sandbox.calls",
+                "labels": {"status": "CRASHED"},
+                "value": 7,
+            }
+        ]
+
+
+class TestNullTelemetry:
+    def test_is_inert_and_shared(self):
+        null = NULL_TELEMETRY
+        assert isinstance(null, NullTelemetry)
+        assert not null.enabled
+        assert null.scope(function="strcpy") is null
+
+    def test_all_operations_noop(self):
+        null = NULL_TELEMETRY
+        null.counter("c", status="X").inc(5)
+        null.gauge("g").set(3)
+        null.histogram("h").observe(1.0)
+        with null.timer("t").time():
+            pass
+        with null.span("s", a=1) as span:
+            span.set(b=2)
+        null.event("e")
+        assert null.counter("c", status="X").value == 0
+
+    def test_export_writes_nothing(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        assert NULL_TELEMETRY.export_jsonl(path) == 0
+        assert not path.exists()
+
+
+class TestScopedTelemetry:
+    def test_scope_stamps_metric_labels(self):
+        telemetry = Telemetry()
+        scope = telemetry.scope(function="strcpy")
+        scope.counter("injector.retries").inc()
+        assert telemetry.registry.value("injector.retries", function="strcpy") == 1
+
+    def test_scope_stamps_span_attrs(self):
+        telemetry = Telemetry()
+        with telemetry.scope(function="strcpy").span("injector.vector", index=3):
+            pass
+        record = telemetry.tracer.records()[0]
+        assert record["attrs"] == {"function": "strcpy", "index": 3}
+
+    def test_nested_scopes_merge_and_override(self):
+        telemetry = Telemetry()
+        inner = telemetry.scope(function="strcpy").scope(phase="verify")
+        inner.counter("c", function="strlen").inc()
+        assert (
+            telemetry.registry.value("c", function="strlen", phase="verify") == 1
+        )
+
+
+class TestSummarize:
+    def test_report_from_round_tripped_trace(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.counter("sandbox.calls", status="CRASHED").inc(3)
+        telemetry.counter("sandbox.calls", status="RETURNED").inc(9)
+        with telemetry.span("campaign"):
+            with telemetry.span("injector.function", function="strcpy",
+                                vectors=4, calls=12, crashes=3, unsafe=True):
+                pass
+        path = tmp_path / "t.jsonl"
+        telemetry.export_jsonl(path)
+        summary = summarize_trace(read_trace(path))
+        assert summary.sandbox_calls == {"CRASHED": 3, "RETURNED": 9}
+        assert summary.total_sandbox_calls == 12
+        assert summary.phases["campaign"].count == 1
+        assert summary.functions[0]["function"] == "strcpy"
+        text = render_report(summary)
+        assert "CRASHED" in text and "strcpy" in text and "campaign" in text

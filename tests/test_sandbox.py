@@ -144,3 +144,40 @@ class TestRuntimeFork:
         assert clone.kernel.read(fd, 5) == b"hello"
         # offset advanced only in the clone
         assert runtime.kernel.read(fd, 5) == b"hello"
+
+
+class TestStats:
+    def test_per_status_counts(self):
+        sandbox = Sandbox(step_budget=10_000)
+        sandbox.call(returns_42, (), LibcRuntime())
+        sandbox.call(returns_42, (), LibcRuntime())
+        sandbox.call(crashes, (), LibcRuntime())
+        sandbox.call(hangs, (), LibcRuntime())
+        sandbox.call(aborts, (), LibcRuntime())
+        assert sandbox.stats == {
+            "RETURNED": 2,
+            "CRASHED": 1,
+            "HUNG": 1,
+            "ABORTED": 1,
+        }
+        assert sandbox.call_count == 5
+
+    def test_stats_snapshot_is_a_copy(self):
+        sandbox = Sandbox()
+        sandbox.call(returns_42, (), LibcRuntime())
+        snapshot = sandbox.stats
+        snapshot["RETURNED"] = 99
+        assert sandbox.stats == {"RETURNED": 1}
+
+    def test_stats_feed_telemetry_registry(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        sandbox = Sandbox(telemetry=telemetry)
+        sandbox.call(returns_42, (), LibcRuntime())
+        sandbox.call(crashes, (), LibcRuntime())
+        registry = telemetry.registry
+        assert registry.value("sandbox.calls", status="RETURNED") == 1
+        assert registry.value("sandbox.calls", status="CRASHED") == 1
+        names = [r["name"] for r in telemetry.tracer.records()]
+        assert names == ["sandbox.call", "sandbox.call"]

@@ -30,8 +30,8 @@ class TestObserveCall:
 
     def test_fopen_family_registers_files(self):
         state = WrapperState()
-        for name in ("fopen", "fdopen", "tmpfile"):
-            state.observe_call(name, (), returned(0x6000 + hash(name) % 100))
+        for offset, name in enumerate(("fopen", "fdopen", "tmpfile")):
+            state.observe_call(name, (), returned(0x6000 + 0x10 * offset))
         assert len(state.file_table) == 3
 
     def test_fclose_unregisters(self):
