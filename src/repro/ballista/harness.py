@@ -17,6 +17,7 @@ semi-automatically hardened wrapper.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -175,8 +176,25 @@ class BallistaHarness:
         wrapper: Optional[WrapperLibrary] = None,
         configuration: str = "unwrapped",
         step_budget: int = 1_000_000,
+        jobs: int = 1,
     ) -> BallistaReport:
-        """Execute every test; each runs in a fork of a base runtime."""
+        """Execute every test; each runs in a fork of a base runtime.
+
+        With ``jobs > 1`` the sweep is sharded by function over the
+        campaign scheduler's worker pool: each worker re-enumerates
+        the identical (deterministic) global test list, rebuilds the
+        wrapper from the declarations, and executes its functions'
+        tests; the parent assembles records in enumeration order, so
+        the report is identical to a serial run.  Sweeps whose runtime
+        factory or wrapper cannot be reconstructed in a worker fall
+        back to serial execution (a ``ballista.serial_fallback``
+        telemetry event names the reason).
+        """
+        if jobs > 1:
+            blocker = self._sharding_blocker(wrapper)
+            if blocker is None:
+                return self._run_sharded(wrapper, configuration, step_budget, jobs)
+            self.telemetry.event("ballista.serial_fallback", reason=blocker)
         telemetry = self.telemetry.scope(configuration=configuration)
         report = BallistaReport(configuration)
         sandbox = Sandbox(step_budget=step_budget, telemetry=telemetry)
@@ -187,31 +205,83 @@ class BallistaHarness:
         }
         with telemetry.span("campaign", kind="ballista") as campaign:
             for test in self.tests():
-                runtime = base.fork()
-                if wrapper is not None:
-                    # Each test is a fresh forked process image; tracking
-                    # tables from previous tests refer to addresses that
-                    # the fork re-uses, so they must not leak across tests.
-                    wrapper.state.file_table.clear()
-                    wrapper.state.dir_table.clear()
-                values = []
-                for pool_value in test.values:
-                    value = pool_value.build(runtime)
-                    values.append(value)
-                    if wrapper is not None and pool_value.seed == "file":
-                        wrapper.state.seed_file(value)
-                    elif wrapper is not None and pool_value.seed == "dir":
-                        wrapper.state.seed_dir(value)
-                spec = BY_NAME[test.function]
                 with telemetry.span(
                     "ballista.test", function=test.function
                 ) as test_span:
-                    if wrapper is not None:
-                        outcome = wrapper.call(test.function, values, runtime)
-                    else:
-                        outcome = sandbox.call(spec.model, values, runtime)
-                    status, detail = _classify(outcome)
+                    status, detail = _execute_test(test, sandbox, base, wrapper)
                     test_span.set(status=status)
+                status_counters[status].inc()
+                report.records.append(TestRecord(test, status, detail))
+            campaign.set(
+                configuration=configuration,
+                tests=report.total,
+                crashes=report.count("crash"),
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    def _sharding_blocker(self, wrapper: Optional[WrapperLibrary]) -> Optional[str]:
+        """Why this sweep cannot be sharded, or None when it can."""
+        if self.runtime_factory is not standard_runtime:
+            return "custom runtime_factory"
+        if wrapper is not None:
+            from repro.wrapper.checks import CheckConfig
+
+            if wrapper.check_config != CheckConfig():
+                return "non-default check_config"
+        return None
+
+    def _run_sharded(
+        self,
+        wrapper: Optional[WrapperLibrary],
+        configuration: str,
+        step_budget: int,
+        jobs: int,
+    ) -> BallistaReport:
+        from repro.campaign.scheduler import run_tasks
+
+        telemetry = self.telemetry.scope(configuration=configuration)
+        report = BallistaReport(configuration)
+        grouped: dict[str, list[BallistaTest]] = {}
+        for test in self.tests():
+            grouped.setdefault(test.function, []).append(test)
+        env = {
+            "functions": [spec.name for spec in self.functions],
+            "test_cap": self.test_cap,
+            "total_target": self.total_target,
+            "step_budget": step_budget,
+            "declarations": None
+            if wrapper is None
+            else {
+                name: decl.to_xml() for name, decl in wrapper.declarations.items()
+            },
+            "policy": None if wrapper is None else wrapper.policy.name,
+            "relational": wrapper.relational if wrapper is not None else True,
+            "wrap_safe": wrapper.wrap_safe if wrapper is not None else False,
+        }
+        with telemetry.span(
+            "campaign", kind="ballista", jobs=jobs
+        ) as campaign:
+            results = run_tasks(
+                list(grouped),
+                functools.partial(_ballista_task, env=env),
+                jobs=jobs,
+                telemetry=telemetry,
+            )
+            failed = {n: r.error for n, r in results.items() if not r.ok}
+            if failed:
+                summary = "; ".join(
+                    f"{name}: {error.splitlines()[-1] if error else 'failed'}"
+                    for name, error in sorted(failed.items())
+                )
+                raise RuntimeError(f"ballista shard failures — {summary}")
+            status_counters = {
+                status: telemetry.counter("ballista.tests", status=status)
+                for status in ("crash", "errno", "silent")
+            }
+            cursors = {name: iter(results[name].payload["statuses"]) for name in grouped}
+            for test in self.tests():
+                status, detail = next(cursors[test.function])
                 status_counters[status].inc()
                 report.records.append(TestRecord(test, status, detail))
             campaign.set(
@@ -228,6 +298,90 @@ def _classify(outcome: CallOutcome) -> tuple[str, str]:
     if outcome.errno_was_set:
         return "errno", ""
     return "silent", ""
+
+
+def _execute_test(
+    test: BallistaTest,
+    sandbox: Sandbox,
+    base: LibcRuntime,
+    wrapper: Optional[WrapperLibrary],
+) -> tuple[str, str]:
+    """Run one test in a fresh fork; shared by serial and sharded paths."""
+    runtime = base.fork()
+    if wrapper is not None:
+        # Each test is a fresh forked process image; tracking tables
+        # from previous tests refer to addresses that the fork re-uses,
+        # so they must not leak across tests.
+        wrapper.state.file_table.clear()
+        wrapper.state.dir_table.clear()
+    values = []
+    for pool_value in test.values:
+        value = pool_value.build(runtime)
+        values.append(value)
+        if wrapper is not None and pool_value.seed == "file":
+            wrapper.state.seed_file(value)
+        elif wrapper is not None and pool_value.seed == "dir":
+            wrapper.state.seed_dir(value)
+    spec = BY_NAME[test.function]
+    if wrapper is not None:
+        outcome = wrapper.call(test.function, values, runtime)
+    else:
+        outcome = sandbox.call(spec.model, values, runtime)
+    return _classify(outcome)
+
+
+#: Worker-process memo: one rebuilt (harness, grouped tests, wrapper,
+#: sandbox, base runtime) per env object — the partial carrying ``env``
+#: is pickled once per worker, so identity is stable within a worker.
+_TASK_ENV_CACHE: dict[int, tuple] = {}
+
+
+def _ballista_task(function: str, env: dict) -> dict:
+    """Execute one function's share of the sweep inside a pool worker.
+
+    Re-enumerates the *global* deterministic test list (thinning to
+    ``total_target`` depends on every function, not just this one),
+    rebuilds the wrapper from declaration XML when the sweep is
+    wrapped, and returns per-test (status, detail) pairs in
+    enumeration order.
+    """
+    state = _TASK_ENV_CACHE.get(id(env))
+    if state is None:
+        harness = BallistaHarness(
+            functions=[BY_NAME[name] for name in env["functions"]],
+            test_cap=env["test_cap"],
+            total_target=env["total_target"],
+        )
+        grouped: dict[str, list[BallistaTest]] = {}
+        for test in harness.tests():
+            grouped.setdefault(test.function, []).append(test)
+        wrapper = None
+        if env["declarations"] is not None:
+            from repro.declarations import FunctionDeclaration
+            from repro.wrapper.wrapper import WrapperPolicy
+
+            declarations = {
+                name: FunctionDeclaration.from_xml(xml)
+                for name, xml in env["declarations"].items()
+            }
+            wrapper = WrapperLibrary(
+                declarations,
+                policy=WrapperPolicy[env["policy"]],
+                relational=env["relational"],
+                wrap_safe=env["wrap_safe"],
+                step_budget=env["step_budget"],
+            )
+        sandbox = Sandbox(step_budget=env["step_budget"])
+        base = standard_runtime()
+        state = (grouped, wrapper, sandbox, base)
+        _TASK_ENV_CACHE[id(env)] = state
+    grouped, wrapper, sandbox, base = state
+    return {
+        "statuses": [
+            list(_execute_test(test, sandbox, base, wrapper))
+            for test in grouped.get(function, [])
+        ]
+    }
 
 
 def _thin(tests: list[BallistaTest], target: int) -> list[BallistaTest]:

@@ -1,0 +1,344 @@
+"""The campaign driver: cache consultation, fan-out, checkpointing.
+
+:class:`CampaignRunner` turns a one-shot injection sweep into a
+managed campaign:
+
+1. **plan** — compute every function's content address
+   (:func:`~repro.campaign.digest.outcome_digest`);
+2. **cache** — serve unchanged functions from the
+   :class:`~repro.campaign.store.OutcomeStore` without touching the
+   sandbox;
+3. **inject** — fan the misses out over the
+   :mod:`~repro.campaign.scheduler` pool (``jobs`` workers, per-task
+   timeout, bounded retry; a crashed or hung worker fails only its
+   function and the campaign continues);
+4. **finalize** — assemble reports in catalog order (independent of
+   worker completion order), persist fresh outcomes to the store, and
+   checkpoint the manifest.
+
+The manifest (``<cache_dir>/manifest.json``) is rewritten atomically
+after every completed function, so ``resume=True`` after a
+mid-campaign kill continues from the last checkpoint: completed
+functions hit the content-addressed store, only the remainder runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.campaign.digest import CACHE_SCHEMA, campaign_id, outcome_digest
+from repro.campaign.scheduler import (
+    DEFAULT_TASK_RETRIES,
+    DEFAULT_TASK_TIMEOUT,
+    TaskResult,
+    run_tasks,
+)
+from repro.campaign.store import OutcomeStore, report_from_payload, report_to_payload
+from repro.cdecl import DeclarationParser, typedef_table
+from repro.injector import FaultInjector, InjectionReport, MAX_VECTORS
+from repro.libc.catalog import BY_NAME, FunctionSpec
+from repro.obs.telemetry import NULL_TELEMETRY
+
+#: Default campaign cache, next to the declaration bundle cache.
+DEFAULT_CAMPAIGN_DIR = (
+    Path(__file__).resolve().parents[3] / ".healers_cache" / "campaign"
+)
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Execution knobs of one campaign run."""
+
+    jobs: int = 1
+    cache_dir: Optional[Path] = None
+    resume: bool = False
+    timeout: Optional[float] = DEFAULT_TASK_TIMEOUT
+    task_retries: int = DEFAULT_TASK_RETRIES
+    seed: int = 0
+    max_vectors: int = MAX_VECTORS
+
+
+@dataclass
+class FunctionOutcome:
+    """How one function's outcome was obtained."""
+
+    name: str
+    digest: str
+    status: str  # "cached" | "ran" | "failed"
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, in catalog order."""
+
+    reports: dict[str, InjectionReport]
+    outcomes: dict[str, FunctionOutcome]
+    phase_timings: dict[str, float] = field(default_factory=dict)
+    campaign: str = ""
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "cached")
+
+    @property
+    def ran(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "ran")
+
+    @property
+    def failed(self) -> dict[str, str]:
+        return {
+            o.name: o.error or "failed"
+            for o in self.outcomes.values()
+            if o.status == "failed"
+        }
+
+
+# ----------------------------------------------------------------------
+# the worker task: must stay module-level (picklable under spawn)
+# ----------------------------------------------------------------------
+
+
+def _inject_payload(name: str, max_vectors: int = MAX_VECTORS) -> dict:
+    """Run one function's injector and serialize the report.
+
+    Serialization happens worker-side so only a JSON-able dict crosses
+    the process boundary and the parent can persist it verbatim.
+    """
+    spec = BY_NAME[name]
+    report = FaultInjector(spec, max_vectors=max_vectors).run()
+    return report_to_payload(report, spec.prototype)
+
+
+class CampaignRunner:
+    """Schedules, caches, and checkpoints one injection campaign."""
+
+    def __init__(
+        self,
+        functions: Optional[Sequence[str]] = None,
+        config: CampaignConfig = CampaignConfig(),
+        telemetry=NULL_TELEMETRY,
+        progress: Optional[
+            Callable[[str, FunctionOutcome, Optional[InjectionReport]], None]
+        ] = None,
+    ) -> None:
+        if functions is None:
+            from repro.libc.catalog import BALLISTA_SET
+
+            self.specs: list[FunctionSpec] = list(BALLISTA_SET)
+        else:
+            unknown = [n for n in functions if n not in BY_NAME]
+            if unknown:
+                raise KeyError(f"unknown functions: {', '.join(unknown)}")
+            self.specs = [BY_NAME[n] for n in functions]
+        self.config = config
+        self.telemetry = telemetry
+        self.progress = progress
+        self.store = (
+            OutcomeStore(config.cache_dir) if config.cache_dir is not None else None
+        )
+        self.parser = DeclarationParser(typedef_table())
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        config = self.config
+        telemetry = self.telemetry
+        timings: dict[str, float] = {}
+        total_started = time.perf_counter()
+        names = [spec.name for spec in self.specs]
+
+        with telemetry.span(
+            "campaign.plan", functions=len(names), jobs=config.jobs
+        ):
+            started = time.perf_counter()
+            digests = {
+                spec.name: outcome_digest(
+                    spec, max_vectors=config.max_vectors, parser=self.parser
+                )
+                for spec in self.specs
+            }
+            timings["plan"] = time.perf_counter() - started
+        ident = campaign_id([(n, digests[n]) for n in names])
+
+        outcomes: dict[str, FunctionOutcome] = {}
+        reports: dict[str, InjectionReport] = {}
+        previous = self._load_manifest() if config.resume else None
+        if previous is not None and previous.get("campaign") != ident:
+            telemetry.event("campaign.resume_mismatch", found=previous.get("campaign"))
+            previous = None
+
+        # ---------------------------------------------------- cache phase
+        started = time.perf_counter()
+        misses: list[str] = []
+        for name in names:
+            report = (
+                self.store.get(digests[name], self.parser) if self.store else None
+            )
+            if report is not None:
+                reports[name] = report
+                outcomes[name] = FunctionOutcome(name, digests[name], "cached")
+                telemetry.counter("campaign.functions", status="cached").inc()
+                telemetry.event("campaign.progress", function=name, status="cached")
+                if self.progress is not None:
+                    self.progress(name, outcomes[name], report)
+            else:
+                misses.append(name)
+        timings["cache"] = time.perf_counter() - started
+
+        # --------------------------------------------------- inject phase
+        started = time.perf_counter()
+
+        def on_result(result: TaskResult) -> None:
+            report = None
+            if result.ok:
+                report = report_from_payload(result.payload, self.parser)
+                reports[result.name] = report
+                outcome = FunctionOutcome(
+                    result.name, digests[result.name], "ran",
+                    attempts=result.attempts, elapsed=result.elapsed,
+                )
+            else:
+                outcome = FunctionOutcome(
+                    result.name, digests[result.name], "failed",
+                    attempts=result.attempts, error=result.error,
+                )
+            outcomes[result.name] = outcome
+            telemetry.counter("campaign.functions", status=outcome.status).inc()
+            telemetry.event(
+                "campaign.progress", function=result.name, status=outcome.status
+            )
+            if self.store is not None:
+                if result.ok:
+                    self.store.put_payload(digests[result.name], result.payload)
+                # Checkpoint after every terminal function so a killed
+                # campaign resumes from here.
+                self._write_manifest(ident, names, digests, outcomes, timings)
+            if self.progress is not None:
+                self.progress(result.name, outcome, report)
+
+        if misses:
+            with telemetry.span(
+                "campaign.inject", functions=len(misses), jobs=config.jobs
+            ):
+                run_tasks(
+                    misses,
+                    functools.partial(
+                        _inject_payload, max_vectors=config.max_vectors
+                    ),
+                    jobs=config.jobs,
+                    timeout=config.timeout,
+                    task_retries=config.task_retries,
+                    seed=config.seed,
+                    telemetry=telemetry,
+                    on_result=on_result,
+                )
+        timings["inject"] = time.perf_counter() - started
+
+        # -------------------------------------------------- finalize phase
+        started = time.perf_counter()
+        # Catalog order, regardless of cache/completion interleaving.
+        reports = {n: reports[n] for n in names if n in reports}
+        outcomes = {n: outcomes[n] for n in names if n in outcomes}
+        timings["finalize"] = time.perf_counter() - started
+        timings["total"] = time.perf_counter() - total_started
+        if self.store is not None:
+            self._write_manifest(ident, names, digests, outcomes, timings)
+        return CampaignResult(
+            reports=reports, outcomes=outcomes,
+            phase_timings=timings, campaign=ident,
+        )
+
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> Optional[Path]:
+        if self.config.cache_dir is None:
+            return None
+        return Path(self.config.cache_dir) / MANIFEST_NAME
+
+    def _load_manifest(self) -> Optional[dict]:
+        path = self._manifest_path()
+        if path is None or not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if manifest.get("schema") != CACHE_SCHEMA:
+            return None
+        return manifest
+
+    def _write_manifest(
+        self,
+        ident: str,
+        names: list[str],
+        digests: dict[str, str],
+        outcomes: dict[str, FunctionOutcome],
+        timings: dict[str, float],
+    ) -> None:
+        path = self._manifest_path()
+        if path is None:
+            return
+        manifest = {
+            "schema": CACHE_SCHEMA,
+            "campaign": ident,
+            "jobs": self.config.jobs,
+            "functions": [
+                {
+                    "name": name,
+                    "digest": digests[name],
+                    "status": outcomes[name].status if name in outcomes else "pending",
+                    "attempts": outcomes[name].attempts if name in outcomes else 0,
+                    "elapsed": round(outcomes[name].elapsed, 6)
+                    if name in outcomes
+                    else 0.0,
+                    "error": outcomes[name].error if name in outcomes else None,
+                }
+                for name in names
+            ],
+            "phase_timings": {k: round(v, 6) for k, v in timings.items()},
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".manifest.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(manifest, handle, indent=2)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def load_manifest(cache_dir: Path | str) -> Optional[dict]:
+    """Read a campaign checkpoint manifest, or None when absent."""
+    path = Path(cache_dir) / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if manifest.get("schema") != CACHE_SCHEMA:
+        return None
+    return manifest
+
+
+def clean_cache(cache_dir: Path | str) -> int:
+    """Remove every cached outcome plus the manifest; returns the
+    number of files deleted."""
+    removed = OutcomeStore(cache_dir).clean()
+    manifest = Path(cache_dir) / MANIFEST_NAME
+    if manifest.exists():
+        manifest.unlink()
+        removed += 1
+    return removed

@@ -1,0 +1,368 @@
+"""Deterministic sharding and a supervised worker pool.
+
+The scheduler turns a list of task names into a set of
+:class:`TaskResult`\\ s, either inline (``jobs <= 1``) or by fanning
+out over a ``multiprocessing`` pool it supervises itself:
+
+* **Deterministic sharding** — :func:`plan_shards` stripes the task
+  list round-robin; dispatch order interleaves the shards so early
+  tasks spread across workers.  Workers *steal* from a shared queue
+  for load balance; because every task is re-seeded from the campaign
+  seed and its own name (:func:`reseed`), results are bit-identical no
+  matter which worker executes a task or in what order tasks finish.
+* **Per-task timeout** — the parent timestamps every task start; a
+  worker that exceeds the deadline is killed, the task retried on a
+  fresh worker (bounded by ``task_retries``) or marked ``failed``.
+* **Graceful degradation** — a crashed worker (raised, killed, or
+  died outright) fails only its current task; the pool respawns a
+  replacement and the campaign continues.
+
+Results travel over one ``Pipe`` per worker rather than a shared
+``multiprocessing.Queue``: ``Connection.send`` writes synchronously
+(no feeder thread), so a worker that dies right after reporting can
+not lose the report, and worker death itself surfaces as EOF on its
+pipe instead of needing liveness polling.
+
+The worker callable must be picklable (a module-level function or a
+``functools.partial`` of one) and return a JSON-able payload dict.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import random
+import time
+import traceback
+import zlib
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Callable, Optional, Sequence
+
+from repro.obs.telemetry import NULL_TELEMETRY
+
+#: Default per-task wall-clock limit (seconds) under a parallel pool.
+DEFAULT_TASK_TIMEOUT = 300.0
+
+#: Extra attempts granted to a task whose worker crashed or hung.
+DEFAULT_TASK_RETRIES = 1
+
+#: Parent poll interval while waiting on worker messages (seconds).
+_POLL = 0.05
+
+#: All workers idle + dispatched work unclaimed for this long means a
+#: task was lost in the dispatch window (worker died between dequeue
+#: and its ``start`` report); the remainder is failed, not waited on.
+_STALL_LIMIT = 30.0
+
+
+@dataclass
+class TaskResult:
+    """Terminal state of one scheduled task."""
+
+    __test__ = False  # not a pytest collection target
+
+    name: str
+    status: str  # "ok" | "failed"
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def plan_shards(names: Sequence[str], jobs: int) -> list[list[str]]:
+    """Stripe ``names`` round-robin into ``min(jobs, len(names))``
+    deterministic shards (shard *i* holds names ``i, i+jobs, …``)."""
+    width = max(1, min(jobs, len(names)))
+    shards: list[list[str]] = [[] for _ in range(width)]
+    for index, name in enumerate(names):
+        shards[index % width].append(name)
+    return shards
+
+
+def dispatch_order(names: Sequence[str], jobs: int) -> list[str]:
+    """Queue order that interleaves the shard plan: one task per shard
+    per round, so the first ``jobs`` dequeues hit distinct shards."""
+    shards = [list(s) for s in plan_shards(names, jobs)]
+    order: list[str] = []
+    while any(shards):
+        for shard in shards:
+            if shard:
+                order.append(shard.pop(0))
+    return order
+
+
+def task_seed(campaign_seed: int, name: str) -> int:
+    """Stable per-task seed: independent of worker, shard, and
+    completion order, so parallel runs reproduce serial ones bit for
+    bit even if a task's implementation draws randomness."""
+    return (campaign_seed & 0xFFFFFFFF) ^ zlib.crc32(name.encode("utf-8"))
+
+
+def reseed(campaign_seed: int, name: str) -> None:
+    random.seed(task_seed(campaign_seed, name))
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+def _pool_worker(worker, campaign_seed, task_q, conn, worker_id):
+    """Worker loop: announce, execute, report; never raises."""
+    try:
+        while True:
+            item = task_q.get()
+            if item is None:
+                break
+            attempt, name = item
+            conn.send(("start", name, attempt))
+            started = time.perf_counter()
+            try:
+                reseed(campaign_seed, name)
+                payload = worker(name)
+            except BaseException:
+                conn.send(("err", name, attempt, traceback.format_exc(limit=20)))
+            else:
+                conn.send(
+                    ("ok", name, attempt, payload, time.perf_counter() - started)
+                )
+    except (BrokenPipeError, EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+def _run_inline(
+    names: Sequence[str],
+    worker: Callable[[str], dict],
+    seed: int,
+    task_retries: int,
+    telemetry,
+    on_result,
+) -> dict[str, TaskResult]:
+    results: dict[str, TaskResult] = {}
+    for name in names:
+        attempts = 0
+        while True:
+            attempts += 1
+            started = time.perf_counter()
+            try:
+                reseed(seed, name)
+                payload = worker(name)
+            except Exception:
+                if attempts <= task_retries:
+                    continue
+                result = TaskResult(
+                    name, "failed", error=traceback.format_exc(limit=20),
+                    elapsed=time.perf_counter() - started, attempts=attempts,
+                )
+            else:
+                result = TaskResult(
+                    name, "ok", payload=payload,
+                    elapsed=time.perf_counter() - started, attempts=attempts,
+                )
+            break
+        telemetry.counter("campaign.tasks", status=result.status).inc()
+        results[name] = result
+        if on_result is not None:
+            on_result(result)
+    return results
+
+
+class _WorkerSlot:
+    """Parent-side view of one pool process."""
+
+    __slots__ = ("process", "conn", "current", "started_at")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.current: Optional[tuple[str, int]] = None  # (name, attempt)
+        self.started_at = 0.0
+
+
+def run_tasks(
+    names: Sequence[str],
+    worker: Callable[[str], dict],
+    jobs: int = 1,
+    timeout: Optional[float] = DEFAULT_TASK_TIMEOUT,
+    task_retries: int = DEFAULT_TASK_RETRIES,
+    seed: int = 0,
+    telemetry=NULL_TELEMETRY,
+    on_result: Optional[Callable[[TaskResult], None]] = None,
+) -> dict[str, TaskResult]:
+    """Execute ``worker(name)`` for every name; returns name→result.
+
+    ``on_result`` fires in completion order; callers needing
+    deterministic output must iterate their own task order (the
+    campaign runner assembles in catalog order).
+    """
+    if not names:
+        return {}
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate task names")
+    if jobs <= 1:
+        return _run_inline(names, worker, seed, task_retries, telemetry, on_result)
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    task_q = ctx.Queue()
+    width = max(1, min(jobs, len(names)))
+
+    def spawn(worker_id: int) -> _WorkerSlot:
+        receiver, sender = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_pool_worker,
+            args=(worker, seed, task_q, sender, worker_id),
+            daemon=True,
+        )
+        process.start()
+        sender.close()  # parent keeps only the read end
+        telemetry.counter("campaign.workers_spawned").inc()
+        return _WorkerSlot(process, receiver)
+
+    for name in dispatch_order(names, width):
+        task_q.put((1, name))
+
+    slots: dict[int, _WorkerSlot] = {i: spawn(i) for i in range(width)}
+    conn_to_id = {slot.conn: wid for wid, slot in slots.items()}
+    next_worker_id = width
+    results: dict[str, TaskResult] = {}
+    attempts_used: dict[str, int] = {}
+    last_activity = time.perf_counter()
+
+    def finalize(result: TaskResult) -> None:
+        telemetry.counter("campaign.tasks", status=result.status).inc()
+        results[result.name] = result
+        if on_result is not None:
+            on_result(result)
+
+    def retry_or_fail(name: str, attempt: int, error: str) -> None:
+        attempts_used[name] = attempt
+        if name in results:
+            return
+        if attempt <= task_retries:
+            task_q.put((attempt + 1, name))
+            telemetry.counter("campaign.task_retries").inc()
+        else:
+            finalize(TaskResult(name, "failed", error=error, attempts=attempt))
+
+    def drop_slot(worker_id: int) -> None:
+        slot = slots.pop(worker_id)
+        conn_to_id.pop(slot.conn, None)
+        slot.conn.close()
+        slot.process.join(timeout=1.0)
+        if slot.process.is_alive():
+            slot.process.kill()
+            slot.process.join(timeout=1.0)
+
+    def respawn() -> None:
+        nonlocal next_worker_id
+        if len(results) < len(names):
+            slot = spawn(next_worker_id)
+            slots[next_worker_id] = slot
+            conn_to_id[slot.conn] = next_worker_id
+            next_worker_id += 1
+
+    try:
+        while len(results) < len(names):
+            if slots:
+                ready = mp_connection.wait(list(conn_to_id), timeout=_POLL)
+            else:
+                ready = []
+                time.sleep(_POLL)
+            now = time.perf_counter()
+            for conn in ready:
+                worker_id = conn_to_id.get(conn)
+                if worker_id is None:
+                    continue
+                slot = slots[worker_id]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Worker death: EOF on its pipe.  Its current task
+                    # (if the start report arrived) is retried.
+                    current = slot.current
+                    exitcode = slot.process.exitcode
+                    drop_slot(worker_id)
+                    if current is not None:
+                        telemetry.event(
+                            "campaign.worker_crash", function=current[0]
+                        )
+                        retry_or_fail(
+                            current[0], current[1],
+                            f"worker died (exitcode {exitcode})",
+                        )
+                    respawn()
+                    last_activity = now
+                    continue
+                last_activity = now
+                kind = message[0]
+                if kind == "start":
+                    slot.current = (message[1], message[2])
+                    slot.started_at = now
+                elif kind == "ok":
+                    slot.current = None
+                    _, name, attempt, payload, elapsed = message
+                    if name not in results:
+                        finalize(
+                            TaskResult(
+                                name, "ok", payload=payload,
+                                elapsed=elapsed, attempts=attempt,
+                            )
+                        )
+                elif kind == "err":
+                    slot.current = None
+                    _, name, attempt, error = message
+                    retry_or_fail(name, attempt, error)
+
+            # Deadline policing for hung tasks.
+            if timeout is not None:
+                for worker_id, slot in list(slots.items()):
+                    if slot.current is None:
+                        continue
+                    if now - slot.started_at <= timeout:
+                        continue
+                    name, attempt = slot.current
+                    telemetry.event("campaign.task_timeout", function=name)
+                    slot.process.terminate()
+                    drop_slot(worker_id)
+                    retry_or_fail(name, attempt, f"timed out after {timeout:.1f}s")
+                    respawn()
+                    last_activity = now
+
+            # Stall guard for the start-report race (worker died between
+            # dequeue and announce): all workers idle, nothing arriving,
+            # yet tasks outstanding.
+            all_idle = all(slot.current is None for slot in slots.values())
+            if all_idle and now - last_activity > _STALL_LIMIT:
+                for name in names:
+                    if name not in results:
+                        finalize(
+                            TaskResult(
+                                name, "failed", error="task lost by the pool",
+                                attempts=attempts_used.get(name, 0) + 1,
+                            )
+                        )
+    finally:
+        for _ in slots:
+            task_q.put(None)
+        deadline = time.perf_counter() + 2.0
+        for slot in slots.values():
+            slot.process.join(timeout=max(0.0, deadline - time.perf_counter()))
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=1.0)
+            slot.conn.close()
+        task_q.cancel_join_thread()
+        task_q.close()
+    return results

@@ -6,14 +6,18 @@ Exposes the pipeline the way the real HEALERS tooling would be driven:
 * ``inject FUNCTION...`` — run fault injectors, print declarations
 * ``harden``             — run the pipeline and write the C artifacts
 * ``ballista``           — the Figure-6 robustness evaluation
+* ``campaign``           — managed campaigns: run / status / clean
 * ``bitflips``           — the section-9 bit-flip campaign
 * ``diff``               — compare declaration bundles across releases
 * ``list``               — the simulated library's catalog
 * ``report``             — summarize a campaign telemetry trace
 
 ``inject``, ``harden`` and ``ballista`` accept ``--trace PATH`` to
-record the run's telemetry as a JSONL trace readable by ``report``;
-``extract`` and ``inject`` accept ``--json`` for scriptable output.
+record the run's telemetry as a JSONL trace readable by ``report``,
+plus the campaign engine's ``--jobs N`` / ``--cache-dir DIR`` /
+``--resume`` (parallel fan-out, content-addressed outcome reuse, and
+checkpoint continuation); ``extract``, ``inject``, ``harden`` and
+``ballista`` accept ``--json`` for scriptable output.
 """
 
 from __future__ import annotations
@@ -86,9 +90,28 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "jobs", 1) > 1
+        or getattr(args, "cache_dir", None)
+        or getattr(args, "resume", False)
+    )
+
+
+def _campaign_config(args: argparse.Namespace):
+    from repro.campaign import CampaignConfig
+
+    cache_dir = getattr(args, "cache_dir", None)
+    return CampaignConfig(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=Path(cache_dir) if cache_dir else None,
+        resume=getattr(args, "resume", False),
+    )
+
+
 def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.declarations import apply_manual_edits, declaration_from_report
-    from repro.injector import inject_function
+    from repro.injector import InjectionReport, inject_function
     from repro.libc.catalog import BY_NAME
 
     unknown = [n for n in args.functions if n not in BY_NAME]
@@ -97,37 +120,57 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         return 2
     telemetry = _telemetry_for(args)
     rows: list[dict[str, object]] = []
-    with telemetry.span("campaign", kind="inject", functions=len(args.functions)):
+    failed: dict[str, str] = {}
+
+    def emit(name: str, report: InjectionReport) -> None:
+        declaration = declaration_from_report(report)
+        if args.semi_auto:
+            declaration = apply_manual_edits(declaration)
+        if args.json:
+            rows.append(
+                {
+                    "function": name,
+                    "unsafe": report.unsafe,
+                    "vectors": report.vectors_run,
+                    "calls": report.calls_made,
+                    "retries": report.retries,
+                    "crashes": report.crashes,
+                    "hangs": report.hangs,
+                    "errno_class": report.errno_class.describe(),
+                    "robust_types": [
+                        t.robust.render() for t in report.robust_types
+                    ],
+                    "assertions": sorted(declaration.assertions),
+                }
+            )
+        else:
+            print(declaration.to_xml())
+            print(f"<!-- {report.calls_made} calls, {report.retries} retries, "
+                  f"{report.crashes} crashes -->\n")
+
+    if _campaign_requested(args):
+        from repro.campaign import CampaignRunner
+
+        runner = CampaignRunner(
+            functions=args.functions,
+            config=_campaign_config(args),
+            telemetry=telemetry,
+        )
+        result = runner.run()
         for name in args.functions:
-            report = inject_function(name, telemetry=telemetry)
-            declaration = declaration_from_report(report)
-            if args.semi_auto:
-                declaration = apply_manual_edits(declaration)
-            if args.json:
-                rows.append(
-                    {
-                        "function": name,
-                        "unsafe": report.unsafe,
-                        "vectors": report.vectors_run,
-                        "calls": report.calls_made,
-                        "retries": report.retries,
-                        "crashes": report.crashes,
-                        "hangs": report.hangs,
-                        "errno_class": report.errno_class.describe(),
-                        "robust_types": [
-                            t.robust.render() for t in report.robust_types
-                        ],
-                        "assertions": sorted(declaration.assertions),
-                    }
-                )
-            else:
-                print(declaration.to_xml())
-                print(f"<!-- {report.calls_made} calls, {report.retries} retries, "
-                      f"{report.crashes} crashes -->\n")
+            if name in result.reports:
+                emit(name, result.reports[name])
+        failed = result.failed
+    else:
+        with telemetry.span("campaign", kind="inject", functions=len(args.functions)):
+            for name in args.functions:
+                emit(name, inject_function(name, telemetry=telemetry))
     if args.json:
         print(json.dumps(rows, indent=2))
+    for name, error in failed.items():
+        print(f"failed: {name}: {error}", file=sys.stderr)
     _export_trace(telemetry, args)
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_harden(args: argparse.Namespace) -> int:
@@ -137,12 +180,18 @@ def _cmd_harden(args: argparse.Namespace) -> int:
 
     functions = args.functions or None
     telemetry = _telemetry_for(args)
+    progress = None
+    if not args.json:
+        progress = lambda name, report: print(  # noqa: E731
+            f"  {'UNSAFE' if report.unsafe else 'safe  '} {name}"
+        )
     pipeline = HealersPipeline(
         functions=functions,
-        progress=lambda name, report: print(
-            f"  {'UNSAFE' if report.unsafe else 'safe  '} {name}"
-        ),
+        progress=progress,
         telemetry=telemetry,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
     )
     hardened = pipeline.run()
     out = Path(args.output)
@@ -153,16 +202,41 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     (out / "healers_checks.h").write_text(generate_checks_header())
     save_declarations(hardened.declarations, out / "declarations.xml")
     reports = hardened.reports.values()
-    print(f"\nwrote {out}/healers_wrapper.c, healers_checks.h, declarations.xml")
-    print(f"{len(hardened.unsafe_functions())} unsafe / "
-          f"{len(hardened.safe_functions())} safe functions "
-          f"in {hardened.elapsed_seconds:.1f}s "
-          f"({sum(r.vectors_run for r in reports)} vectors, "
-          f"{sum(r.calls_made for r in reports)} calls, "
-          f"{sum(r.crashes for r in reports)} crashes, "
-          f"{sum(r.hangs for r in reports)} hangs)")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "output": str(out),
+                    "unsafe": hardened.unsafe_functions(),
+                    "safe": hardened.safe_functions(),
+                    "failed": hardened.failed_functions,
+                    "elapsed_seconds": round(hardened.elapsed_seconds, 6),
+                    "phase_timings": {
+                        k: round(v, 6) for k, v in hardened.phase_timings.items()
+                    },
+                    "totals": {
+                        "vectors": sum(r.vectors_run for r in reports),
+                        "calls": sum(r.calls_made for r in reports),
+                        "crashes": sum(r.crashes for r in reports),
+                        "hangs": sum(r.hangs for r in reports),
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"\nwrote {out}/healers_wrapper.c, healers_checks.h, declarations.xml")
+        print(f"{len(hardened.unsafe_functions())} unsafe / "
+              f"{len(hardened.safe_functions())} safe functions "
+              f"in {hardened.elapsed_seconds:.1f}s "
+              f"({sum(r.vectors_run for r in reports)} vectors, "
+              f"{sum(r.calls_made for r in reports)} calls, "
+              f"{sum(r.crashes for r in reports)} crashes, "
+              f"{sum(r.hangs for r in reports)} hangs)")
+        for name, error in hardened.failed_functions.items():
+            print(f"  FAILED {name}: {error.splitlines()[-1]}", file=sys.stderr)
     _export_trace(telemetry, args)
-    return 0
+    return 1 if hardened.failed_functions else 0
 
 
 def _cmd_ballista(args: argparse.Namespace) -> int:
@@ -173,14 +247,29 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
 
     telemetry = _telemetry_for(args)
     if args.functions:
-        hardened = HealersPipeline(functions=args.functions, telemetry=telemetry).run()
+        hardened = HealersPipeline(
+            functions=args.functions,
+            telemetry=telemetry,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        ).run()
         harness = BallistaHarness(
             functions=[BY_NAME[n] for n in args.functions], telemetry=telemetry
         )
+    elif _campaign_requested(args):
+        hardened = HealersPipeline(
+            telemetry=telemetry,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        ).run()
+        harness = BallistaHarness(total_target=11995, telemetry=telemetry)
     else:
         hardened = load_or_generate()
         harness = BallistaHarness(total_target=11995, telemetry=telemetry)
-    print(f"{len(harness.tests())} tests")
+    if not args.json:
+        print(f"{len(harness.tests())} tests")
     configurations = [("unwrapped", None)]
     if not args.unwrapped_only:
         configurations += [
@@ -190,16 +279,141 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
     from repro.ballista import render_figure6
 
     reports = [
-        harness.run(wrapper=wrapper, configuration=label)
+        harness.run(wrapper=wrapper, configuration=label, jobs=args.jobs)
         for label, wrapper in configurations
     ]
-    print(render_figure6(reports))
-    if args.verbose:
-        for report in reports:
-            if report.count("crash"):
-                print(f"{report.configuration} crashing: "
-                      f"{report.crashing_functions()}")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "tests": len(harness.tests()),
+                    "configurations": [r.summary_row() for r in reports],
+                    "crashing_functions": {
+                        r.configuration: r.crashing_functions()
+                        for r in reports
+                        if r.count("crash")
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(render_figure6(reports))
+        if args.verbose:
+            for report in reports:
+                if report.count("crash"):
+                    print(f"{report.configuration} crashing: "
+                          f"{report.crashing_functions()}")
     _export_trace(telemetry, args)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import DEFAULT_CAMPAIGN_DIR
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else DEFAULT_CAMPAIGN_DIR
+    if args.campaign_command == "run":
+        return _campaign_run(args, cache_dir)
+    if args.campaign_command == "status":
+        return _campaign_status(args, cache_dir)
+    return _campaign_clean(args, cache_dir)
+
+
+def _campaign_run(args: argparse.Namespace, cache_dir: Path) -> int:
+    from repro.campaign import CampaignConfig, CampaignRunner
+    from repro.libc.catalog import BY_NAME
+
+    unknown = [n for n in args.functions if n not in BY_NAME]
+    if unknown:
+        print(f"unknown functions: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    telemetry = _telemetry_for(args)
+    progress = None
+    if not args.json:
+        progress = lambda name, outcome, report: print(  # noqa: E731
+            f"  {outcome.status:6s} {name}"
+            + (f" ({outcome.error.splitlines()[-1]})" if outcome.error else "")
+        )
+    runner = CampaignRunner(
+        functions=args.functions or None,
+        config=CampaignConfig(
+            jobs=args.jobs, cache_dir=cache_dir, resume=args.resume
+        ),
+        telemetry=telemetry,
+        progress=progress,
+    )
+    result = runner.run()
+    if args.json:
+        print(json.dumps(_campaign_summary(result), indent=2))
+    else:
+        timings = ", ".join(
+            f"{k}={v:.2f}s" for k, v in result.phase_timings.items()
+        )
+        print(f"\ncampaign {result.campaign}: "
+              f"{result.cache_hits} cached, {result.ran} ran, "
+              f"{len(result.failed)} failed ({timings})")
+        print(f"manifest: {cache_dir / 'manifest.json'}")
+    _export_trace(telemetry, args)
+    return 1 if result.failed else 0
+
+
+def _campaign_summary(result) -> dict[str, object]:
+    return {
+        "campaign": result.campaign,
+        "cached": result.cache_hits,
+        "ran": result.ran,
+        "failed": result.failed,
+        "phase_timings": {
+            k: round(v, 6) for k, v in result.phase_timings.items()
+        },
+        "functions": {
+            name: {
+                "status": outcome.status,
+                "digest": outcome.digest,
+                "attempts": outcome.attempts,
+                "elapsed": round(outcome.elapsed, 6),
+            }
+            for name, outcome in result.outcomes.items()
+        },
+    }
+
+
+def _campaign_status(args: argparse.Namespace, cache_dir: Path) -> int:
+    from repro.campaign import OutcomeStore, load_manifest
+
+    manifest = load_manifest(cache_dir)
+    if manifest is None:
+        print(f"no campaign manifest under {cache_dir}", file=sys.stderr)
+        return 2
+    if args.json:
+        manifest["stored_outcomes"] = len(OutcomeStore(cache_dir).entries())
+        print(json.dumps(manifest, indent=2))
+        return 0
+    functions = manifest.get("functions", [])
+    by_status: dict[str, int] = {}
+    for entry in functions:
+        by_status[entry["status"]] = by_status.get(entry["status"], 0) + 1
+    print(f"campaign {manifest.get('campaign')} "
+          f"(jobs={manifest.get('jobs')}, {len(functions)} functions)")
+    for status in ("cached", "ran", "failed", "pending"):
+        if by_status.get(status):
+            print(f"  {status:8s} {by_status[status]}")
+    for entry in functions:
+        if entry["status"] == "failed":
+            error = (entry.get("error") or "").splitlines()
+            print(f"  failed: {entry['name']}: {error[-1] if error else ''}")
+    timings = manifest.get("phase_timings", {})
+    if timings:
+        print("  phases: " + ", ".join(f"{k}={v:.2f}s" for k, v in timings.items()))
+    print(f"  stored outcomes: {len(OutcomeStore(cache_dir).entries())}")
+    return 0
+
+
+def _campaign_clean(args: argparse.Namespace, cache_dir: Path) -> int:
+    from repro.campaign import clean_cache
+
+    removed = clean_cache(cache_dir)
+    print(f"removed {removed} cached files from {cache_dir}")
     return 0
 
 
@@ -291,6 +505,15 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--json", action="store_true",
                          help="emit the statistics as JSON")
 
+    def campaign_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan the injection campaign out over N workers")
+        cmd.add_argument("--cache-dir", metavar="DIR",
+                         help="content-addressed outcome cache directory")
+        cmd.add_argument("--resume", action="store_true",
+                         help="continue an interrupted campaign from its "
+                              "checkpoint manifest")
+
     inject = sub.add_parser("inject", help="fault-inject functions, print declarations")
     inject.add_argument("functions", nargs="+")
     inject.add_argument("--semi-auto", action="store_true",
@@ -299,21 +522,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit per-function campaign stats as JSON")
     inject.add_argument("--trace", metavar="PATH",
                         help="write a JSONL telemetry trace of the campaign")
+    campaign_options(inject)
 
     harden = sub.add_parser("harden", help="run the pipeline, write C artifacts")
     harden.add_argument("functions", nargs="*",
                         help="functions to harden (default: the 86-function set)")
     harden.add_argument("-o", "--output", default="healers_out")
     harden.add_argument("--semi-auto", action="store_true")
+    harden.add_argument("--json", action="store_true",
+                        help="emit the run summary as JSON")
     harden.add_argument("--trace", metavar="PATH",
                         help="write a JSONL telemetry trace of the campaign")
+    campaign_options(harden)
 
     ballista = sub.add_parser("ballista", help="run the Figure-6 evaluation")
     ballista.add_argument("functions", nargs="*")
     ballista.add_argument("--unwrapped-only", action="store_true")
     ballista.add_argument("-v", "--verbose", action="store_true")
+    ballista.add_argument("--json", action="store_true",
+                          help="emit the evaluation summary as JSON")
     ballista.add_argument("--trace", metavar="PATH",
                           help="write a JSONL telemetry trace of the evaluation")
+    campaign_options(ballista)
+
+    campaign = sub.add_parser(
+        "campaign", help="managed injection campaigns (run/status/clean)"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a campaign against the outcome cache"
+    )
+    campaign_run.add_argument("functions", nargs="*",
+                              help="functions (default: the 86-function set)")
+    campaign_run.add_argument("--jobs", type=int, default=1, metavar="N")
+    campaign_run.add_argument("--cache-dir", metavar="DIR",
+                              help="cache directory (default: "
+                                   ".healers_cache/campaign)")
+    campaign_run.add_argument("--resume", action="store_true")
+    campaign_run.add_argument("--json", action="store_true")
+    campaign_run.add_argument("--trace", metavar="PATH")
+    campaign_status = campaign_sub.add_parser(
+        "status", help="summarize the checkpoint manifest"
+    )
+    campaign_status.add_argument("--cache-dir", metavar="DIR")
+    campaign_status.add_argument("--json", action="store_true")
+    campaign_clean = campaign_sub.add_parser(
+        "clean", help="delete cached outcomes and the manifest"
+    )
+    campaign_clean.add_argument("--cache-dir", metavar="DIR")
 
     report = sub.add_parser("report", help="summarize a campaign telemetry trace")
     report.add_argument("trace", help="JSONL trace written by --trace")
@@ -338,6 +594,7 @@ _COMMANDS = {
     "inject": _cmd_inject,
     "harden": _cmd_harden,
     "ballista": _cmd_ballista,
+    "campaign": _cmd_campaign,
     "bitflips": _cmd_bitflips,
     "diff": _cmd_diff,
     "report": _cmd_report,

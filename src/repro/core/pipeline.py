@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.declarations import (
@@ -39,6 +40,13 @@ class HardenedLibrary:
     semi_auto_declarations: dict[str, FunctionDeclaration]
     reports: dict[str, InjectionReport] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Monotonic per-phase wall clocks ("inject", "manual_edits",
+    #: "total"; campaign runs add "plan"/"cache"/"finalize").
+    phase_timings: dict[str, float] = field(default_factory=dict)
+    #: Functions the campaign could not complete (worker crash/hang
+    #: after retries) mapped to the failure reason; never populated by
+    #: the serial in-process path, which propagates exceptions.
+    failed_functions: dict[str, str] = field(default_factory=dict)
 
     def wrapper(
         self,
@@ -80,6 +88,9 @@ class HealersPipeline:
         max_vectors: int = 1200,
         progress: Optional[Callable[[str, InjectionReport], None]] = None,
         telemetry=NULL_TELEMETRY,
+        jobs: int = 1,
+        cache_dir: Optional[Path | str] = None,
+        resume: bool = False,
     ) -> None:
         if functions is None:
             self.specs: list[FunctionSpec] = list(BALLISTA_SET)
@@ -89,8 +100,16 @@ class HealersPipeline:
         self.max_vectors = max_vectors
         self.progress = progress
         self.telemetry = telemetry
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.resume = resume
 
     def run(self) -> HardenedLibrary:
+        """Phase 1.  Serial and in-process by default; with ``jobs > 1``
+        or a ``cache_dir`` the run is delegated to the campaign engine
+        (same reports, catalog order, bit-identical declarations)."""
+        if self.jobs > 1 or self.cache_dir is not None:
+            return self._run_campaign()
         telemetry = self.telemetry
         started = time.perf_counter()
         reports: dict[str, InjectionReport] = {}
@@ -110,8 +129,11 @@ class HealersPipeline:
                 declarations[spec.name] = declaration_from_report(report, spec.version)
                 if self.progress is not None:
                     self.progress(spec.name, report)
+            inject_elapsed = time.perf_counter() - started
+            edits_started = time.perf_counter()
             with telemetry.span("pipeline.manual_edits"):
                 semi = apply_all_manual_edits(declarations)
+            edits_elapsed = time.perf_counter() - edits_started
             campaign.set(
                 calls=sum(r.calls_made for r in reports.values()),
                 crashes=sum(r.crashes for r in reports.values()),
@@ -124,9 +146,81 @@ class HealersPipeline:
             semi_auto_declarations=semi,
             reports=reports,
             elapsed_seconds=elapsed,
+            phase_timings={
+                "inject": inject_elapsed,
+                "manual_edits": edits_elapsed,
+                "total": elapsed,
+            },
+        )
+
+    def _run_campaign(self) -> HardenedLibrary:
+        """Managed run through :class:`repro.campaign.CampaignRunner`."""
+        from repro.campaign import CampaignConfig, CampaignRunner
+
+        telemetry = self.telemetry
+        started = time.perf_counter()
+        config = CampaignConfig(
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            resume=self.resume,
+            max_vectors=self.max_vectors,
+        )
+        progress = self.progress
+
+        def campaign_progress(name, outcome, report) -> None:
+            if progress is not None and report is not None:
+                progress(name, report)
+
+        with telemetry.span(
+            "campaign", kind="harden", functions=len(self.specs), jobs=self.jobs
+        ) as campaign:
+            runner = CampaignRunner(
+                functions=[spec.name for spec in self.specs],
+                config=config,
+                telemetry=telemetry,
+                progress=campaign_progress,
+            )
+            result = runner.run()
+            declarations = {
+                spec.name: declaration_from_report(
+                    result.reports[spec.name], spec.version
+                )
+                for spec in self.specs
+                if spec.name in result.reports
+            }
+            edits_started = time.perf_counter()
+            with telemetry.span("pipeline.manual_edits"):
+                semi = apply_all_manual_edits(declarations)
+            edits_elapsed = time.perf_counter() - edits_started
+            campaign.set(
+                calls=sum(r.calls_made for r in result.reports.values()),
+                crashes=sum(r.crashes for r in result.reports.values()),
+                unsafe=sum(1 for r in result.reports.values() if r.unsafe),
+                cache_hits=result.cache_hits,
+                failed=len(result.failed),
+            )
+        elapsed = time.perf_counter() - started
+        telemetry.timer("pipeline.run_seconds").observe(elapsed)
+        timings = dict(result.phase_timings)
+        timings["manual_edits"] = edits_elapsed
+        timings["total"] = elapsed
+        return HardenedLibrary(
+            declarations=declarations,
+            semi_auto_declarations=semi,
+            reports=result.reports,
+            elapsed_seconds=elapsed,
+            phase_timings=timings,
+            failed_functions=result.failed,
         )
 
 
-def harden(functions: Optional[Sequence[str]] = None) -> HardenedLibrary:
+def harden(
+    functions: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[Path | str] = None,
+    resume: bool = False,
+) -> HardenedLibrary:
     """One-call convenience wrapper around the pipeline."""
-    return HealersPipeline(functions=functions).run()
+    return HealersPipeline(
+        functions=functions, jobs=jobs, cache_dir=cache_dir, resume=resume
+    ).run()

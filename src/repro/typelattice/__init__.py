@@ -14,6 +14,7 @@ from repro.typelattice.registry import (
     DIR_SIZE,
     FAMILY_TOPS,
     FILE_SIZE,
+    LATTICE_VERSION,
     SEMI_AUTO_CHECKABLE,
 )
 from repro.typelattice.robust import (
@@ -37,6 +38,7 @@ __all__ = [
     "DIR_SIZE",
     "FAMILY_TOPS",
     "FILE_SIZE",
+    "LATTICE_VERSION",
     "Lattice",
     "Observation",
     "RobustType",

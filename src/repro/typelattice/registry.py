@@ -22,6 +22,12 @@ from repro.typelattice.instances import TypeInstance
 FILE_SIZE = STRUCT_SIZES["struct _IO_FILE"]
 DIR_SIZE = STRUCT_SIZES["struct __dirstream"]
 
+#: Version stamp of the type hierarchy.  Bump whenever a family is
+#: extended or a fundamental type is redefined (section 4.2): cached
+#: injection outcomes are keyed on it, so a bump invalidates every
+#: cache entry computed under the old lattice.
+LATTICE_VERSION = "fig3+fig4/1"
+
 # ----------------------------------------------------------------------
 # pointer / fixed-size-array family (paper Figure 3)
 # ----------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Module-level worker callables for the scheduler tests.
+
+The pool pickles its worker callable, so these must live in an
+importable module rather than inside a test function.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+
+def echo(name: str) -> dict:
+    """Succeeds immediately; used for happy-path pool tests."""
+    return {"name": name}
+
+
+def misbehave(name: str) -> dict:
+    """Fails in the mode its task name selects."""
+    if name.startswith("boom"):
+        raise RuntimeError(f"kaboom {name}")
+    if name.startswith("hang"):
+        time.sleep(120)
+    if name.startswith("die"):
+        os._exit(9)
+    return {"name": name}
+
+
+def slow_first(name: str) -> dict:
+    """The lexically-first task sleeps; later tasks finish before it,
+    inverting completion order relative to submission order."""
+    if name.endswith("0"):
+        time.sleep(0.5)
+    return {"name": name}
+
+
+def draw(name: str) -> dict:
+    """Returns randomness drawn after the scheduler's per-task reseed,
+    proving results do not depend on worker or completion order."""
+    return {"name": name, "value": random.random()}

@@ -1,0 +1,123 @@
+"""CLI coverage for the campaign engine: the `campaign` command plus
+the --jobs/--cache-dir/--resume/--json flags on inject/harden/ballista."""
+
+import json
+
+from repro.cli import main
+
+
+class TestCampaignCommand:
+    def test_run_status_clean_cycle(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", "abs", "labs", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "ran" in out
+        assert "manifest:" in out
+
+        # Warm re-run: everything served from the outcome store.
+        assert main(
+            ["campaign", "run", "abs", "labs", "--cache-dir", cache, "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cached"] == 2
+        assert doc["ran"] == 0
+        assert doc["failed"] == {}
+        assert list(doc["functions"]) == ["abs", "labs"]
+        assert all(f["digest"] for f in doc["functions"].values())
+
+        assert main(["campaign", "status", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "stored outcomes: 2" in out
+
+        assert main(["campaign", "status", "--cache-dir", cache, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stored_outcomes"] == 2
+        assert [f["name"] for f in doc["functions"]] == ["abs", "labs"]
+
+        assert main(["campaign", "clean", "--cache-dir", cache]) == 0
+        assert "removed 3" in capsys.readouterr().out  # 2 outcomes + manifest
+        assert main(["campaign", "status", "--cache-dir", cache]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
+
+    def test_resume_flag_continues_checkpoint(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", "abs", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "run", "abs", "labs",
+             "--cache-dir", cache, "--resume", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["functions"]["abs"]["status"] == "cached"
+        assert doc["functions"]["labs"]["status"] == "ran"
+
+    def test_run_rejects_unknown_function(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "run", "no_such_fn", "--cache-dir", str(tmp_path)]
+        ) == 2
+        assert "unknown functions" in capsys.readouterr().err
+
+
+class TestHardenCampaignFlags:
+    def test_json_summary(self, tmp_path, capsys):
+        assert main(
+            ["harden", "abs", "labs", "-o", str(tmp_path / "out"), "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) >= {
+            "output", "unsafe", "safe", "failed",
+            "elapsed_seconds", "phase_timings", "totals",
+        }
+        assert doc["failed"] == {}
+        assert sorted(doc["unsafe"] + doc["safe"]) == ["abs", "labs"]
+        assert doc["totals"]["vectors"] > 0
+        assert "total" in doc["phase_timings"]
+
+    def test_parallel_harden_byte_identical_to_serial(self, tmp_path, capsys):
+        functions = ["abs", "labs", "asctime"]
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        assert main(["harden", *functions, "-o", str(serial)]) == 0
+        assert main(
+            ["harden", *functions, "-o", str(parallel),
+             "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        capsys.readouterr()
+        for artifact in ("declarations.xml", "healers_wrapper.c",
+                         "healers_checks.h"):
+            assert (serial / artifact).read_bytes() == (
+                parallel / artifact
+            ).read_bytes()
+
+
+class TestInjectCampaignFlags:
+    def test_cached_rerun_matches_fresh(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["inject", "abs", "--jobs", "2", "--cache-dir", cache, "--json"]
+        ) == 0
+        fresh = json.loads(capsys.readouterr().out)
+        assert main(["inject", "abs", "--cache-dir", cache, "--json"]) == 0
+        cached = json.loads(capsys.readouterr().out)
+        assert cached == fresh
+        assert fresh[0]["function"] == "abs"
+
+
+class TestBallistaCampaignFlags:
+    def test_json_summary(self, capsys):
+        assert main(["ballista", "strlen", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tests"] > 0
+        labels = [row["configuration"] for row in doc["configurations"]]
+        assert labels == ["unwrapped", "full-auto", "semi-auto"]
+        assert all("crash_pct" in row for row in doc["configurations"])
+
+    def test_parallel_evaluation(self, capsys):
+        assert main(
+            ["ballista", "strlen", "abs", "--unwrapped-only",
+             "--json", "--jobs", "2"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tests"] > 0
+        assert doc["configurations"][0]["configuration"] == "unwrapped"

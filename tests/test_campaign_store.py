@@ -1,0 +1,110 @@
+"""Tests for the content-addressed outcome store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign import (
+    UncacheableReport,
+    outcome_digest,
+    report_from_payload,
+    report_to_payload,
+)
+from repro.campaign.store import OutcomeStore
+from repro.injector import FaultInjector
+from repro.libc.catalog import BY_NAME
+
+
+@pytest.fixture(scope="module")
+def strncpy_outcome():
+    spec = BY_NAME["strncpy"]
+    return spec, FaultInjector(spec).run()
+
+
+class TestPayloadRoundTrip:
+    def test_report_survives_json(self, strncpy_outcome):
+        spec, report = strncpy_outcome
+        payload = report_to_payload(report, spec.prototype)
+        wire = json.loads(json.dumps(payload))  # force a real JSON pass
+        assert report_from_payload(wire) == report
+
+    def test_payload_is_deterministic(self, strncpy_outcome):
+        spec, report = strncpy_outcome
+        a = json.dumps(report_to_payload(report, spec.prototype), sort_keys=True)
+        b = json.dumps(report_to_payload(report, spec.prototype), sort_keys=True)
+        assert a == b
+
+    def test_schema_mismatch_rejected(self, strncpy_outcome):
+        spec, report = strncpy_outcome
+        payload = report_to_payload(report, spec.prototype)
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            report_from_payload(payload)
+
+    def test_unserializable_error_value_is_uncacheable(self, strncpy_outcome):
+        spec, report = strncpy_outcome
+        bad = dataclasses.replace(
+            report,
+            errno_class=dataclasses.replace(
+                report.errno_class, error_value=object()
+            ),
+        )
+        with pytest.raises(UncacheableReport):
+            report_to_payload(bad, spec.prototype)
+
+
+class TestOutcomeStore:
+    def test_miss_returns_none(self, tmp_path):
+        assert OutcomeStore(tmp_path).get("0" * 64) is None
+
+    def test_cache_hit_equals_fresh_run(self, tmp_path, strncpy_outcome):
+        spec, report = strncpy_outcome
+        store = OutcomeStore(tmp_path)
+        digest = outcome_digest(spec)
+        assert store.put(digest, report, spec.prototype) is not None
+        cached = store.get(digest)
+        assert cached == report
+        # A brand-new injection run over the same spec produces the
+        # same report the cache returned.
+        assert cached == FaultInjector(spec).run()
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path, strncpy_outcome):
+        spec, report = strncpy_outcome
+        store = OutcomeStore(tmp_path)
+        digest = outcome_digest(spec)
+        store.put(digest, report, spec.prototype)
+        store.path_for(digest).write_text("{not json")
+        assert store.get(digest) is None
+
+    def test_wrong_schema_reads_as_miss(self, tmp_path):
+        store = OutcomeStore(tmp_path)
+        store.put_payload("f" * 64, {"schema": 999})
+        assert store.get_payload("f" * 64) is None
+        assert store.get("f" * 64) is None
+
+    def test_uncacheable_put_returns_none(self, tmp_path, strncpy_outcome):
+        spec, report = strncpy_outcome
+        bad = dataclasses.replace(
+            report,
+            errno_class=dataclasses.replace(
+                report.errno_class, error_value=object()
+            ),
+        )
+        assert OutcomeStore(tmp_path).put("a" * 64, bad, spec.prototype) is None
+
+    def test_entries_and_clean(self, tmp_path, strncpy_outcome):
+        spec, report = strncpy_outcome
+        store = OutcomeStore(tmp_path)
+        digest = outcome_digest(spec)
+        store.put(digest, report, spec.prototype)
+        assert store.entries() == [digest]
+        assert store.clean() == 1
+        assert store.entries() == []
+
+    def test_writes_leave_no_temp_files(self, tmp_path, strncpy_outcome):
+        spec, report = strncpy_outcome
+        store = OutcomeStore(tmp_path)
+        store.put(outcome_digest(spec), report, spec.prototype)
+        leftovers = [p for p in store.outcomes.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
