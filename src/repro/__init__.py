@@ -19,4 +19,8 @@ Quickstart::
 from repro.core import HardenedLibrary, HealersPipeline, harden, load_or_generate
 
 __all__ = ["HardenedLibrary", "HealersPipeline", "harden", "load_or_generate"]
-__version__ = "1.0.0"
+
+#: The single source of truth for the package version: pyproject.toml
+#: reads it via ``[tool.setuptools.dynamic]`` and the CLI exposes it
+#: as ``python -m repro --version``.
+__version__ = "1.1.0"

@@ -39,6 +39,7 @@ from repro.campaign.scheduler import (
     task_seed,
 )
 from repro.campaign.store import (
+    CleanStats,
     OutcomeStore,
     UncacheableReport,
     report_from_payload,
@@ -49,6 +50,7 @@ __all__ = [
     "CACHE_SCHEMA",
     "CampaignConfig",
     "CampaignResult",
+    "CleanStats",
     "CampaignRunner",
     "DEFAULT_CAMPAIGN_DIR",
     "DEFAULT_TASK_RETRIES",

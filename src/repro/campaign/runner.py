@@ -333,12 +333,19 @@ def load_manifest(cache_dir: Path | str) -> Optional[dict]:
     return manifest
 
 
-def clean_cache(cache_dir: Path | str) -> int:
-    """Remove every cached outcome plus the manifest; returns the
-    number of files deleted."""
-    removed = OutcomeStore(cache_dir).clean()
+def clean_cache(cache_dir: Path | str, dry_run: bool = False) -> "CleanStats":
+    """Remove every cached outcome plus the manifest; reports files and
+    bytes reclaimed.  With ``dry_run`` nothing is deleted — the stats
+    describe what a real clean would reclaim."""
+    from repro.campaign.store import CleanStats
+
+    stats = OutcomeStore(cache_dir).clean(dry_run=dry_run)
     manifest = Path(cache_dir) / MANIFEST_NAME
     if manifest.exists():
-        manifest.unlink()
-        removed += 1
-    return removed
+        stats = stats.merge(
+            CleanStats(files=1, bytes_reclaimed=manifest.stat().st_size)
+        )
+        if not dry_run:
+            manifest.unlink()
+    stats.dry_run = dry_run
+    return stats

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
@@ -29,6 +30,22 @@ from repro.typelattice import RobustType, TestResult, TypeInstance, VectorObserv
 class UncacheableReport(ValueError):
     """The report contains a value the JSON payload cannot represent
     losslessly; the campaign still completes, the entry is skipped."""
+
+
+@dataclass
+class CleanStats:
+    """What a cache clean removed (or, on a dry run, would remove)."""
+
+    files: int = 0
+    bytes_reclaimed: int = 0
+    dry_run: bool = False
+
+    def merge(self, other: "CleanStats") -> "CleanStats":
+        return CleanStats(
+            files=self.files + other.files,
+            bytes_reclaimed=self.bytes_reclaimed + other.bytes_reclaimed,
+            dry_run=self.dry_run or other.dry_run,
+        )
 
 
 _SCALARS = (bool, int, float, str, type(None))
@@ -220,10 +237,22 @@ class OutcomeStore:
             return []
         return sorted(p.stem for p in self.outcomes.glob("*.json"))
 
-    def clean(self) -> int:
-        """Delete every stored outcome; returns the number removed."""
-        removed = 0
-        for path in self.outcomes.glob("*.json") if self.outcomes.is_dir() else ():
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
+    def clean(self, dry_run: bool = False) -> CleanStats:
+        """Delete every stored outcome — including corrupt entries and
+        leftover ``.tmp`` files from interrupted writes — reporting how
+        many files and bytes were (or would be, with ``dry_run``)
+        reclaimed."""
+        stats = CleanStats(dry_run=dry_run)
+        if not self.outcomes.is_dir():
+            return stats
+        for pattern in ("*.json", ".*.tmp"):
+            for path in self.outcomes.glob(pattern):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    size = 0
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+                stats.files += 1
+                stats.bytes_reclaimed += size
+        return stats

@@ -7,6 +7,8 @@ Exposes the pipeline the way the real HEALERS tooling would be driven:
 * ``harden``             — run the pipeline and write the C artifacts
 * ``ballista``           — the Figure-6 robustness evaluation
 * ``campaign``           — managed campaigns: run / status / clean
+* ``serve``              — the hardening-as-a-service daemon
+* ``query``              — one request against a running daemon
 * ``bitflips``           — the section-9 bit-flip campaign
 * ``diff``               — compare declaration bundles across releases
 * ``list``               — the simulated library's catalog
@@ -412,8 +414,97 @@ def _campaign_status(args: argparse.Namespace, cache_dir: Path) -> int:
 def _campaign_clean(args: argparse.Namespace, cache_dir: Path) -> int:
     from repro.campaign import clean_cache
 
-    removed = clean_cache(cache_dir)
-    print(f"removed {removed} cached files from {cache_dir}")
+    stats = clean_cache(cache_dir, dry_run=args.dry_run)
+    verb = "would remove" if stats.dry_run else "removed"
+    print(f"{verb} {stats.files} entries "
+          f"({stats.bytes_reclaimed} bytes) from {cache_dir}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import HealersService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        rate=args.rate,
+        burst=args.burst,
+        default_deadline_ms=args.deadline_ms,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        drain_seconds=args.drain_seconds,
+    )
+
+    async def run() -> None:
+        service = HealersService(config)
+        await service.start()
+        host, port = service.address
+        cache = args.cache_dir or "(none)"
+        print(f"serving on {host}:{port} "
+              f"(workers={config.workers}, queue={config.max_queue}, "
+              f"cache={cache})", flush=True)
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stopping.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        serve = asyncio.ensure_future(service.serve_forever())
+        await stopping.wait()
+        print("draining...", file=sys.stderr, flush=True)
+        await service.stop(drain=True)
+        serve.cancel()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError, wait_for_service
+
+    if args.wait and not wait_for_service(args.host, args.port, timeout=args.wait):
+        print(f"no service at {args.host}:{args.port} "
+              f"after {args.wait:.0f}s", file=sys.stderr)
+        return 2
+    params: dict[str, object] = {}
+    if args.op in ("declaration", "inject"):
+        if len(args.functions) != 1:
+            print(f"{args.op} takes exactly one function", file=sys.stderr)
+            return 2
+        params["function"] = args.functions[0]
+        if args.semi_auto:
+            params["semi_auto"] = True
+    elif args.op in ("harden", "ballista"):
+        if args.functions:
+            params["functions"] = args.functions
+        if args.semi_auto:
+            params["semi_auto"] = True
+    elif args.functions:
+        print(f"{args.op} takes no functions", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(
+            args.host, args.port, retries=args.retries
+        ) as client:
+            result = client.call(args.op, params, deadline_ms=args.deadline_ms)
+    except ServiceError as exc:
+        print(f"error {exc.code}: {exc.message}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    if args.op == "metrics":
+        print(result.get("body", ""), end="")
+    else:
+        print(json.dumps(result, indent=2))
     return 0
 
 
@@ -460,6 +551,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not path.exists():
         print(f"no such trace: {path}", file=sys.stderr)
         return 2
+    if args.prometheus:
+        from repro.obs import render_prometheus
+        from repro.obs.tracing import read_trace
+
+        snapshots = [r for r in read_trace(path) if r.get("type") == "metric"]
+        print(render_prometheus(snapshots), end="")
+        return 0
     try:
         summary = summarize_trace_file(path)
     except ValueError as exc:
@@ -491,10 +589,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HEALERS reproduction: automated robustness wrappers "
         "for C libraries (Fetzer & Xiao, DSN 2002)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -570,11 +673,59 @@ def build_parser() -> argparse.ArgumentParser:
         "clean", help="delete cached outcomes and the manifest"
     )
     campaign_clean.add_argument("--cache-dir", metavar="DIR")
+    campaign_clean.add_argument("--dry-run", action="store_true",
+                                help="report what would be removed without "
+                                     "deleting anything")
+
+    serve = sub.add_parser(
+        "serve", help="run the hardening-as-a-service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="injection worker threads")
+    serve.add_argument("--max-queue", type=int, default=32, metavar="N",
+                       help="admitted requests beyond the busy workers; "
+                            "past it the daemon answers RETRY_LATER")
+    serve.add_argument("--rate", type=float, default=0.0, metavar="R",
+                       help="token-bucket refill per second (0 = unlimited)")
+    serve.add_argument("--burst", type=float, default=1.0, metavar="B",
+                       help="token-bucket burst size")
+    serve.add_argument("--deadline-ms", type=float, default=60_000,
+                       help="default per-request deadline")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed outcome store (shared with "
+                            "the campaign engine)")
+    serve.add_argument("--drain-seconds", type=float, default=10.0,
+                       help="graceful-shutdown drain budget")
+
+    query = sub.add_parser(
+        "query", help="send one request to a running daemon"
+    )
+    query.add_argument("op", choices=[
+        "declaration", "inject", "harden", "ballista", "status", "metrics",
+    ])
+    query.add_argument("functions", nargs="*",
+                       help="function names (declaration/inject take one; "
+                            "harden/ballista take a list)")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7411)
+    query.add_argument("--semi-auto", action="store_true")
+    query.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline forwarded to the server")
+    query.add_argument("--retries", type=int, default=0,
+                       help="automatic RETRY_LATER retries")
+    query.add_argument("--wait", type=float, default=0.0, metavar="SECONDS",
+                       help="wait up to SECONDS for the daemon to come up")
 
     report = sub.add_parser("report", help="summarize a campaign telemetry trace")
     report.add_argument("trace", help="JSONL trace written by --trace")
     report.add_argument("--json", action="store_true",
                         help="emit the summary as JSON")
+    report.add_argument("--prometheus", action="store_true",
+                        help="render the trace's metric snapshots in "
+                             "Prometheus text format")
 
     bitflips = sub.add_parser("bitflips", help="run the bit-flip campaign")
     bitflips.add_argument("functions", nargs="*")
@@ -595,6 +746,8 @@ _COMMANDS = {
     "harden": _cmd_harden,
     "ballista": _cmd_ballista,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "bitflips": _cmd_bitflips,
     "diff": _cmd_diff,
     "report": _cmd_report,

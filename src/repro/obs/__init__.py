@@ -19,7 +19,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
     Timer,
+    render_prometheus,
 )
 from repro.obs.report import (
     DEFAULT_BENCH_PATH,
@@ -43,6 +45,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
     "Timer",
     "Span",
     "Tracer",

@@ -19,8 +19,9 @@ Python with no I/O on the record path.
 
 from __future__ import annotations
 
+import re
 import time
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
 LabelSet = tuple[tuple[str, str], ...]
 
@@ -264,3 +265,106 @@ class MetricsRegistry:
                 self._series.values(), key=lambda i: (i.name, i.labels, i.kind)
             )
         ]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format exposition
+# ----------------------------------------------------------------------
+
+#: The content type a scrape endpoint should advertise for
+#: :func:`render_prometheus` output (classic text format).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A valid Prometheus metric name (dots and dashes become ``_``)."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _prom_labels(labels: dict[str, object], extra: Optional[dict] = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    parts = []
+    for key, value in sorted(merged.items()):
+        escaped = (
+            str(value)
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n")
+        )
+        parts.append(f'{_prom_name(str(key))}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: object) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(
+    source: Union["MetricsRegistry", Iterable[dict]],
+) -> str:
+    """Render metrics in the Prometheus text exposition format.
+
+    ``source`` is either a live :class:`MetricsRegistry` or an iterable
+    of snapshot dicts (the ``type: metric`` records of an exported
+    JSONL trace), so the same renderer backs the service's ``metrics``
+    endpoint and the offline ``report --prometheus`` path.
+
+    Counters are exposed with the conventional ``_total`` suffix;
+    histograms and timers as summaries (``{quantile=...}`` samples plus
+    ``_sum``/``_count``).  Output is deterministically ordered.
+    """
+    if hasattr(source, "collect"):
+        snapshots = source.collect()
+    else:
+        snapshots = sorted(
+            (dict(s) for s in source),
+            key=lambda s: (s.get("name", ""), sorted(s.get("labels", {}).items())),
+        )
+    lines: list[str] = []
+    typed: set[str] = set()
+    for snapshot in snapshots:
+        kind = snapshot.get("kind")
+        name = _prom_name(str(snapshot.get("name", "")))
+        labels = snapshot.get("labels") or {}
+        if kind == "counter":
+            family, prom_type = f"{name}_total", "counter"
+        elif kind == "gauge":
+            family, prom_type = name, "gauge"
+        elif kind in ("histogram", "timer"):
+            family, prom_type = name, "summary"
+        else:
+            continue
+        if family not in typed:
+            typed.add(family)
+            lines.append(f"# TYPE {family} {prom_type}")
+        if prom_type in ("counter", "gauge"):
+            lines.append(
+                f"{family}{_prom_labels(labels)} "
+                f"{_prom_value(snapshot.get('value', 0))}"
+            )
+        else:
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                lines.append(
+                    f"{family}{_prom_labels(labels, {'quantile': quantile})} "
+                    f"{_prom_value(snapshot.get(key, 0))}"
+                )
+            lines.append(
+                f"{family}_sum{_prom_labels(labels)} "
+                f"{_prom_value(snapshot.get('total', 0))}"
+            )
+            lines.append(
+                f"{family}_count{_prom_labels(labels)} "
+                f"{_prom_value(snapshot.get('count', 0))}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,76 @@
+"""``repro.service`` — hardening as a service.
+
+A stdlib-only asyncio daemon serving the HEALERS pipeline over a
+line-delimited JSON protocol, with admission control (bounded queue +
+token-bucket rate limit + per-request deadlines), single-flight
+deduplication of identical injections keyed by the campaign engine's
+content addresses, and warm-path reuse of the campaign outcome store
+(a cached function answers with zero sandbox calls).
+
+Layers (bottom up):
+
+* :mod:`~repro.service.protocol`     — versioned request/response
+  envelopes with a closed set of typed error codes;
+* :mod:`~repro.service.admission`    — the front-door gate;
+* :mod:`~repro.service.singleflight` — concurrent-identical-work
+  collapse;
+* :mod:`~repro.service.handlers`     — the endpoints and the shared
+  :class:`ServiceState` (parser, outcome store, worker pool);
+* :mod:`~repro.service.server`       — the asyncio socket server,
+  dispatch, backpressure, graceful drain;
+* :mod:`~repro.service.client`       — the blocking client used by
+  ``python -m repro query`` and the tests.
+
+See ``docs/service.md`` for the protocol and deployment guide.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    DEFAULT_RETRY_AFTER_MS,
+    Overloaded,
+    TokenBucket,
+)
+from repro.service.client import ServiceClient, wait_for_service
+from repro.service.handlers import CONTROL_OPS, HANDLERS, ServiceState
+from repro.service.protocol import (
+    ErrorCode,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+    ServiceError,
+)
+from repro.service.server import (
+    DEFAULT_DRAIN_SECONDS,
+    HealersService,
+    ServiceConfig,
+    ServiceHandle,
+    serve_in_thread,
+)
+from repro.service.singleflight import SingleFlight
+
+__all__ = [
+    "AdmissionController",
+    "CONTROL_OPS",
+    "DEFAULT_DRAIN_SECONDS",
+    "DEFAULT_RETRY_AFTER_MS",
+    "ErrorCode",
+    "HANDLERS",
+    "HealersService",
+    "MAX_LINE_BYTES",
+    "Overloaded",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHandle",
+    "ServiceState",
+    "SingleFlight",
+    "TokenBucket",
+    "serve_in_thread",
+    "wait_for_service",
+]

@@ -1,0 +1,142 @@
+"""Admission control: bounded concurrency plus a token-bucket rate
+limiter with per-request deadlines decided upstream.
+
+The controller answers one question at the front door: *may this
+request enter the service right now?*  Two independent gates:
+
+1. **capacity** — at most ``capacity`` admitted-and-unfinished work
+   requests (the worker pool size plus a bounded wait queue).  Past
+   it the service is overloaded and the request is rejected with a
+   ``RETRY_LATER`` hint instead of queueing unboundedly — the queue
+   bound is what keeps tail latency bounded under overload.
+2. **rate** — a token bucket of ``burst`` tokens refilled at ``rate``
+   tokens/second.  ``rate <= 0`` disables the gate.
+
+Rejections raise :class:`Overloaded` carrying ``retry_after_ms``: for
+rate rejections the exact time until the next token, for capacity
+rejections a configurable hint.  All state is guarded by a lock so
+the controller can be shared between the event loop and test threads;
+the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+#: Fallback backpressure hint for capacity rejections, when no better
+#: estimate (e.g. observed service time) is available.
+DEFAULT_RETRY_AFTER_MS = 250
+
+
+class Overloaded(Exception):
+    """The service cannot admit this request right now."""
+
+    def __init__(self, reason: str, retry_after_ms: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
+
+
+class TokenBucket:
+    """A classic token bucket; ``rate <= 0`` means unlimited."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate > 0 and burst <= 0:
+            raise ValueError("burst must be positive when rate limiting")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._tokens = burst
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = now - self._updated
+        self._updated = now
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_take(self) -> Optional[float]:
+        """Take one token; returns None on success, else the seconds
+        until one becomes available."""
+        if self.rate <= 0:
+            return None
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return None
+        return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Front-door gate: bounded in-flight work plus a rate limiter."""
+
+    def __init__(
+        self,
+        capacity: int,
+        rate: float = 0.0,
+        burst: float = 1.0,
+        retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.retry_after_ms = retry_after_ms
+        self._bucket = TokenBucket(rate, burst, clock)
+        self._lock = threading.Lock()
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.admitted = 0
+        self.rejected_capacity = 0
+        self.rejected_rate = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        """Admit one request or raise :class:`Overloaded`."""
+        with self._lock:
+            wait = self._bucket.try_take()
+            if wait is not None:
+                self.rejected_rate += 1
+                raise Overloaded(
+                    "request rate limit exceeded",
+                    retry_after_ms=max(1, int(wait * 1000)),
+                )
+            if self.inflight >= self.capacity:
+                self.rejected_capacity += 1
+                raise Overloaded(
+                    f"service at capacity ({self.capacity} requests in flight)",
+                    retry_after_ms=self.retry_after_ms,
+                )
+            self.inflight += 1
+            self.admitted += 1
+            if self.inflight > self.peak_inflight:
+                self.peak_inflight = self.inflight
+
+    def release(self) -> None:
+        with self._lock:
+            if self.inflight <= 0:  # pragma: no cover - defensive
+                raise RuntimeError("release without a matching acquire")
+            self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-able view for the ``status`` endpoint."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "inflight": self.inflight,
+                "peak_inflight": self.peak_inflight,
+                "admitted": self.admitted,
+                "rejected_capacity": self.rejected_capacity,
+                "rejected_rate": self.rejected_rate,
+                "rate": self._bucket.rate,
+                "burst": self._bucket.burst,
+            }

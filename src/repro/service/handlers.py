@@ -1,0 +1,355 @@
+"""Service endpoints and the shared state they execute against.
+
+:class:`ServiceState` owns the long-lived pieces one daemon process
+keeps warm: the declaration parser, the content-addressed outcome
+store, the single-flight table, and the bounded worker pool that runs
+CPU-heavy injections off the event loop.  Handlers are thin async
+functions ``handler(state, params) -> result dict`` that raise
+:class:`~repro.service.protocol.ServiceError` for typed failures.
+
+The request path for anything needing an
+:class:`~repro.injector.InjectionReport` is always::
+
+    digest = outcome_digest(spec)          # content address (cached)
+    store hit?      -> decode, zero sandbox work
+    store miss?     -> single-flight by digest -> worker pool injection
+                       -> persist to the store -> every waiter shares it
+
+so a warm cache answers without touching the sandbox, and N identical
+concurrent requests cost exactly one injection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.digest import outcome_digest
+from repro.campaign.store import OutcomeStore, report_from_payload, report_to_payload
+from repro.cdecl import DeclarationParser, typedef_table
+from repro.injector import FaultInjector, InjectionReport, MAX_VECTORS
+from repro.libc.catalog import BALLISTA_SET, BY_NAME, CATALOG
+from repro.obs import Telemetry
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.service.admission import AdmissionController
+from repro.service.protocol import PROTOCOL_VERSION, ErrorCode, ServiceError
+from repro.service.singleflight import SingleFlight
+
+
+def _run_injection(
+    name: str, telemetry=NULL_TELEMETRY, max_vectors: int = MAX_VECTORS
+) -> dict:
+    """Run one function's injector in the calling (worker) thread and
+    return the JSON-stable outcome payload."""
+    spec = BY_NAME[name]
+    report = FaultInjector(
+        spec, max_vectors=max_vectors, telemetry=telemetry
+    ).run()
+    return report_to_payload(report, spec.prototype)
+
+
+class ServiceState:
+    """Everything the endpoints share within one daemon process."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[Path | str] = None,
+        workers: int = 2,
+        max_queue: int = 32,
+        rate: float = 0.0,
+        burst: float = 1.0,
+        max_vectors: int = MAX_VECTORS,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.parser = DeclarationParser(typedef_table())
+        self.store = OutcomeStore(cache_dir) if cache_dir is not None else None
+        self.singleflight = SingleFlight()
+        self.workers = workers
+        self.max_vectors = max_vectors
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="healers-worker"
+        )
+        # Capacity = every worker busy plus a bounded wait queue; past
+        # it the admission controller answers RETRY_LATER.
+        self.admission = AdmissionController(
+            capacity=workers + max_queue, rate=rate, burst=burst
+        )
+        self.started = time.monotonic()
+        self.shutting_down = False
+        self._digests: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def digest_for(self, name: str) -> str:
+        """The content address of ``name``'s outcome (memoized: specs,
+        generators, and lattice version are fixed for a process)."""
+        digest = self._digests.get(name)
+        if digest is None:
+            digest = outcome_digest(BY_NAME[name], parser=self.parser)
+            self._digests[name] = digest
+        return digest
+
+    def spec_for(self, name: object):
+        if not isinstance(name, str) or name not in BY_NAME:
+            raise ServiceError(
+                ErrorCode.UNKNOWN_FUNCTION,
+                f"unknown function: {name!r} (see the `list` CLI command)",
+            )
+        return BY_NAME[name]
+
+    # ------------------------------------------------------------------
+    async def report_payload(self, name: str) -> tuple[dict, str]:
+        """One function's outcome payload plus how it was obtained
+        (``"cache"`` or ``"injected"``)."""
+        self.spec_for(name)
+        digest = self.digest_for(name)
+        if self.store is not None:
+            payload = self.store.get_payload(digest)
+            if payload is not None:
+                self.telemetry.counter("service.cache", result="hit").inc()
+                return payload, "cache"
+            self.telemetry.counter("service.cache", result="miss").inc()
+
+        async def factory() -> dict:
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self.executor,
+                functools.partial(
+                    _run_injection, name, self.telemetry, self.max_vectors
+                ),
+            )
+            if self.store is not None:
+                self.store.put_payload(digest, payload)
+            return payload
+
+        payload = await self.singleflight.run(digest, factory)
+        return payload, "injected"
+
+    async def report_for(self, name: str) -> tuple[InjectionReport, str]:
+        payload, source = await self.report_payload(name)
+        return report_from_payload(payload, self.parser), source
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# parameter helpers
+# ----------------------------------------------------------------------
+
+
+def _function_param(params: dict) -> str:
+    name = params.get("function")
+    if not isinstance(name, str) or not name:
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS, "params.function (string) is required"
+        )
+    return name
+
+
+def _functions_param(params: dict, required: bool) -> Optional[list[str]]:
+    functions = params.get("functions")
+    if functions is None:
+        if required:
+            raise ServiceError(
+                ErrorCode.INVALID_PARAMS,
+                "params.functions (non-empty list) is required",
+            )
+        return None
+    if (
+        not isinstance(functions, list)
+        or not functions
+        or not all(isinstance(n, str) for n in functions)
+    ):
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS,
+            "params.functions must be a non-empty list of strings",
+        )
+    return functions
+
+
+def _report_row(name: str, report: InjectionReport, source: str, digest: str) -> dict:
+    return {
+        "function": name,
+        "digest": digest,
+        "source": source,
+        "unsafe": report.unsafe,
+        "vectors": report.vectors_run,
+        "calls": report.calls_made,
+        "retries": report.retries,
+        "crashes": report.crashes,
+        "hangs": report.hangs,
+        "errno_class": report.errno_class.describe(),
+        "robust_types": [t.robust.render() for t in report.robust_types],
+    }
+
+
+# ----------------------------------------------------------------------
+# endpoints
+# ----------------------------------------------------------------------
+
+
+async def handle_declaration(state: ServiceState, params: dict) -> dict:
+    """One function's declaration (Figure-2 XML), hardening on demand."""
+    from repro.declarations import apply_manual_edits, declaration_from_report
+
+    name = _function_param(params)
+    spec = state.spec_for(name)
+    report, source = await state.report_for(name)
+    declaration = declaration_from_report(report, spec.version)
+    if params.get("semi_auto"):
+        declaration = apply_manual_edits(declaration)
+    return {
+        "function": name,
+        "digest": state.digest_for(name),
+        "source": source,
+        "unsafe": declaration.unsafe,
+        "xml": declaration.to_xml(),
+        "assertions": sorted(declaration.assertions),
+    }
+
+
+async def handle_inject(state: ServiceState, params: dict) -> dict:
+    """One function's full injection-campaign summary."""
+    name = _function_param(params)
+    report, source = await state.report_for(name)
+    return _report_row(name, report, source, state.digest_for(name))
+
+
+async def handle_harden(state: ServiceState, params: dict) -> dict:
+    """Harden a function set; returns declarations and optionally the
+    generated C wrapper source."""
+    from repro.declarations import apply_all_manual_edits, declaration_from_report
+
+    names = _functions_param(params, required=False)
+    if names is None:
+        names = [spec.name for spec in BALLISTA_SET]
+    specs = [state.spec_for(n) for n in names]
+    results = await asyncio.gather(
+        *(state.report_for(spec.name) for spec in specs), return_exceptions=True
+    )
+    declarations: dict[str, object] = {}
+    sources: dict[str, str] = {}
+    failed: dict[str, str] = {}
+    for spec, outcome in zip(specs, results):
+        if isinstance(outcome, BaseException):
+            if isinstance(outcome, asyncio.CancelledError):
+                raise outcome
+            failed[spec.name] = str(outcome)
+            continue
+        report, source = outcome
+        declarations[spec.name] = declaration_from_report(report, spec.version)
+        sources[spec.name] = source
+    semi = apply_all_manual_edits(declarations)
+    chosen = semi if params.get("semi_auto") else declarations
+    result: dict[str, object] = {
+        "functions": list(names),
+        "unsafe": sorted(n for n, d in declarations.items() if d.unsafe),
+        "safe": sorted(n for n, d in declarations.items() if not d.unsafe),
+        "failed": failed,
+        "sources": sources,
+        "declarations": {n: d.to_xml() for n, d in chosen.items()},
+    }
+    if params.get("include_source"):
+        from repro.wrapper.codegen import generate_wrapper_library
+
+        result["wrapper_source"] = generate_wrapper_library(chosen)
+    return result
+
+
+async def handle_ballista(state: ServiceState, params: dict) -> dict:
+    """A Figure-6 robustness evaluation over the named functions."""
+    names = _functions_param(params, required=True)
+    specs = [state.spec_for(n) for n in names]
+    configurations = params.get("configurations") or [
+        "unwrapped", "full-auto", "semi-auto"
+    ]
+    known = {"unwrapped", "full-auto", "semi-auto"}
+    if not isinstance(configurations, list) or not set(configurations) <= known:
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS,
+            f"params.configurations must be a subset of {sorted(known)}",
+        )
+    reports = {}
+    for spec in specs:
+        report, _ = await state.report_for(spec.name)
+        reports[spec.name] = report
+
+    def evaluate() -> dict:
+        from repro.ballista import BallistaHarness
+        from repro.core.pipeline import HardenedLibrary
+        from repro.declarations import apply_all_manual_edits, declaration_from_report
+
+        declarations = {
+            spec.name: declaration_from_report(reports[spec.name], spec.version)
+            for spec in specs
+        }
+        hardened = HardenedLibrary(
+            declarations=declarations,
+            semi_auto_declarations=apply_all_manual_edits(declarations),
+            reports=reports,
+        )
+        harness = BallistaHarness(functions=specs)
+        rows = []
+        for label in configurations:
+            wrapper = None
+            if label == "full-auto":
+                wrapper = hardened.wrapper()
+            elif label == "semi-auto":
+                wrapper = hardened.wrapper(semi_auto=True)
+            rows.append(harness.run(wrapper=wrapper, configuration=label).summary_row())
+        return {"tests": len(harness.tests()), "configurations": rows}
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(state.executor, evaluate)
+
+
+async def handle_status(state: ServiceState, params: dict) -> dict:
+    """Liveness, capacity, and cache visibility in one cheap call."""
+    from repro import __version__
+
+    return {
+        "service": "repro.service",
+        "version": __version__,
+        "protocol": PROTOCOL_VERSION,
+        "uptime_seconds": round(time.monotonic() - state.started, 3),
+        "functions": len(CATALOG),
+        "workers": state.workers,
+        "shutting_down": state.shutting_down,
+        "ops": sorted(HANDLERS),
+        "admission": state.admission.snapshot(),
+        "singleflight": state.singleflight.stats(),
+        "cache": {
+            "dir": str(state.store.root) if state.store is not None else None,
+            "entries": len(state.store.entries()) if state.store is not None else 0,
+        },
+    }
+
+
+async def handle_metrics(state: ServiceState, params: dict) -> dict:
+    """The live metrics registry in Prometheus text format."""
+    return {
+        "content_type": PROMETHEUS_CONTENT_TYPE,
+        "body": render_prometheus(state.telemetry.registry),
+    }
+
+
+#: Endpoint registry; the ``status`` endpoint publishes the key set.
+HANDLERS = {
+    "declaration": handle_declaration,
+    "inject": handle_inject,
+    "harden": handle_harden,
+    "ballista": handle_ballista,
+    "status": handle_status,
+    "metrics": handle_metrics,
+}
+
+#: Control-plane ops bypass admission control and run without a work
+#: deadline: overload and drain must never blind the operator.
+CONTROL_OPS = frozenset({"status", "metrics"})

@@ -1,0 +1,224 @@
+"""The hardening service wire protocol, version 1.
+
+Line-delimited JSON over a byte stream: every request and every
+response is one JSON object on one ``\\n``-terminated line, UTF-8
+encoded, at most :data:`MAX_LINE_BYTES` long.  One request is in
+flight per connection at a time; connections are long-lived and
+requests on different connections run concurrently.
+
+Request::
+
+    {"v": 1, "id": "r1", "op": "declaration",
+     "params": {"function": "strcpy"}, "deadline_ms": 5000}
+
+* ``v`` — protocol version; mismatches fail with
+  ``UNSUPPORTED_VERSION`` so old clients degrade loudly, not subtly.
+* ``id`` — opaque correlation token, echoed verbatim in the response.
+* ``op`` — endpoint name; the server publishes its set via ``status``.
+* ``params`` — endpoint arguments (optional, default ``{}``).
+* ``deadline_ms`` — per-request budget covering queueing *and*
+  execution; on expiry the client gets ``DEADLINE_EXCEEDED``.
+
+Response::
+
+    {"v": 1, "id": "r1", "ok": true, "result": {...}}
+    {"v": 1, "id": "r1", "ok": false,
+     "error": {"code": "RETRY_LATER", "message": "...",
+               "retry_after_ms": 250}}
+
+Error codes are a closed, typed set (:class:`ErrorCode`); clients
+dispatch on ``error.code``, never on message text.  ``RETRY_LATER``
+always carries ``retry_after_ms`` — the admission controller's
+backpressure hint.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Protocol version spoken by this module.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/response line (framing guard; the server
+#: closes connections that exceed it rather than buffering unboundedly).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class ErrorCode:
+    """The closed set of typed error codes."""
+
+    BAD_REQUEST = "BAD_REQUEST"              # unparseable/invalid envelope
+    UNSUPPORTED_VERSION = "UNSUPPORTED_VERSION"
+    UNKNOWN_OP = "UNKNOWN_OP"
+    INVALID_PARAMS = "INVALID_PARAMS"        # well-formed op, bad arguments
+    UNKNOWN_FUNCTION = "UNKNOWN_FUNCTION"    # not in the libc catalog
+    RETRY_LATER = "RETRY_LATER"              # admission control rejection
+    DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"  # per-request budget expired
+    SHUTTING_DOWN = "SHUTTING_DOWN"          # server is draining
+    INTERNAL = "INTERNAL"                    # unexpected server-side failure
+
+    ALL = frozenset({
+        BAD_REQUEST, UNSUPPORTED_VERSION, UNKNOWN_OP, INVALID_PARAMS,
+        UNKNOWN_FUNCTION, RETRY_LATER, DEADLINE_EXCEEDED, SHUTTING_DOWN,
+        INTERNAL,
+    })
+
+
+class ProtocolError(Exception):
+    """A request line that cannot be accepted; maps onto one error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class ServiceError(Exception):
+    """A typed endpoint failure, serialized as a protocol error object."""
+
+    def __init__(
+        self, code: str, message: str, retry_after_ms: Optional[int] = None
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass
+class Request:
+    """One decoded request envelope."""
+
+    op: str
+    params: dict = field(default_factory=dict)
+    id: object = None
+    deadline_ms: Optional[float] = None
+    v: int = PROTOCOL_VERSION
+
+    @classmethod
+    def decode(cls, line: bytes | str) -> "Request":
+        """Parse one request line; raises :class:`ProtocolError`."""
+        if isinstance(line, bytes):
+            try:
+                line = line.decode("utf-8")
+            except UnicodeDecodeError:
+                raise ProtocolError(ErrorCode.BAD_REQUEST, "request is not UTF-8")
+        try:
+            document = json.loads(line)
+        except ValueError:
+            raise ProtocolError(ErrorCode.BAD_REQUEST, "request is not valid JSON")
+        if not isinstance(document, dict):
+            raise ProtocolError(ErrorCode.BAD_REQUEST, "request must be a JSON object")
+        version = document.get("v")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                ErrorCode.UNSUPPORTED_VERSION,
+                f"protocol version {version!r} not supported "
+                f"(this server speaks v{PROTOCOL_VERSION})",
+            )
+        op = document.get("op")
+        if not isinstance(op, str) or not op:
+            raise ProtocolError(ErrorCode.BAD_REQUEST, "missing op")
+        params = document.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError(ErrorCode.BAD_REQUEST, "params must be an object")
+        deadline_ms = document.get("deadline_ms")
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or isinstance(
+                deadline_ms, bool
+            ) or deadline_ms <= 0:
+                raise ProtocolError(
+                    ErrorCode.BAD_REQUEST, "deadline_ms must be a positive number"
+                )
+        return cls(
+            op=op,
+            params=params,
+            id=document.get("id"),
+            deadline_ms=deadline_ms,
+        )
+
+    def encode(self) -> bytes:
+        document: dict[str, object] = {"v": self.v, "op": self.op}
+        if self.id is not None:
+            document["id"] = self.id
+        if self.params:
+            document["params"] = self.params
+        if self.deadline_ms is not None:
+            document["deadline_ms"] = self.deadline_ms
+        return _line(document)
+
+
+@dataclass
+class Response:
+    """One response envelope (success xor error)."""
+
+    id: object = None
+    ok: bool = True
+    result: Optional[dict] = None
+    error: Optional[dict] = None
+    v: int = PROTOCOL_VERSION
+
+    @classmethod
+    def success(cls, request_id: object, result: dict) -> "Response":
+        return cls(id=request_id, ok=True, result=result)
+
+    @classmethod
+    def failure(
+        cls,
+        request_id: object,
+        code: str,
+        message: str,
+        retry_after_ms: Optional[int] = None,
+    ) -> "Response":
+        error: dict[str, object] = {"code": code, "message": message}
+        if retry_after_ms is not None:
+            error["retry_after_ms"] = retry_after_ms
+        return cls(id=request_id, ok=False, error=error)
+
+    @classmethod
+    def from_error(cls, request_id: object, exc: ServiceError) -> "Response":
+        return cls.failure(request_id, exc.code, exc.message, exc.retry_after_ms)
+
+    @property
+    def code(self) -> Optional[str]:
+        """The error code, or None on success."""
+        return None if self.ok else (self.error or {}).get("code")
+
+    def encode(self) -> bytes:
+        document: dict[str, object] = {"v": self.v, "id": self.id, "ok": self.ok}
+        if self.ok:
+            document["result"] = self.result if self.result is not None else {}
+        else:
+            document["error"] = self.error
+        return _line(document)
+
+    @classmethod
+    def decode(cls, line: bytes | str) -> "Response":
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        document = json.loads(line)
+        if not isinstance(document, dict):
+            raise ValueError("response must be a JSON object")
+        return cls(
+            id=document.get("id"),
+            ok=bool(document.get("ok")),
+            result=document.get("result"),
+            error=document.get("error"),
+            v=document.get("v", PROTOCOL_VERSION),
+        )
+
+
+def _line(document: dict) -> bytes:
+    """One compact, newline-terminated JSON line.
+
+    ``json.dumps`` escapes embedded newlines, so the only ``\\n`` in
+    the output is the terminator — the framing invariant.
+    """
+    encoded = json.dumps(document, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(encoded) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            ErrorCode.INTERNAL, f"encoded message exceeds {MAX_LINE_BYTES} bytes"
+        )
+    return encoded

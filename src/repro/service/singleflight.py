@@ -1,0 +1,72 @@
+"""Single-flight deduplication of concurrent identical work.
+
+When N requests for the same function digest arrive together, exactly
+one injection must run; the other N-1 wait for the leader's result.
+The key is the campaign engine's content address
+(:func:`repro.campaign.digest.outcome_digest`), so "identical work"
+means *provably the same experiment*, not just the same name.
+
+Implementation notes:
+
+* the shared computation runs as its own task, and every caller
+  awaits it through :func:`asyncio.shield` — a waiter whose deadline
+  expires is cancelled *individually* without cancelling the shared
+  work, so late arrivals (and the outcome store) still get the
+  result;
+* the key is removed as soon as the computation finishes, success or
+  failure: a failed flight is not cached here (the outcome store and
+  its content addressing decide what persists), so the next request
+  simply retries;
+* a leader failure propagates the same exception to every waiter of
+  that flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Collapse concurrent computations sharing a key into one task."""
+
+    def __init__(self) -> None:
+        self._flights: dict[object, asyncio.Task] = {}
+        self.leaders = 0   # computations actually started
+        self.shared = 0    # calls served by joining an in-progress flight
+
+    def __len__(self) -> int:
+        """Number of flights currently in progress."""
+        return len(self._flights)
+
+    async def run(
+        self, key: object, factory: Callable[[], Awaitable[T]]
+    ) -> T:
+        """Return ``factory()``'s result, deduplicated by ``key``."""
+        task = self._flights.get(key)
+        if task is None:
+            self.leaders += 1
+            task = asyncio.ensure_future(self._fly(key, factory))
+            self._flights[key] = task
+        else:
+            self.shared += 1
+        return await asyncio.shield(task)
+
+    async def _fly(self, key: object, factory: Callable[[], Awaitable[T]]) -> T:
+        try:
+            return await factory()
+        finally:
+            self._flights.pop(key, None)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "inflight": len(self._flights),
+            "leaders": self.leaders,
+            "shared": self.shared,
+        }
+
+    def drain(self) -> list[asyncio.Task]:
+        """The in-progress flight tasks (for shutdown to await)."""
+        return list(self._flights.values())

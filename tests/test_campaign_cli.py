@@ -2,6 +2,8 @@
 the --jobs/--cache-dir/--resume/--json flags on inject/harden/ballista."""
 
 import json
+import re
+from pathlib import Path
 
 from repro.cli import main
 
@@ -35,8 +37,25 @@ class TestCampaignCommand:
         assert doc["stored_outcomes"] == 2
         assert [f["name"] for f in doc["functions"]] == ["abs", "labs"]
 
+        # A corrupt entry (crashed writer) is swept along with real ones.
+        outcomes = Path(cache) / "outcomes"
+        (outcomes / ("f" * 64 + ".json")).write_text("{not json")
+        (outcomes / ".orphan.json.tmp").write_text("partial write")
+
+        assert main(
+            ["campaign", "clean", "--cache-dir", cache, "--dry-run"]
+        ) == 0
+        preview = capsys.readouterr().out
+        match = re.search(r"would remove (\d+) entries \((\d+) bytes\)", preview)
+        assert match, preview
+        assert int(match.group(1)) == 5  # 2 outcomes + corrupt + tmp + manifest
+        assert int(match.group(2)) > 0
+        assert main(["campaign", "status", "--cache-dir", cache]) == 0
+        capsys.readouterr()  # dry run removed nothing
+
         assert main(["campaign", "clean", "--cache-dir", cache]) == 0
-        assert "removed 3" in capsys.readouterr().out  # 2 outcomes + manifest
+        out = capsys.readouterr().out
+        assert f"removed 5 entries ({match.group(2)} bytes)" in out
         assert main(["campaign", "status", "--cache-dir", cache]) == 2
         assert "no campaign manifest" in capsys.readouterr().err
 

@@ -138,7 +138,16 @@ class TestCampaignRunner:
     def test_clean_cache(self, tmp_path):
         CampaignRunner(["abs"], CampaignConfig(cache_dir=tmp_path)).run()
         assert load_manifest(tmp_path) is not None
-        assert clean_cache(tmp_path) == 2  # one outcome + the manifest
+        preview = clean_cache(tmp_path, dry_run=True)
+        assert preview.files == 2  # one outcome + the manifest
+        assert preview.bytes_reclaimed > 0
+        assert preview.dry_run
+        assert load_manifest(tmp_path) is not None  # dry run removed nothing
+        stats = clean_cache(tmp_path)
+        assert (stats.files, stats.bytes_reclaimed) == (
+            preview.files, preview.bytes_reclaimed
+        )
+        assert not stats.dry_run
         assert load_manifest(tmp_path) is None
 
 

@@ -99,7 +99,29 @@ class TestOutcomeStore:
         digest = outcome_digest(spec)
         store.put(digest, report, spec.prototype)
         assert store.entries() == [digest]
-        assert store.clean() == 1
+        stats = store.clean()
+        assert stats.files == 1
+        assert stats.bytes_reclaimed > 0
+        assert store.entries() == []
+
+    def test_clean_sweeps_temp_leftovers_and_reports_bytes(
+        self, tmp_path, strncpy_outcome
+    ):
+        spec, report = strncpy_outcome
+        store = OutcomeStore(tmp_path)
+        store.put(outcome_digest(spec), report, spec.prototype)
+        leftover = store.outcomes / ".a1b2.json.tmp"
+        leftover.write_bytes(b"x" * 100)  # a crashed writer's droppings
+        expected = sum(
+            p.stat().st_size for p in store.outcomes.iterdir() if p.is_file()
+        )
+        preview = store.clean(dry_run=True)
+        assert preview.files == 2
+        assert preview.bytes_reclaimed == expected
+        assert leftover.exists()
+        stats = store.clean()
+        assert (stats.files, stats.bytes_reclaimed) == (2, expected)
+        assert not leftover.exists()
         assert store.entries() == []
 
     def test_writes_leave_no_temp_files(self, tmp_path, strncpy_outcome):

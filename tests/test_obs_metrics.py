@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    render_prometheus,
+)
 
 
 class TestCounter:
@@ -141,3 +148,53 @@ class TestRegistry:
         snap = histogram.snapshot()
         assert snap["labels"] == {"function": "strcpy"}
         assert {"p50", "p95", "p99", "mean", "count"} <= set(snap)
+
+
+class TestRenderPrometheus:
+    def test_counter_family(self):
+        registry = MetricsRegistry()
+        registry.counter("sandbox.calls", status="CRASHED").inc(2)
+        registry.counter("sandbox.calls", status="RETURNED").inc(5)
+        body = render_prometheus(registry)
+        assert "# TYPE sandbox_calls_total counter" in body
+        assert 'sandbox_calls_total{status="CRASHED"} 2' in body
+        assert 'sandbox_calls_total{status="RETURNED"} 5' in body
+        # One TYPE line per family, not per series.
+        assert body.count("# TYPE sandbox_calls_total") == 1
+
+    def test_gauge_keeps_plain_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("pipeline.pending").set(7)
+        body = render_prometheus(registry)
+        assert "# TYPE pipeline_pending gauge" in body
+        assert "pipeline_pending 7" in body
+
+    def test_timer_renders_as_summary_with_quantiles(self):
+        registry = MetricsRegistry()
+        with registry.timer("request.seconds", op="inject").time():
+            pass
+        body = render_prometheus(registry)
+        assert "# TYPE request_seconds summary" in body
+        assert 'request_seconds{op="inject",quantile="0.5"}' in body
+        assert 'request_seconds{op="inject",quantile="0.99"}' in body
+        assert 'request_seconds_sum{op="inject"}' in body
+        assert 'request_seconds_count{op="inject"} 1' in body
+
+    def test_names_sanitized_and_labels_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("9bad-name.x", path='a"b\\c').inc()
+        body = render_prometheus(registry)
+        assert "_9bad_name_x_total" in body
+        assert 'path="a\\"b\\\\c"' in body
+
+    def test_accepts_snapshot_dicts_deterministically(self):
+        snapshots = [
+            {"kind": "counter", "name": "b", "labels": {}, "value": 1},
+            {"kind": "counter", "name": "a", "labels": {}, "value": 2},
+        ]
+        body = render_prometheus(snapshots)
+        assert body.index("a_total") < body.index("b_total")
+        assert body == render_prometheus(list(reversed(snapshots)))
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""

@@ -1,0 +1,190 @@
+"""Admission control and single-flight deduplication, in isolation.
+
+The token bucket and controller use an injectable clock so every case
+is deterministic; the single-flight tests run real asyncio tasks."""
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import AdmissionController, Overloaded, TokenBucket
+from repro.service.singleflight import SingleFlight
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_starvation(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.1)
+
+    def test_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is not None
+        clock.advance(0.1)
+        assert bucket.try_take() is None
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        assert bucket.try_take() is not None
+
+    def test_zero_rate_is_unlimited(self):
+        bucket = TokenBucket(rate=0.0, clock=FakeClock())
+        assert all(bucket.try_take() is None for _ in range(1000))
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_capacity_gate(self):
+        controller = AdmissionController(capacity=2, clock=FakeClock())
+        controller.acquire()
+        controller.acquire()
+        with pytest.raises(Overloaded) as err:
+            controller.acquire()
+        assert err.value.retry_after_ms > 0
+        controller.release()
+        controller.acquire()  # freed slot admits again
+
+    def test_rate_gate_carries_exact_wait(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            capacity=100, rate=2.0, burst=1.0, clock=clock
+        )
+        controller.acquire()
+        with pytest.raises(Overloaded) as err:
+            controller.acquire()
+        assert err.value.retry_after_ms == 500  # 1 token at 2/s
+
+    def test_snapshot_counts(self):
+        controller = AdmissionController(capacity=1, clock=FakeClock())
+        controller.acquire()
+        for _ in range(3):
+            with pytest.raises(Overloaded):
+                controller.acquire()
+        snapshot = controller.snapshot()
+        assert snapshot["inflight"] == 1
+        assert snapshot["peak_inflight"] == 1
+        assert snapshot["admitted"] == 1
+        assert snapshot["rejected_capacity"] == 3
+        assert snapshot["rejected_rate"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_computation(self):
+        async def scenario():
+            flight = SingleFlight()
+            runs = []
+
+            async def work():
+                runs.append(1)
+                await asyncio.sleep(0.02)
+                return "result"
+
+            results = await asyncio.gather(
+                *(flight.run("key", work) for _ in range(16))
+            )
+            return runs, results, flight.stats()
+
+        runs, results, stats = asyncio.run(scenario())
+        assert len(runs) == 1
+        assert results == ["result"] * 16
+        assert stats["leaders"] == 1
+        assert stats["shared"] == 15
+        assert stats["inflight"] == 0
+
+    def test_distinct_keys_do_not_collapse(self):
+        async def scenario():
+            flight = SingleFlight()
+            runs = []
+
+            def work_for(key):
+                async def work():
+                    runs.append(key)
+                    await asyncio.sleep(0.01)
+                    return key
+
+                return work
+
+            results = await asyncio.gather(
+                flight.run("a", work_for("a")), flight.run("b", work_for("b"))
+            )
+            return runs, results
+
+        runs, results = asyncio.run(scenario())
+        assert sorted(runs) == ["a", "b"]
+        assert results == ["a", "b"]
+
+    def test_failure_propagates_and_is_not_cached(self):
+        async def scenario():
+            flight = SingleFlight()
+            attempts = []
+
+            async def failing():
+                attempts.append(1)
+                await asyncio.sleep(0.01)
+                raise RuntimeError("boom")
+
+            results = await asyncio.gather(
+                *(flight.run("k", failing) for _ in range(4)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert len(attempts) == 1
+            # The failed flight is gone: the next call starts fresh.
+            with pytest.raises(RuntimeError):
+                await flight.run("k", failing)
+            return attempts
+
+        attempts = asyncio.run(scenario())
+        assert len(attempts) == 2
+
+    def test_cancelled_waiter_does_not_cancel_the_flight(self):
+        async def scenario():
+            flight = SingleFlight()
+            finished = []
+
+            async def work():
+                await asyncio.sleep(0.05)
+                finished.append(1)
+                return "done"
+
+            async def impatient():
+                return await asyncio.wait_for(
+                    flight.run("k", work), timeout=0.01
+                )
+
+            with pytest.raises(asyncio.TimeoutError):
+                await impatient()
+            # The shared work survives the waiter's deadline...
+            result = await flight.run("k", work)
+            assert result == "done"
+            # ...and ran exactly once.
+            assert finished == [1]
+
+        asyncio.run(scenario())

@@ -1,0 +1,104 @@
+"""Wire-protocol tests: envelope validation, typed error codes, and
+the one-line framing invariant."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    ErrorCode,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+)
+
+
+class TestRequestDecode:
+    def test_happy_path(self):
+        request = Request.decode(
+            b'{"v": 1, "id": "r7", "op": "inject",'
+            b' "params": {"function": "strcpy"}, "deadline_ms": 250}\n'
+        )
+        assert request.op == "inject"
+        assert request.id == "r7"
+        assert request.params == {"function": "strcpy"}
+        assert request.deadline_ms == 250
+
+    def test_defaults(self):
+        request = Request.decode('{"v": 1, "op": "status"}')
+        assert request.params == {}
+        assert request.id is None
+        assert request.deadline_ms is None
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"not json\n", b"[1, 2]\n", b'"just a string"\n', b"\xff\xfe\n"],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(ProtocolError) as err:
+            Request.decode(line)
+        assert err.value.code == ErrorCode.BAD_REQUEST
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as err:
+            Request.decode('{"v": 1}')
+        assert err.value.code == ErrorCode.BAD_REQUEST
+
+    @pytest.mark.parametrize("version", [None, 0, 2, "1"])
+    def test_version_mismatch_is_typed(self, version):
+        with pytest.raises(ProtocolError) as err:
+            Request.decode(json.dumps({"v": version, "op": "status"}))
+        assert err.value.code == ErrorCode.UNSUPPORTED_VERSION
+
+    @pytest.mark.parametrize("deadline", [0, -5, "100", True])
+    def test_bad_deadline(self, deadline):
+        with pytest.raises(ProtocolError) as err:
+            Request.decode(
+                json.dumps({"v": 1, "op": "status", "deadline_ms": deadline})
+            )
+        assert err.value.code == ErrorCode.BAD_REQUEST
+
+    def test_bad_params(self):
+        with pytest.raises(ProtocolError):
+            Request.decode('{"v": 1, "op": "status", "params": [1]}')
+
+
+class TestFraming:
+    def test_encode_is_one_line(self):
+        # Embedded newlines must be escaped, never break framing.
+        request = Request(op="inject", params={"function": "a\nb"}, id="x")
+        encoded = request.encode()
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1
+        assert Request.decode(encoded).params == {"function": "a\nb"}
+
+    def test_response_round_trip(self):
+        response = Response.success("r1", {"answer": 42})
+        decoded = Response.decode(response.encode())
+        assert decoded.ok
+        assert decoded.id == "r1"
+        assert decoded.result == {"answer": 42}
+        assert decoded.code is None
+
+    def test_error_round_trip_with_retry_hint(self):
+        response = Response.failure(
+            "r2", ErrorCode.RETRY_LATER, "busy", retry_after_ms=120
+        )
+        decoded = Response.decode(response.encode())
+        assert not decoded.ok
+        assert decoded.code == ErrorCode.RETRY_LATER
+        assert decoded.error["retry_after_ms"] == 120
+        assert decoded.code in ErrorCode.ALL
+
+    def test_oversized_message_rejected(self):
+        request = Request(op="inject", params={"function": "x" * MAX_LINE_BYTES})
+        with pytest.raises(ProtocolError) as err:
+            request.encode()
+        assert err.value.code == ErrorCode.INTERNAL
+
+    def test_version_constant_is_stamped(self):
+        assert json.loads(Response.success(None, {}).encode())["v"] == (
+            PROTOCOL_VERSION
+        )
