@@ -22,7 +22,7 @@ import os
 import time
 from pathlib import Path
 
-from repro.campaign import CampaignConfig, CampaignRunner
+from repro.campaign import CampaignConfig, CampaignRunner, effective_jobs
 from repro.obs import export_bench_json
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
@@ -80,6 +80,7 @@ def test_campaign_scaling(tmp_path):
     payload = {
         "functions": len(BENCH_FUNCTIONS),
         "jobs": PARALLEL_JOBS,
+        "effective_jobs": effective_jobs(PARALLEL_JOBS, len(BENCH_FUNCTIONS)),
         "cpu_count": cores,
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),

@@ -34,6 +34,7 @@ from repro.campaign.scheduler import (
     DEFAULT_TASK_TIMEOUT,
     TaskResult,
     dispatch_order,
+    effective_jobs,
     plan_shards,
     run_tasks,
     task_seed,
@@ -62,6 +63,7 @@ __all__ = [
     "campaign_id",
     "clean_cache",
     "dispatch_order",
+    "effective_jobs",
     "generator_fingerprint",
     "load_manifest",
     "outcome_digest",

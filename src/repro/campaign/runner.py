@@ -38,6 +38,7 @@ from repro.campaign.scheduler import (
     DEFAULT_TASK_RETRIES,
     DEFAULT_TASK_TIMEOUT,
     TaskResult,
+    effective_jobs,
     run_tasks,
 )
 from repro.campaign.store import OutcomeStore, report_from_payload, report_to_payload
@@ -292,6 +293,7 @@ class CampaignRunner:
             "schema": CACHE_SCHEMA,
             "campaign": ident,
             "jobs": self.config.jobs,
+            "effective_jobs": effective_jobs(self.config.jobs, len(names)),
             "functions": [
                 {
                     "name": name,

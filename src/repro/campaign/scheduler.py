@@ -30,6 +30,7 @@ The worker callable must be picklable (a module-level function or a
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import random
 import time
 import traceback
@@ -93,6 +94,21 @@ def dispatch_order(names: Sequence[str], jobs: int) -> list[str]:
             if shard:
                 order.append(shard.pop(0))
     return order
+
+
+def effective_jobs(jobs: int, task_count: int | None = None) -> int:
+    """Pool width actually worth running: ``jobs`` clamped to the host
+    CPU count (and the task count, when known).
+
+    Oversubscribing a host never speeds up CPU-bound injection work —
+    it only adds scheduling noise (a 4-worker pool on a 1-core host
+    benches *slower* than serial) — so the scheduler sizes the pool by
+    what the hardware can execute and benches record this value.
+    """
+    width = max(1, min(jobs, os.cpu_count() or 1))
+    if task_count is not None:
+        width = max(1, min(width, task_count))
+    return width
 
 
 def task_seed(campaign_seed: int, name: str) -> int:
@@ -216,7 +232,17 @@ def run_tasks(
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else "spawn")
     task_q = ctx.Queue()
-    width = max(1, min(jobs, len(names)))
+    # Clamp the pool to the host's cores; a supervised pool is kept
+    # even at width 1 so timeout policing and crash containment still
+    # apply (the inline path above has neither).
+    width = effective_jobs(jobs, len(names))
+    if width < min(jobs, len(names)):
+        telemetry.event(
+            "campaign.jobs_clamped",
+            requested=jobs,
+            effective=width,
+            cpu_count=os.cpu_count() or 1,
+        )
 
     def spawn(worker_id: int) -> _WorkerSlot:
         receiver, sender = ctx.Pipe(duplex=False)

@@ -8,7 +8,7 @@ hang watchdog).
 
 from __future__ import annotations
 
-from repro.sandbox.context import CallContext
+from repro.sandbox.context import CallContext, Hang
 
 #: C int limits (LP64: int is 32-bit, long is 64-bit).
 INT_MAX = 2**31 - 1
@@ -34,34 +34,44 @@ def to_uint64(value: int) -> int:
 
 def read_byte(ctx: CallContext, address: int) -> int:
     ctx.step()
-    return ctx.mem.load(address, 1)[0]
+    return ctx.mem.load_byte(address)
 
 
 def write_byte(ctx: CallContext, address: int, value: int) -> None:
     ctx.step()
-    ctx.mem.store(address, bytes([value & 0xFF]))
+    ctx.mem.store_byte(address, value)
 
 
 def read_cstring(ctx: CallContext, address: int, limit: int | None = None) -> bytes:
-    """strlen-style scan: reads byte by byte until NUL, stepping the
-    watchdog, faulting at the first inaccessible byte."""
-    out = bytearray()
-    cursor = address
-    while limit is None or len(out) < limit:
-        byte = read_byte(ctx, cursor)
-        if byte == 0:
-            break
-        out.append(byte)
-        cursor += 1
-    return bytes(out)
+    """strlen-style scan, observationally identical to reading byte by
+    byte (same fault address, same watchdog step count, Hang-before-
+    fault ordering) but executed as one slice scan per region.
+    """
+    payload, terminated, fault = ctx.mem.scan_cstring(address, limit)
+    # The per-byte reference steps once per byte read, including the
+    # terminating NUL and the step *preceding* a faulting load.
+    ctx.account(len(payload) + (1 if terminated or fault is not None else 0))
+    if fault is not None:
+        raise fault
+    return payload
 
 
 def write_cstring(ctx: CallContext, address: int, value: bytes) -> None:
-    cursor = address
-    for byte in value:
-        write_byte(ctx, cursor, byte)
-        cursor += 1
-    write_byte(ctx, cursor, 0)
+    """Bulk write of ``value`` + NUL with per-byte-equivalent
+    semantics: the successfully written prefix stays visible, faults
+    carry the first bad address, and the hang watchdog trips at the
+    same byte it would have under byte-at-a-time stepping."""
+    payload = bytes(value) + b"\x00"
+    hang_at = max(0, ctx.step_budget - ctx.steps)
+    attempt = payload if len(payload) <= hang_at else payload[:hang_at]
+    written, fault = ctx.mem.copy_in_cstring(address, attempt)
+    if fault is not None:
+        ctx.steps += written + 1  # the reference steps before the faulting store
+        raise fault
+    if len(attempt) < len(payload):
+        ctx.steps = ctx.step_budget + 1
+        raise Hang(f"exceeded step budget of {ctx.step_budget}")
+    ctx.steps += len(payload)
 
 
 def copy_bytes(ctx: CallContext, dst: int, src: int, count: int) -> None:

@@ -68,19 +68,12 @@ class LibcRuntime:
         return self._tmpnam_buffer.base
 
     def fork(self) -> "LibcRuntime":
-        """Deep copy — the sandbox's child-process semantics."""
+        """Child-process semantics: observationally a deep copy, but
+        memory is copy-on-write (:meth:`AddressSpace.fork`), so the
+        per-call fork the sandbox performs costs O(region count)."""
         clone = LibcRuntime.__new__(LibcRuntime)
         clone.space = self.space.fork()
-        clone.heap = Heap(clone.space)
-        # Rebuild the heap's live-block table against the cloned regions.
-        clone.heap._blocks = {
-            region.base: region
-            for region in clone.space.regions()
-            if region.kind is RegionKind.HEAP and not region.freed
-            and region.base in self.heap._blocks
-        }
-        clone.heap.malloc_count = self.heap.malloc_count
-        clone.heap.free_count = self.heap.free_count
+        clone.heap = self.heap.fork_into(clone.space)
         clone.kernel = self.kernel.fork()
         clone.errno = self.errno
         clone._asctime_buffer = clone.space.region_at(self._asctime_buffer.base)

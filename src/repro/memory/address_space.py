@@ -56,7 +56,11 @@ class AddressSpace:
 
     The implementation keeps regions in a list sorted by base address
     and locates the region for an access with binary search, so lookups
-    are ``O(log n)`` in the number of live regions.
+    are ``O(log n)`` in the number of live regions.  A one-entry
+    lookup cache short-circuits the search for the common case of
+    repeated accesses into the same region (string scans, memcpy
+    loops); it is invalidated by anything that changes the mapping
+    table (``map``/``unmap``/``protect``).
     """
 
     def __init__(self, page_size: int = PAGE_SIZE) -> None:
@@ -64,8 +68,13 @@ class AddressSpace:
         self._bases: list[int] = []
         self._regions: list[Region] = []
         self._next_base = FIRST_ADDRESS
-        #: count of accesses, exposed for the performance benches
+        self._lookup_cache: Optional[Region] = None
+        #: count of access *calls*, exposed for the performance benches
         self.access_count = 0
+        #: bytes moved, so benches compare real work, not call counts
+        #: (a bulk load of 4 KiB is one call but 4096 bytes).
+        self.bytes_read = 0
+        self.bytes_written = 0
 
     # ------------------------------------------------------------------
     # mapping management
@@ -100,6 +109,7 @@ class AddressSpace:
         index = bisect.bisect_left(self._bases, base)
         self._bases.insert(index, base)
         self._regions.insert(index, region)
+        self._lookup_cache = None
         return region
 
     def map_at_end_of_page(
@@ -126,6 +136,7 @@ class AddressSpace:
         region.data = region.data[excess:] if size else bytearray()
         index = self._regions.index(region)
         self._bases[index] = region.base
+        self._lookup_cache = None
         return region
 
     def unmap(self, region: Region) -> None:
@@ -135,18 +146,26 @@ class AddressSpace:
             raise ValueError("region is not mapped in this address space")
         del self._bases[index]
         del self._regions[index]
+        self._lookup_cache = None
 
     def protect(self, region: Region, prot: Protection) -> None:
         """Change a live region's protection (simulated ``mprotect``)."""
         region.prot = prot
+        self._lookup_cache = None
 
     def region_at(self, address: int) -> Optional[Region]:
         """Return the region containing ``address`` or None."""
+        cached = self._lookup_cache
+        if cached is not None and cached.base <= address < cached.base + cached.size:
+            return cached
         index = bisect.bisect_right(self._bases, address) - 1
         if index < 0:
             return None
         region = self._regions[index]
-        return region if region.contains(address) else None
+        if region.contains(address):
+            self._lookup_cache = region
+            return region
+        return None
 
     def regions(self) -> Iterator[Region]:
         return iter(self._regions)
@@ -169,6 +188,7 @@ class AddressSpace:
     def load(self, address: int, count: int) -> bytes:
         """Read ``count`` bytes, faulting on the first invalid byte."""
         self.access_count += 1
+        self.bytes_read += count
         if count == 0:
             return b""
         region = self._locate(address, count, AccessKind.READ)
@@ -177,21 +197,55 @@ class AddressSpace:
     def store(self, address: int, payload: bytes) -> None:
         """Write ``payload``, faulting on the first invalid byte."""
         self.access_count += 1
+        self.bytes_written += len(payload)
         if not payload:
             return
         region = self._locate(address, len(payload), AccessKind.WRITE)
         region.write(address, payload)
 
+    def load_byte(self, address: int) -> int:
+        """One-byte load returning an ``int`` — no ``bytes`` object is
+        allocated.  Identical semantics to ``load(address, 1)[0]``;
+        this is the shape every per-byte libc model loop uses."""
+        self.access_count += 1
+        self.bytes_read += 1
+        if address == NULL:
+            raise SegmentationFault(address, AccessKind.READ, "NULL dereference")
+        region = self.region_at(address)
+        if region is None:
+            raise SegmentationFault(address, AccessKind.READ, "unmapped address")
+        return region.read_byte_at(address)
+
+    def store_byte(self, address: int, value: int) -> None:
+        """One-byte store twin of :meth:`load_byte`."""
+        self.access_count += 1
+        self.bytes_written += 1
+        if address == NULL:
+            raise SegmentationFault(address, AccessKind.WRITE, "NULL dereference")
+        region = self.region_at(address)
+        if region is None:
+            raise SegmentationFault(address, AccessKind.WRITE, "unmapped address")
+        region.write_byte_at(address, value)
+
     def is_accessible(self, address: int, count: int, access: AccessKind) -> bool:
-        """Non-faulting accessibility probe of a whole range."""
+        """Non-faulting accessibility probe of a whole range.
+
+        Single pass: one region lookup, one set of inline checks —
+        equivalent to (but roughly half the cost of) locating the
+        region and then re-bounds-checking it via ``check_access``.
+        """
         if count == 0:
             return True
-        try:
-            region = self._locate(address, count, access)
-            region.check_access(address, count, access)
-        except SegmentationFault:
+        if address == NULL:
             return False
-        return True
+        region = self.region_at(address)
+        if region is None:
+            return False
+        return (
+            not region.freed
+            and region.prot.allows(access)
+            and address + count <= region.end
+        )
 
     def is_readable(self, address: int, count: int) -> bool:
         return self.is_accessible(address, count, AccessKind.READ)
@@ -253,37 +307,130 @@ class AddressSpace:
         self.store_u64(address, value)
 
     # ------------------------------------------------------------------
-    # C string helpers
+    # C string helpers (bulk fast paths)
     # ------------------------------------------------------------------
-    def read_cstring(self, address: int, limit: int | None = None) -> bytes:
-        """Read a NUL-terminated string starting at ``address``.
+    def scan_cstring(
+        self, address: int, limit: int | None = None
+    ) -> tuple[bytes, bool, Optional[SegmentationFault]]:
+        """Core NUL scan: ``(payload, terminated, fault)``.
 
-        Reads byte-by-byte exactly like ``strlen`` would, so a string
-        that is not terminated before the end of its region faults at
-        the first byte past the region — the behaviour the injector
-        exploits to discover required buffer sizes.
+        Scans with ``bytes.find(0)`` over whole region slices instead
+        of one bounds-checked load per byte, while reproducing the
+        per-byte reference semantics bit for bit:
+
+        * ``payload`` is the bytes before the terminator / limit / fault;
+        * ``terminated`` is True when a NUL was actually read;
+        * ``fault`` (not raised here) is exactly the
+          :class:`SegmentationFault` a byte-by-byte ``strlen`` would
+          raise after successfully reading ``len(payload)`` bytes —
+          same address, same reason.
+
+        Callers layer their own accounting on top: the address-space
+        wrappers raise the fault directly; the libc helper in
+        :mod:`repro.libc.common` first charges watchdog steps so hang
+        detection also matches the per-byte reference.
         """
         out = bytearray()
         cursor = address
-        while limit is None or len(out) < limit:
-            byte = self.load(cursor, 1)[0]
-            if byte == 0:
-                break
-            out.append(byte)
-            cursor += 1
-        return bytes(out)
+        remaining = limit
+        while remaining is None or remaining > 0:
+            if cursor == NULL:
+                return bytes(out), False, SegmentationFault(
+                    cursor, AccessKind.READ, "NULL dereference"
+                )
+            region = self.region_at(cursor)
+            if region is None:
+                return bytes(out), False, SegmentationFault(
+                    cursor, AccessKind.READ, "unmapped address"
+                )
+            try:
+                region.check_access(cursor, 1, AccessKind.READ)
+            except SegmentationFault as fault:
+                return bytes(out), False, fault
+            offset = cursor - region.base
+            window_end = region.size
+            if remaining is not None:
+                window_end = min(window_end, offset + remaining)
+            nul = region.data.find(0, offset, window_end)
+            self.access_count += 1
+            if nul >= 0:
+                out += region.data[offset:nul]
+                self.bytes_read += nul - offset + 1
+                return bytes(out), True, None
+            out += region.data[offset:window_end]
+            consumed = window_end - offset
+            self.bytes_read += consumed
+            cursor += consumed
+            if remaining is not None:
+                remaining -= consumed
+        return bytes(out), False, None
+
+    def read_cstring(self, address: int, limit: int | None = None) -> bytes:
+        """Read a NUL-terminated string starting at ``address``.
+
+        Behaves exactly like a byte-by-byte ``strlen`` scan: a string
+        that is not terminated before the end of its region faults at
+        the first byte past the region — the behaviour the injector
+        exploits to discover required buffer sizes — but runs as one
+        slice scan per region.
+        """
+        payload, _, fault = self.scan_cstring(address, limit)
+        if fault is not None:
+            raise fault
+        return payload
+
+    def copy_in_cstring(
+        self, address: int, payload: bytes
+    ) -> tuple[int, Optional[SegmentationFault]]:
+        """Core bulk write of ``payload``: ``(written, fault)``.
+
+        Writes the longest writable prefix in region-sized slices and
+        reports how many bytes landed, plus the exact fault a per-byte
+        writer would raise next (or None).  The partially written
+        prefix stays visible, matching the reference semantics where
+        every byte before the faulting one was already stored.
+        """
+        total = len(payload)
+        written = 0
+        cursor = address
+        while written < total:
+            if cursor == NULL:
+                return written, SegmentationFault(
+                    cursor, AccessKind.WRITE, "NULL dereference"
+                )
+            region = self.region_at(cursor)
+            if region is None:
+                return written, SegmentationFault(
+                    cursor, AccessKind.WRITE, "unmapped address"
+                )
+            try:
+                region.check_access(cursor, 1, AccessKind.WRITE)
+            except SegmentationFault as fault:
+                return written, fault
+            take = min(region.end - cursor, total - written)
+            if region.shared:
+                region._own_data()
+            offset = cursor - region.base
+            region.data[offset : offset + take] = payload[written : written + take]
+            self.access_count += 1
+            self.bytes_written += take
+            written += take
+            cursor += take
+        return written, None
 
     def write_cstring(self, address: int, value: bytes) -> None:
-        """Write ``value`` plus a terminating NUL byte-by-byte."""
-        cursor = address
-        for byte in value:
-            self.store(cursor, bytes([byte]))
-            cursor += 1
-        self.store(cursor, b"\x00")
+        """Write ``value`` plus a terminating NUL (bulk fast path with
+        byte-exact fault semantics)."""
+        written, fault = self.copy_in_cstring(address, bytes(value) + b"\x00")
+        if fault is not None:
+            raise fault
 
     def cstring_length(self, address: int) -> int:
         """``strlen`` against simulated memory (may fault)."""
-        return len(self.read_cstring(address))
+        payload, _, fault = self.scan_cstring(address)
+        if fault is not None:
+            raise fault
+        return len(payload)
 
     # ------------------------------------------------------------------
     # convenience allocation helpers for tests / generators
@@ -312,7 +459,15 @@ class AddressSpace:
         return self.alloc_bytes(raw + b"\x00", prot, kind, label)
 
     def fork(self) -> "AddressSpace":
-        """Deep copy, modelling the paper's child-process isolation."""
+        """Copy-on-write fork, modelling the paper's child-process
+        isolation.
+
+        Semantically a deep copy — writes on either side are never
+        visible to the other — but the cost is O(region count), not
+        O(total mapped bytes): each region is cloned as a COW twin
+        that shares its byte buffer until first write (see
+        :meth:`Region.clone`).
+        """
         clone = AddressSpace(self.page_size)
         clone._next_base = self._next_base
         clone._bases = list(self._bases)

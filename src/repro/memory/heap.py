@@ -142,3 +142,24 @@ class Heap:
     @property
     def live_block_count(self) -> int:
         return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # fork support
+    # ------------------------------------------------------------------
+    def fork_into(self, space: AddressSpace) -> "Heap":
+        """A heap over ``space`` (a fork of this heap's space) whose
+        allocation table points at the forked twins of this heap's
+        live blocks.
+
+        O(live blocks · log regions): rebinds only the bases this heap
+        actually tracks instead of scanning every region in the forked
+        space.  Statistics carry over, matching process-fork semantics.
+        """
+        clone = Heap(space)
+        for base in self._blocks:
+            region = space.region_at(base)
+            if region is not None and not region.freed:
+                clone._blocks[base] = region
+        clone.malloc_count = self.malloc_count
+        clone.free_count = self.free_count
+        return clone

@@ -23,16 +23,28 @@ class Protection(enum.Flag):
     RW = READ | WRITE
 
     def allows(self, access: AccessKind) -> bool:
-        if access is AccessKind.READ:
-            return bool(self & Protection.READ)
-        if access is AccessKind.WRITE:
-            return bool(self & Protection.WRITE)
-        return False
+        # Memoized: enum.Flag's ``&`` costs microseconds and this runs
+        # once per simulated byte access — the injection hot loop.
+        try:
+            return _ALLOWS[(self, access)]
+        except KeyError:
+            if access is AccessKind.READ:
+                allowed = bool(self & Protection.READ)
+            elif access is AccessKind.WRITE:
+                allowed = bool(self & Protection.WRITE)
+            else:
+                allowed = False
+            _ALLOWS[(self, access)] = allowed
+            return allowed
 
     def describe(self) -> str:
         r = "r" if self & Protection.READ else "-"
         w = "w" if self & Protection.WRITE else "-"
         return r + w
+
+
+#: (protection, access) -> allowed; tiny and bounded (4 x 3 members).
+_ALLOWS: dict[tuple["Protection", AccessKind], bool] = {}
 
 
 class RegionKind(enum.Enum):
@@ -65,6 +77,9 @@ class Region:
         label: free-form annotation used in diagnostics.
         freed: set when the region was released; any later access
             faults ("use after free").
+        shared: the backing buffer is aliased with at least one
+            copy-on-write twin (see :meth:`clone`); the first write
+            through this region takes a private copy first.
     """
 
     base: int
@@ -74,6 +89,7 @@ class Region:
     label: str = ""
     freed: bool = False
     data: bytearray = field(default_factory=bytearray)
+    shared: bool = field(default=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.data:
@@ -116,8 +132,24 @@ class Region:
         offset = address - self.base
         return bytes(self.data[offset : offset + count])
 
+    def read_byte_at(self, address: int) -> int:
+        """One-byte read without the ``bytes`` allocation of
+        :meth:`read` — the dominant access shape of the libc models'
+        per-byte loops.  Same checks, same fault addresses."""
+        self.check_access(address, 1, AccessKind.READ)
+        return self.data[address - self.base]
+
+    def write_byte_at(self, address: int, value: int) -> None:
+        """One-byte write twin of :meth:`read_byte_at`."""
+        self.check_access(address, 1, AccessKind.WRITE)
+        if self.shared:
+            self._own_data()
+        self.data[address - self.base] = value & 0xFF
+
     def write(self, address: int, payload: bytes) -> None:
         self.check_access(address, len(payload), AccessKind.WRITE)
+        if self.shared:
+            self._own_data()
         offset = address - self.base
         self.data[offset : offset + len(payload)] = payload
 
@@ -126,6 +158,8 @@ class Region:
         buffers before handing them to the function under test)."""
         if address < self.base or address + len(payload) > self.end:
             raise ValueError("poke outside region bounds")
+        if self.shared:
+            self._own_data()
         offset = address - self.base
         self.data[offset : offset + len(payload)] = payload
 
@@ -136,13 +170,30 @@ class Region:
         offset = address - self.base
         return bytes(self.data[offset : offset + count])
 
+    def _own_data(self) -> None:
+        """Take a private copy of an aliased backing buffer.
+
+        Twins sharing the old buffer keep it; their ``shared`` flags
+        stay set, which costs at most one redundant copy per twin —
+        never a correctness problem, since a shared buffer is only
+        ever read.
+        """
+        self.data = bytearray(self.data)
+        self.shared = False
+
     def clone(self) -> "Region":
-        return Region(
+        """Copy-on-write twin: O(1) — the byte buffer is aliased, not
+        copied, until either side writes (:meth:`_own_data`)."""
+        if self.size:
+            self.shared = True
+        twin = Region(
             base=self.base,
             size=self.size,
             prot=self.prot,
             kind=self.kind,
             label=self.label,
             freed=self.freed,
-            data=bytearray(self.data),
+            data=self.data,
         )
+        twin.shared = self.shared
+        return twin

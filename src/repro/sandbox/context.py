@@ -73,3 +73,20 @@ class CallContext:
         self.steps += count
         if self.steps > self.step_budget:
             raise Hang(f"exceeded step budget of {self.step_budget}")
+
+    def account(self, count: int) -> None:
+        """Account ``count`` units exactly as ``count`` successive
+        :meth:`step` calls would.
+
+        The bulk fast paths (``repro.libc.common`` string helpers) use
+        this instead of per-byte ``step()`` so a HUNG outcome records
+        the same step count as the byte-at-a-time reference: the first
+        increment past the budget raises with ``steps == budget + 1``,
+        not ``steps + count``.
+        """
+        if count <= 0:
+            return
+        if self.steps + count > self.step_budget:
+            self.steps = self.step_budget + 1
+            raise Hang(f"exceeded step budget of {self.step_budget}")
+        self.steps += count

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from repro.memory.faults import BusError, OutOfMemory, SegmentationFault
+from repro.memory.faults import AccessKind, BusError, OutOfMemory, SegmentationFault
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sandbox.context import Abort, CallContext, Hang
 from repro.sandbox.outcome import CallOutcome, CallStatus
@@ -78,11 +78,20 @@ class Sandbox:
         # errno is only reported when the callee writes it, so clear
         # the "was set" tracking per call via a fresh context.
         ctx = CallContext(target, self.step_budget)
+        space = ctx.mem
+        read_before = getattr(space, "bytes_read", 0)
+        written_before = getattr(space, "bytes_written", 0)
         with self.telemetry.span("sandbox.call") as span:
             outcome = self._execute(function, arguments, target, ctx)
             status = outcome.status.name
             self._status_counts[status] = self._status_counts.get(status, 0) + 1
             self.telemetry.counter("sandbox.calls", status=status).inc()
+            self.telemetry.counter("memory.bytes_read").inc(
+                getattr(space, "bytes_read", 0) - read_before
+            )
+            self.telemetry.counter("memory.bytes_written").inc(
+                getattr(space, "bytes_written", 0) - written_before
+            )
             span.set(status=status, steps=outcome.steps)
         return outcome
 
@@ -97,7 +106,7 @@ class Sandbox:
                 CallStatus.CRASHED, fault=fault, detail=fault.reason, steps=ctx.steps
             )
         except BusError as fault:
-            synthetic = SegmentationFault(fault.address, access=_read_access())
+            synthetic = SegmentationFault(fault.address, access=AccessKind.READ)
             return CallOutcome(
                 CallStatus.CRASHED, fault=synthetic, detail=str(fault), steps=ctx.steps
             )
@@ -111,9 +120,3 @@ class Sandbox:
         return CallOutcome(
             CallStatus.RETURNED, return_value=value, errno=errno, steps=ctx.steps
         )
-
-
-def _read_access():
-    from repro.memory.faults import AccessKind
-
-    return AccessKind.READ

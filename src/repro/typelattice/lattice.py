@@ -18,7 +18,7 @@ import networkx as nx
 
 from repro.typelattice import registry
 from repro.typelattice.instances import TypeInstance
-from repro.typelattice.rules import is_direct_subtype
+from repro.typelattice.rules import DIRECT_RULES, is_direct_subtype
 
 #: Templates that take a size parameter.
 PARAMETERIZED_TEMPLATES = {
@@ -117,6 +117,12 @@ def build_instances(size_pool: Iterable[int]) -> list[TypeInstance]:
     return instances
 
 
+#: Memo for :meth:`Lattice.for_sizes`; bounded so pathological size
+#: diversity cannot grow memory without limit.
+_LATTICE_CACHE: dict[tuple, "Lattice"] = {}
+_LATTICE_CACHE_LIMIT = 64
+
+
 class Lattice:
     """Finite instantiation of ``(T, <=)`` with precomputed closure."""
 
@@ -136,7 +142,30 @@ class Lattice:
 
     @classmethod
     def for_sizes(cls, size_pool: Iterable[int]) -> "Lattice":
-        return cls(build_instances(size_pool))
+        """Memoized constructor — the injection hot loop's single most
+        expensive step.
+
+        A lattice is a pure function of the observed sizes, the
+        registered extension instances, and the direct-rule table;
+        consecutive injector runs overwhelmingly share size pools, so
+        one campaign rebuilds what would otherwise be dozens of
+        identical transitive closures.  The key captures every input
+        that can change (extensibility tests register/unregister
+        instances and rules at runtime), and the cache is bounded.
+        """
+        sizes = tuple(sorted(set(size_pool)))
+        key = (
+            sizes,
+            tuple(registry.EXTENSION_INSTANCES),
+            tuple(sorted((edge, id(rule)) for edge, rule in DIRECT_RULES.items())),
+        )
+        cached = _LATTICE_CACHE.get(key)
+        if cached is None:
+            if len(_LATTICE_CACHE) >= _LATTICE_CACHE_LIMIT:
+                _LATTICE_CACHE.clear()
+            cached = cls(build_instances(sizes))
+            _LATTICE_CACHE[key] = cached
+        return cached
 
     # -- order queries ---------------------------------------------------
     def is_subtype(self, sub: TypeInstance, sup: TypeInstance) -> bool:
