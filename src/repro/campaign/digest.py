@@ -14,7 +14,12 @@ covers the four inputs of one per-function injection campaign:
 3. the **lattice version** — :data:`repro.typelattice.LATTICE_VERSION`
    is bumped whenever the type hierarchy changes;
 4. the **injector caps** — ``max_vectors`` and ``MAX_RETRIES`` bound
-   vector enumeration and the adaptive retry loop.
+   vector enumeration and the adaptive retry loop;
+5. the **planner fingerprint** — the vector-planning engine's
+   :data:`~repro.injector.PLAN_VERSION` and
+   :data:`~repro.injector.MEMO_POLICY`: a change to plan compilation
+   or to the memoization soundness policy reschedules or re-dedups
+   the experiment, so cached outcomes must be recomputed.
 
 Digests are sha256 over a canonical JSON encoding; two campaign runs
 agree on a function's digest iff they would run the identical
@@ -29,7 +34,7 @@ from typing import Optional
 
 from repro.cdecl import DeclarationParser, typedef_table
 from repro.generators.select import generators_for
-from repro.injector import MAX_RETRIES, MAX_VECTORS
+from repro.injector import MAX_RETRIES, MAX_VECTORS, MEMO_POLICY, PLAN_VERSION
 from repro.libc.catalog import FunctionSpec
 from repro.typelattice import LATTICE_VERSION
 
@@ -87,6 +92,7 @@ def outcome_digest(
         "generators": generator_fingerprint(spec, parser),
         "lattice": lattice_version,
         "caps": {"max_vectors": max_vectors, "max_retries": max_retries},
+        "planner": {"version": PLAN_VERSION, "memo": MEMO_POLICY},
     }
     canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

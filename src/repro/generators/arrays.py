@@ -79,6 +79,17 @@ class AdaptiveArrayTemplate(TestCaseTemplate):
         )
         return Materialized(region.base, self._fundamental(), ranges)
 
+    def identity(self) -> tuple:
+        return (type(self).__module__, type(self).__qualname__, self.prot.value)
+
+    def state(self):
+        # _last_base is excluded: it is an attribution detail derived
+        # from the materialization, not part of the case's meaning.
+        return (self.size, self.gave_up)
+
+    def restore(self, state) -> None:
+        self.size, self.gave_up = state
+
     @property
     def adjustable(self) -> bool:
         return not self.gave_up

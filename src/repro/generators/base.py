@@ -52,7 +52,20 @@ class TestCaseTemplate:
     """One entry of a generator's test case sequence.
 
     Subclasses override :meth:`materialize`; adaptive templates also
-    override :meth:`adjust`.
+    override :meth:`adjust` plus the :meth:`state`/:meth:`restore`
+    pair.
+
+    **Snapshot-safe materialization contract.**  The injector's
+    planning layer (:mod:`repro.injector.plan`) replays vector
+    prefixes from copy-on-write runtime snapshots, so
+    :meth:`materialize` must be a pure function of ``(template
+    identity, template state, runtime state)``: materializing the same
+    template, in the same state, into observationally identical
+    runtimes must produce bit-identical results (same region layout,
+    same descriptor numbers, same kernel side effects).  Every
+    materialization goes through the runtime's deterministic
+    allocators, so this holds for all built-in templates; templates
+    must not consult global mutable state or entropy.
     """
 
     label = "case"
@@ -70,6 +83,27 @@ class TestCaseTemplate:
         injector should retry the call with the adjusted case."""
         return False
 
+    # -- planning hooks (see repro.injector.plan) ----------------------
+    def identity(self) -> tuple:
+        """Stable, id-free content identity of this template.
+
+        Two templates with equal ``(identity(), state())`` pairs must
+        materialize bit-identically into identical runtimes — the
+        soundness condition for the planner's outcome memo and
+        snapshot reuse.  Subclasses whose materialization depends on
+        the object identity (not just content) must fold that
+        dependency in.
+        """
+        return (type(self).__module__, type(self).__qualname__, self.label)
+
+    def state(self):
+        """The mutable adaptive state, or None for immutable cases."""
+        return None
+
+    def restore(self, state) -> None:
+        """Restore :meth:`state` output (memo replay of the adaptive
+        adjustments a recorded run performed)."""
+
 
 @dataclass
 class ValueTemplate(TestCaseTemplate):
@@ -86,6 +120,16 @@ class ValueTemplate(TestCaseTemplate):
 
     def materialize(self, runtime: LibcRuntime) -> Materialized:
         return Materialized(self.value, self.fundamental, self.owned_ranges)
+
+    def identity(self) -> tuple:
+        # repr() of the value keeps NaN-valued templates self-equal.
+        return (
+            type(self).__module__,
+            type(self).__qualname__,
+            self.label,
+            repr(self.value),
+            self.owned_ranges,
+        )
 
 
 class TestCaseGenerator:

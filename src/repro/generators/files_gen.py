@@ -71,6 +71,11 @@ class FileTemplate(TestCaseTemplate):
             fp, self.fundamental, ((fp, fp + FILE_SIZE + OWNERSHIP_SLACK),)
         )
 
+    def identity(self) -> tuple:
+        # The "w" scratch path embeds id(self): identity is
+        # object-scoped, which still keys the planner's run-local memo.
+        return (type(self).__module__, type(self).__qualname__, self.mode, id(self))
+
 
 class CorruptFileTemplate(TestCaseTemplate):
     """Valid descriptor, smashed buffer pointer: the "corrupted data

@@ -81,6 +81,11 @@ class _OpenFdTemplate(TestCaseTemplate):
         fd = runtime.kernel.open(path, flags)
         return Materialized(fd, self.fundamental)
 
+    def identity(self) -> tuple:
+        # The scratch path embeds id(self): identity is object-scoped,
+        # which still keys the planner's run-local memo correctly.
+        return (type(self).__module__, type(self).__qualname__, self.mode, id(self))
+
 
 class _ClosedFdTemplate(TestCaseTemplate):
     """A descriptor that was valid once (open-then-close)."""

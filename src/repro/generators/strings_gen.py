@@ -76,6 +76,16 @@ class StringTemplate(TestCaseTemplate):
         ranges = ((region.base, region.base + region.size + OWNERSHIP_SLACK),)
         return Materialized(region.base, self.fundamental, ranges)
 
+    def identity(self) -> tuple:
+        # The label truncates long contents; identity must not.
+        return (
+            type(self).__module__,
+            type(self).__qualname__,
+            self.content,
+            self.prot.value,
+            self.fundamental.render(),
+        )
+
 
 class CStringGenerator(TestCaseGenerator):
     """Generator for ``const char*`` / ``char*`` arguments."""

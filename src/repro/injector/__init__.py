@@ -19,6 +19,19 @@ from repro.injector.injector import (
     auto_checkable,
     inject_function,
 )
+from repro.injector.plan import (
+    ChainMemo,
+    ChainRecord,
+    InjectionPlan,
+    MEMO_POLICY,
+    PLAN_VERSION,
+    SnapshotLadder,
+    benign_index,
+    clear_plan_cache,
+    compile_plan,
+    plan_shape,
+    shared_plan,
+)
 
 __all__ = [
     "BitFlipCampaign",
@@ -34,4 +47,15 @@ __all__ = [
     "MAX_VECTORS",
     "auto_checkable",
     "inject_function",
+    "ChainMemo",
+    "ChainRecord",
+    "InjectionPlan",
+    "MEMO_POLICY",
+    "PLAN_VERSION",
+    "SnapshotLadder",
+    "benign_index",
+    "clear_plan_cache",
+    "compile_plan",
+    "plan_shape",
+    "shared_plan",
 ]

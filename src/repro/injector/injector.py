@@ -17,11 +17,19 @@ sequences, capped for high-arity functions by per-argument sweeps
 against benign co-arguments plus a deterministic sample of the
 remaining product — the reproduction's version of the paper's
 test-case reduction.
+
+Scheduling and execution are backed by the planning layer
+(:mod:`repro.injector.plan`): the schedule is a compiled
+:class:`~repro.injector.plan.InjectionPlan` shared across functions
+with the same argument-matrix shape, consecutive vectors are served
+from prepared prefix snapshots (COW forks), and outcome-equivalent
+duplicate vectors replay a memoized record instead of re-entering the
+sandbox.  Pass ``plan=None`` for the naive engine; both paths produce
+bit-identical :class:`InjectionReport` objects.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -34,6 +42,15 @@ from repro.libc.catalog import (
     INCONSISTENT,
     NONE_FOUND,
     VOID,
+)
+from repro.injector.plan import (
+    ChainMemo,
+    ChainRecord,
+    SnapshotLadder,
+    benign_index,
+    compile_plan,
+    plan_shape,
+    shared_plan,
 )
 from repro.libc.runtime import LibcRuntime, standard_runtime
 from repro.obs.telemetry import NULL_TELEMETRY
@@ -107,7 +124,15 @@ class FaultInjector:
         max_vectors: int = MAX_VECTORS,
         checkable: Callable = auto_checkable,
         telemetry=NULL_TELEMETRY,
+        plan: Optional[str] = "shared",
     ) -> None:
+        if plan not in (None, "shared", "private"):
+            raise ValueError(f"unknown plan mode: {plan!r}")
+        #: "shared" uses the process-global plan cache plus snapshot
+        #: reuse and outcome memoization; "private" compiles an
+        #: uncached plan with the same execution engine; None runs the
+        #: naive engine (fresh fork + full materialization per call).
+        self.plan = plan
         self.spec = spec
         self.parser = parser or DeclarationParser(typedef_table())
         self.prototype = self.parser.parse_prototype(spec.prototype)
@@ -126,6 +151,18 @@ class FaultInjector:
     def run(self) -> InjectionReport:
         """Execute the full injection campaign for this function."""
         telemetry = self.telemetry
+        #: Per-vector span construction is skipped entirely when
+        #: telemetry is off — the hot loop must not pay for disabled
+        #: observability (see benchmarks/test_bench_obs_overhead.py).
+        live = telemetry.enabled
+        if live:
+            # Bound methods cached as locals: the loop below records
+            # one span per vector, so attribute chains add up.
+            tracer = telemetry.tracer
+            clock = tracer.clock
+            open_span = tracer.open_span
+            close_span = tracer.close_span
+            span_context = getattr(telemetry, "context", None)
         templates_per_arg = [
             [t for g in gens for t in g.templates()] for gens in self.generators
         ]
@@ -138,35 +175,75 @@ class FaultInjector:
         retry_counter = telemetry.counter("injector.retries")
 
         with telemetry.span("injector.function") as function_span:
-            vectors = list(self._enumerate_vectors(templates_per_arg))
+            if self.plan is None:
+                plan = None
+                ladder = memo = None
+                vectors = list(self._enumerate_vectors(templates_per_arg))
+            else:
+                shape = plan_shape(templates_per_arg)
+                if self.plan == "shared":
+                    plan = shared_plan(shape, self.max_vectors)
+                else:
+                    plan = compile_plan(shape, self.max_vectors)
+                vectors = plan.bind(templates_per_arg)
+                ladder = SnapshotLadder(base_runtime)
+                memo = ChainMemo()
             for index, vector in enumerate(vectors):
-                with telemetry.span("injector.vector", index=index) as vector_span:
-                    outcome, materialized, blamed, vector_retries, intermediate = (
-                        self._run_vector(sandbox, base_runtime, vector)
-                    )
-                    vector_span.set(
-                        status=outcome.status.name, retries=vector_retries
-                    )
-                calls += 1 + vector_retries
-                retries += vector_retries
-                retry_counter.inc(vector_retries)
+                record = key = None
+                if memo is not None:
+                    key = memo.key(vector)
+                    record = memo.lookup(key)
+                if record is not None:
+                    # Outcome-equivalent duplicate: replay the recorded
+                    # run (including its adaptive state evolution); the
+                    # observations below are the recorded ones, so the
+                    # report stays bit-identical to the naive path.
+                    memo.replay(record, vector)
+                else:
+                    extend_to = plan.reuse[index] if plan is not None else 0
+                    if live:
+                        # Hot-loop span protocol: one attrs dict, no
+                        # context-manager machinery (see Tracer).
+                        started = clock()
+                        vector_id = open_span()
+                        record = self._execute_vector(
+                            sandbox, base_runtime, vector, ladder, extend_to, key
+                        )
+                        close_span(
+                            vector_id,
+                            "injector.vector",
+                            started,
+                            {
+                                "index": index,
+                                "status": record.status_name,
+                                "retries": record.retries,
+                            },
+                            span_context,
+                        )
+                    else:
+                        record = self._execute_vector(
+                            sandbox, base_runtime, vector, ladder, extend_to, key
+                        )
+                    if memo is not None:
+                        memo.store(key, record)
+                calls += 1 + record.retries
+                retries += record.retries
+                retry_counter.inc(record.retries)
                 # Adjusted-away attempts are part of the generator's test
                 # case sequence ("a posteriori we know the sequence") and
                 # enter the robust type computation as crashes.
-                observations.extend(intermediate)
-                crashes += len(intermediate)
-                fundamentals = tuple(m.fundamental for m in materialized)
-                result = self._classify_outcome(outcome)
-                if result is TestResult.FAILURE:
-                    if outcome.status is CallStatus.HUNG:
+                observations.extend(record.intermediate)
+                crashes += len(record.intermediate)
+                if record.observation.result is TestResult.FAILURE:
+                    if record.hung:
                         hangs += 1
                     else:
                         crashes += 1
                 else:
-                    returned_values.append(outcome.return_value)
-                    if outcome.errno_was_set:
-                        errno_returns.append((outcome.return_value, outcome.errno))
-                observations.append(VectorObservation(fundamentals, result, blamed))
+                    returned_values.append(record.return_value)
+                    if record.errno_was_set:
+                        errno_returns.append((record.return_value, record.errno))
+                observations.append(record.observation)
 
             errno_class = self._classify_errno(errno_returns)
             unsafe = crashes + hangs > 0
@@ -179,6 +256,13 @@ class FaultInjector:
                 hangs=hangs,
                 unsafe=unsafe,
             )
+            if plan is not None:
+                function_span.set(
+                    plan_digest=plan.digest,
+                    memo_hits=memo.hits,
+                    snapshot_hits=ladder.hits,
+                    snapshot_rebuilds=ladder.rebuilds,
+                )
         telemetry.counter("injector.functions").inc()
         telemetry.counter(
             "injector.verdicts", verdict="unsafe" if unsafe else "safe"
@@ -202,71 +286,58 @@ class FaultInjector:
         self, templates_per_arg: Sequence[Sequence[TestCaseTemplate]]
     ) -> list[tuple[TestCaseTemplate, ...]]:
         """Cross product when small; sweeps plus a deterministic
-        sample when the product explodes."""
-        if not templates_per_arg:
-            return [()]
-        product_size = 1
-        for templates in templates_per_arg:
-            product_size *= len(templates)
-        if product_size <= self.max_vectors:
-            return list(itertools.product(*templates_per_arg))
+        sample when the product explodes.
 
-        benign = [self._benign_template(ts) for ts in templates_per_arg]
-        vectors: list[tuple[TestCaseTemplate, ...]] = []
-        seen: set[tuple[int, ...]] = set()
-
-        def push(vector: tuple[TestCaseTemplate, ...]) -> None:
-            key = tuple(id(t) for t in vector)
-            if key not in seen:
-                seen.add(key)
-                vectors.append(vector)
-
-        # Per-argument sweeps with benign co-arguments: the vectors the
-        # robust type computation most depends on.
-        for index, templates in enumerate(templates_per_arg):
-            for template in templates:
-                vector = list(benign)
-                vector[index] = template
-                push(tuple(vector))
-        # Deterministic stratified sample of the remaining product.
-        stride = max(1, product_size // max(1, self.max_vectors - len(vectors)))
-        for counter, vector in enumerate(itertools.product(*templates_per_arg)):
-            if len(vectors) >= self.max_vectors:
-                break
-            if counter % stride == 0:
-                push(vector)
-        return vectors
+        Compiled in index space with stable ``(argument, template
+        index)`` dedup coordinates — the same code path that backs
+        shared plans — then bound to the concrete templates.
+        """
+        plan = compile_plan(plan_shape(templates_per_arg), self.max_vectors)
+        return plan.bind(templates_per_arg)
 
     @staticmethod
     def _benign_template(templates: Sequence[TestCaseTemplate]) -> TestCaseTemplate:
         """The template most likely to be a valid argument; used to
         hold co-arguments steady during sweeps."""
-        ranking = (
-            "STRING_RW",
-            "RW_FILE",
-            "OPEN_DIR",
-            "VALID_FUNCPTR",
-            "VALID_MODE",
-            "FD_RONLY(tty)",
-        )
-        for marker in ranking:
-            for template in templates:
-                if marker in template.label:
-                    return template
-        for template in templates:
-            label = template.label
-            if "RW_FIXED" in label:
-                return template
-            if label.startswith(("SIZE_SMALL=16", "INT_SMALL_POS=2")):
-                return template
-        return templates[0]
+        return templates[benign_index([t.label for t in templates])]
 
     # ------------------------------------------------------------------
+    def _execute_vector(
+        self,
+        sandbox: Sandbox,
+        base_runtime: LibcRuntime,
+        vector: tuple[TestCaseTemplate, ...],
+        ladder: Optional[SnapshotLadder],
+        extend_to: int,
+        key: Optional[tuple] = None,
+    ) -> ChainRecord:
+        """Run one vector and distill everything the campaign
+        accounting (and the outcome memo) needs from it."""
+        outcome, materialized, blamed, vector_retries, intermediate = self._run_vector(
+            sandbox, base_runtime, vector, ladder, extend_to, key
+        )
+        fundamentals = tuple(m.fundamental for m in materialized)
+        result = self._classify_outcome(outcome)
+        return ChainRecord(
+            observation=VectorObservation(fundamentals, result, blamed),
+            intermediate=tuple(intermediate),
+            retries=vector_retries,
+            status_name=outcome.status.name,
+            hung=outcome.status is CallStatus.HUNG,
+            return_value=outcome.return_value,
+            errno_was_set=outcome.errno_was_set,
+            errno=outcome.errno,
+            post_states=tuple(t.state() for t in vector),
+        )
+
     def _run_vector(
         self,
         sandbox: Sandbox,
         base_runtime: LibcRuntime,
         vector: tuple[TestCaseTemplate, ...],
+        ladder: Optional[SnapshotLadder] = None,
+        extend_to: int = 0,
+        key: Optional[tuple] = None,
     ) -> tuple[
         CallOutcome,
         list[Materialized],
@@ -279,12 +350,25 @@ class FaultInjector:
         Returns the final outcome plus the observations for every
         adjusted-away intermediate attempt (each was a real crashing
         test case of the generator's sequence).
+
+        With a ladder, the runtime is served from the deepest prepared
+        prefix snapshot (an adjusted template invalidates its rung, so
+        retries re-serve correctly); without one, every attempt forks
+        the base runtime and materializes the whole vector.
         """
         retries = 0
         intermediate: list[VectorObservation] = []
         while True:
-            runtime = base_runtime.fork()
-            materialized = [t.materialize(runtime) for t in vector]
+            if ladder is None:
+                runtime = base_runtime.fork()
+                materialized = [t.materialize(runtime) for t in vector]
+            else:
+                # The caller's precomputed key chain describes the
+                # pre-attempt states, so it is only valid for the
+                # first attempt; adjusted retries recompute.
+                runtime, materialized = ladder.serve(
+                    vector, extend_to, keys=key if retries == 0 else None
+                )
             outcome = sandbox.call(
                 self.spec.model, [m.value for m in materialized], runtime
             )
@@ -368,6 +452,7 @@ def inject_function(
     max_vectors: int = MAX_VECTORS,
     checkable: Callable = auto_checkable,
     telemetry=NULL_TELEMETRY,
+    plan: Optional[str] = "shared",
 ) -> InjectionReport:
     """Convenience: build and run the injector for a catalog function."""
     from repro.libc.catalog import BY_NAME
@@ -378,5 +463,6 @@ def inject_function(
         max_vectors=max_vectors,
         checkable=checkable,
         telemetry=telemetry,
+        plan=plan,
     )
     return injector.run()

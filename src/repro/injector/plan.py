@@ -1,0 +1,417 @@
+"""Injector vector planning: shared plans, snapshot ladders, memos.
+
+The naive injector re-derives the same three artefacts for every
+function it tests:
+
+1. **the vector schedule** — the capped cross product of the
+   per-argument template sequences.  Its structure depends only on the
+   *shape* of the argument matrix (the per-argument label sequences)
+   and the vector cap, so functions with the same prototype shape and
+   generator set can share one compiled :class:`InjectionPlan`;
+2. **benign co-argument state** — during a sweep, every co-argument is
+   re-materialized from scratch for each vector even though only one
+   argument varies.  A :class:`SnapshotLadder` pre-materializes vector
+   prefixes into prepared runtime images (COW forks via
+   :class:`repro.libc.runtime.PreparedSnapshot`) so each call only
+   materializes the varying suffix;
+3. **duplicate call outcomes** — paired generators contribute
+   identical NULL/INVALID cases for the same slot, so the schedule
+   contains vectors that are outcome-equivalent by construction.  A
+   :class:`ChainMemo` keyed on the per-slot ``(identity(), state())``
+   chain replays the recorded outcome instead of re-entering the
+   sandbox.  Memo hits are still recorded as real observations, so the
+   resulting :class:`~repro.injector.InjectionReport` is bit-identical
+   to the naive path's.
+
+Soundness rests on two contracts pinned down by the golden
+equivalence tests (``tests/test_injector_plan.py``):
+
+* :meth:`~repro.generators.base.TestCaseTemplate.materialize` is a
+  pure function of ``(identity, state, runtime state)`` — see the
+  snapshot-safe materialization contract on the template base class;
+* :meth:`~repro.libc.runtime.LibcRuntime.fork` is observationally a
+  deep copy, so serving a vector from a prefix snapshot is
+  state-identical to materializing the whole vector into a fresh fork.
+
+Everything here is deterministic: plans are content-addressed
+(:attr:`InjectionPlan.digest`) and the planner fingerprint
+(:data:`PLAN_VERSION`, :data:`MEMO_POLICY`) is folded into the
+campaign outcome digest so cached campaign results are invalidated
+whenever the planning semantics change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.generators.base import Materialized, TestCaseTemplate
+from repro.libc.runtime import LibcRuntime, PreparedSnapshot
+from repro.typelattice import VectorObservation
+
+#: Bumped whenever compiled plan structure or scheduling semantics
+#: change; folded into the campaign outcome digest.
+PLAN_VERSION = 1
+
+#: Identifies the memoization soundness policy in effect (what may be
+#: skipped and why); folded into the campaign outcome digest.
+MEMO_POLICY = "chain-identity-v1"
+
+#: Benign co-argument ranking (most likely valid argument first); the
+#: plan-level twin of the injector's historical ``_benign_template``.
+_BENIGN_RANKING = (
+    "STRING_RW",
+    "RW_FILE",
+    "OPEN_DIR",
+    "VALID_FUNCPTR",
+    "VALID_MODE",
+    "FD_RONLY(tty)",
+)
+
+
+def benign_index(labels: Sequence[str]) -> int:
+    """Index of the template most likely to be a valid argument.
+
+    Operates purely on labels so compiled plans stay shareable across
+    functions; the ranking and tie-breaking order are exactly the
+    injector's original object-level selection.
+    """
+    for marker in _BENIGN_RANKING:
+        for index, label in enumerate(labels):
+            if marker in label:
+                return index
+    for index, label in enumerate(labels):
+        if "RW_FIXED" in label:
+            return index
+        if label.startswith(("SIZE_SMALL=16", "INT_SMALL_POS=2")):
+            return index
+    return 0
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """A compiled, content-addressed vector schedule.
+
+    Vectors live in *index space* — ``vectors[i][slot]`` is an index
+    into argument ``slot``'s template sequence — which is what makes a
+    plan shareable across every function whose argument matrix has
+    the same shape.  :meth:`bind` projects the schedule onto a
+    concrete template matrix.
+    """
+
+    #: Per-argument template label sequences (the shape key).
+    shape: tuple[tuple[str, ...], ...]
+    #: The vector cap the plan was compiled under.
+    max_vectors: int
+    #: Benign template index per argument.
+    benign: tuple[int, ...]
+    #: The schedule: one index tuple per vector, deduplicated.
+    vectors: tuple[tuple[int, ...], ...]
+    #: True when the cross product exceeded the cap (sweeps + sample).
+    capped: bool
+    #: ``reuse[i]`` = length of the prefix ``vectors[i]`` shares with
+    #: ``vectors[i + 1]`` (0 for the last vector): how deep the
+    #: snapshot ladder should be extended while serving vector ``i``.
+    reuse: tuple[int, ...]
+    #: Content address over (version, shape, cap, schedule).
+    digest: str
+
+    @property
+    def arity(self) -> int:
+        return len(self.shape)
+
+    def bind(
+        self, templates_per_arg: Sequence[Sequence[TestCaseTemplate]]
+    ) -> list[tuple[TestCaseTemplate, ...]]:
+        """Project the index-space schedule onto concrete templates."""
+        return [
+            tuple(templates_per_arg[slot][index] for slot, index in enumerate(vector))
+            for vector in self.vectors
+        ]
+
+
+def plan_shape(
+    templates_per_arg: Sequence[Sequence[TestCaseTemplate]],
+) -> tuple[tuple[str, ...], ...]:
+    """The label matrix that keys plan sharing."""
+    return tuple(
+        tuple(template.label for template in templates) for templates in templates_per_arg
+    )
+
+
+def compile_plan(
+    shape: Sequence[Sequence[str]], max_vectors: int
+) -> InjectionPlan:
+    """Compile the capped cross product schedule for one shape.
+
+    Mirrors the injector's historical enumeration exactly, in index
+    space: full product when it fits the cap, otherwise per-argument
+    sweeps against benign co-arguments plus a deterministic stratified
+    sample of the remaining product.  Deduplication uses the stable
+    ``(slot, template index)`` coordinates — within an argument every
+    template object is unique, so index dedup is equivalent to the old
+    object-identity dedup while surviving pickling and plan sharing.
+    """
+    shape = tuple(tuple(labels) for labels in shape)
+    if not shape:
+        vectors: tuple[tuple[int, ...], ...] = ((),)
+        benign: tuple[int, ...] = ()
+        capped = False
+    else:
+        counts = [len(labels) for labels in shape]
+        product_size = 1
+        for count in counts:
+            product_size *= count
+        benign = tuple(benign_index(labels) for labels in shape)
+        ranges = [range(count) for count in counts]
+        if product_size <= max_vectors:
+            vectors = tuple(itertools.product(*ranges))
+            capped = False
+        else:
+            capped = True
+            out: list[tuple[int, ...]] = []
+            seen: set[tuple[int, ...]] = set()
+
+            def push(vector: tuple[int, ...]) -> None:
+                if vector not in seen:
+                    seen.add(vector)
+                    out.append(vector)
+
+            # Per-argument sweeps with benign co-arguments: the vectors
+            # the robust type computation most depends on.
+            for slot, count in enumerate(counts):
+                for index in range(count):
+                    vector = list(benign)
+                    vector[slot] = index
+                    push(tuple(vector))
+            # Deterministic stratified sample of the remaining product.
+            stride = max(1, product_size // max(1, max_vectors - len(out)))
+            for counter, vector in enumerate(itertools.product(*ranges)):
+                if len(out) >= max_vectors:
+                    break
+                if counter % stride == 0:
+                    push(vector)
+            vectors = tuple(out)
+
+    reuse = []
+    for index in range(len(vectors)):
+        if index + 1 < len(vectors):
+            this, following = vectors[index], vectors[index + 1]
+            shared = 0
+            while shared < len(this) and this[shared] == following[shared]:
+                shared += 1
+            reuse.append(shared)
+        else:
+            reuse.append(0)
+
+    digest = hashlib.sha256(
+        repr((PLAN_VERSION, shape, max_vectors, benign, vectors, capped)).encode()
+    ).hexdigest()
+    return InjectionPlan(
+        shape=shape,
+        max_vectors=max_vectors,
+        benign=benign,
+        vectors=vectors,
+        capped=capped,
+        reuse=tuple(reuse),
+        digest=digest,
+    )
+
+
+#: Process-global compiled plan cache; catalog functions with equal
+#: shapes (strcpy/strcat, the whole str* family, ...) share one plan.
+_PLAN_CACHE: dict[tuple[tuple[tuple[str, ...], ...], int], InjectionPlan] = {}
+_PLAN_LOCK = threading.Lock()
+
+
+def shared_plan(
+    shape: Sequence[Sequence[str]], max_vectors: int
+) -> InjectionPlan:
+    """The process-wide plan for this shape, compiling on first use."""
+    key = (tuple(tuple(labels) for labels in shape), max_vectors)
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is None:
+            plan = compile_plan(key[0], max_vectors)
+            _PLAN_CACHE[key] = plan
+        return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop all shared plans (test isolation hook)."""
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+
+
+def template_key(template: TestCaseTemplate) -> tuple:
+    """The soundness key: equal keys materialize bit-identically."""
+    return (template.identity(), template.state())
+
+
+class TemplateKeyCache:
+    """Per-run identity cache for hot-loop key construction.
+
+    ``identity()`` is immutable for a template's lifetime, so within
+    one injector run (templates stay alive throughout, object ids are
+    stable) it is computed once per template; only the mutable
+    ``state()`` component is re-read per vector.  A ``state()`` of
+    None declares the template immutable (the base-class contract),
+    so its whole key is cached and the per-vector re-read skipped —
+    only adaptive templates pay for state tracking in the hot loop.
+    """
+
+    __slots__ = ("_identities", "_frozen")
+
+    def __init__(self) -> None:
+        self._identities: dict[int, tuple] = {}
+        self._frozen: dict[int, tuple] = {}
+
+    def key(self, template: TestCaseTemplate) -> tuple:
+        key = self._frozen.get(id(template))
+        if key is not None:
+            return key
+        identity = self._identities.get(id(template))
+        if identity is None:
+            identity = self._identities[id(template)] = template.identity()
+        state = template.state()
+        key = (identity, state)
+        if state is None:
+            self._frozen[id(template)] = key
+        return key
+
+    def vector_key(self, vector: Sequence[TestCaseTemplate]) -> tuple:
+        return tuple(self.key(template) for template in vector)
+
+
+@dataclass
+class _Level:
+    """One rung: the prefix ending at this slot, prepared."""
+
+    key: tuple
+    snapshot: PreparedSnapshot
+    materialized: Materialized
+
+
+class SnapshotLadder:
+    """Prepared prefix snapshots for consecutive schedule vectors.
+
+    Level ``k`` holds the runtime image obtained by materializing the
+    current vector prefix ``templates[0..k]`` into a fork of the base
+    runtime, plus that slot's :class:`Materialized`.  Serving a vector
+    checks out (COW-forks) the deepest level whose ``(identity,
+    state)`` chain still matches and only materializes the remaining
+    suffix.  A mismatch — the schedule moved on, or an adaptive
+    template adjusted — truncates the ladder at that slot.
+    """
+
+    def __init__(self, base_runtime: LibcRuntime) -> None:
+        self._base = base_runtime
+        self._levels: list[_Level] = []
+        #: serves that reused at least one prepared level
+        self.hits = 0
+        #: serves that truncated stale levels
+        self.rebuilds = 0
+
+    def serve(
+        self,
+        vector: Sequence[TestCaseTemplate],
+        extend_to: int = 0,
+        keys: Optional[Sequence[tuple]] = None,
+    ) -> tuple[LibcRuntime, list[Materialized]]:
+        """A runtime with ``vector`` fully materialized, plus the
+        per-argument cases — state-identical to materializing the
+        whole vector into a fresh fork of the base runtime.
+
+        ``extend_to`` is how many leading slots the *next* vector
+        shares (:attr:`InjectionPlan.reuse`): snapshots are built for
+        exactly that prefix so the following serve can check them out.
+        ``keys`` lets the caller pass the vector's precomputed
+        ``template_key`` chain (it must describe the *current* states).
+        """
+        if keys is None:
+            keys = [template_key(template) for template in vector]
+        levels = self._levels
+        depth = 0
+        while (
+            depth < len(levels)
+            and depth < len(vector)
+            and levels[depth].key == keys[depth]
+        ):
+            depth += 1
+        if depth < len(levels):
+            del levels[depth:]
+            self.rebuilds += 1
+        if depth:
+            self.hits += 1
+        cases = [level.materialized for level in levels[:depth]]
+        # Build missing rungs up to the prefix the next vector reuses.
+        extend_to = min(extend_to, len(vector))
+        while depth < extend_to:
+            image = levels[depth - 1].snapshot.checkout() if depth else self._base.fork()
+            case = vector[depth].materialize(image)
+            levels.append(_Level(keys[depth], PreparedSnapshot(image), case))
+            cases.append(case)
+            depth += 1
+        runtime = levels[depth - 1].snapshot.checkout() if depth else self._base.fork()
+        for template in vector[depth:]:
+            cases.append(template.materialize(runtime))
+        return runtime, cases
+
+
+@dataclass(frozen=True)
+class ChainRecord:
+    """Everything the injector's accounting derives from one vector."""
+
+    #: the final observation (fundamentals, result class, blame)
+    observation: VectorObservation
+    #: observations of the adjusted-away intermediate attempts
+    intermediate: tuple[VectorObservation, ...]
+    retries: int
+    #: sandbox status name of the final attempt (span attribute)
+    status_name: str
+    #: FAILURE split: True counts as a hang, False as a crash
+    hung: bool
+    return_value: object
+    errno_was_set: bool
+    errno: int
+    #: per-slot ``state()`` after the run (adaptive growth included)
+    post_states: tuple
+
+
+class ChainMemo:
+    """Outcome memo keyed on the vector's identity/state chain.
+
+    Two vectors with equal chains materialize bit-identically from the
+    same base runtime, so their sandbox runs are exchangeable: the
+    recorded :class:`ChainRecord` is replayed — restoring the adaptive
+    post-states the naive run would have produced — and the sandbox is
+    skipped.  Replayed observations are the recorded ones, keeping the
+    report bit-identical to the naive path.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[tuple, ChainRecord] = {}
+        self._keys = TemplateKeyCache()
+        self.hits = 0
+
+    def key(self, vector: Sequence[TestCaseTemplate]) -> tuple:
+        """The vector's current identity/state chain (cached ids)."""
+        return self._keys.vector_key(vector)
+
+    def lookup(self, key: tuple) -> Optional[ChainRecord]:
+        record = self._records.get(key)
+        if record is not None:
+            self.hits += 1
+        return record
+
+    def store(self, key: tuple, record: ChainRecord) -> None:
+        self._records[key] = record
+
+    @staticmethod
+    def replay(record: ChainRecord, vector: Sequence[TestCaseTemplate]) -> None:
+        """Apply the recorded adaptive state evolution to ``vector``."""
+        for template, state in zip(vector, record.post_states):
+            template.restore(state)

@@ -54,7 +54,6 @@ BUFFER_SIZE = 128
 #: mechanism behind "fopen and freopen crash when the mode string is
 #: invalid" (paper section 6).
 _MODE_TABLE_SLOTS = 3
-_mode_table_base_cache: dict[int, int] = {}
 
 
 class _ModeRejected(Exception):
@@ -63,13 +62,21 @@ class _ModeRejected(Exception):
 
 
 def _mode_table_base(ctx: CallContext) -> int:
-    key = id(ctx.runtime)
-    base = _mode_table_base_cache.get(key)
-    if base is None or ctx.mem.region_at(base) is None:
-        region = ctx.mem.map_region(_MODE_TABLE_SLOTS * 8, label="fopen mode table")
-        base = region.base
-        _mode_table_base_cache[key] = base
-    return base
+    """Map (once per runtime) and return the mode jump table.
+
+    The base lives on the runtime itself (like ``ctype_table_base``)
+    so forked children inherit it with their copy of the region.  A
+    module-level cache keyed by ``id(runtime)`` is not sound here:
+    per-call runtimes are garbage-collected and a later fork can
+    reuse the id, making the jump-table probe — and therefore fault
+    addresses and blame attribution — depend on allocator reuse.
+    """
+    base = ctx.runtime.fopen_mode_table_base
+    if base is not None and ctx.mem.region_at(base) is not None:
+        return base
+    region = ctx.mem.map_region(_MODE_TABLE_SLOTS * 8, label="fopen mode table")
+    ctx.runtime.fopen_mode_table_base = region.base
+    return region.base
 
 
 def alloc_file(ctx: CallContext, fd: int, readable: bool, writable: bool) -> int:

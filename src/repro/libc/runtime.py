@@ -28,7 +28,11 @@ class LibcRuntime:
     ) -> None:
         self.space = space or AddressSpace()
         self.heap = Heap(self.space)
-        self.kernel = kernel or Kernel()
+        self._kernel = kernel or Kernel()
+        #: When True, ``_kernel`` is a frozen image shared with other
+        #: runtimes; the :attr:`kernel` property forks a private copy
+        #: on first touch (copy-on-write at fork granularity).
+        self._kernel_shared = False
         self.errno = 0
         # libc-internal static regions (mapped once per process).
         self._asctime_buffer = self.space.map_region(
@@ -53,6 +57,22 @@ class LibcRuntime:
         self.pid: int = 4711
         #: lazily mapped ctype classification table base address.
         self.ctype_table_base: int | None = None
+        #: lazily mapped fopen mode jump table base address.
+        self.fopen_mode_table_base: int | None = None
+
+    @property
+    def kernel(self) -> Kernel:
+        """The runtime's private kernel, materialized on demand.
+
+        After :meth:`fork`, parent and child share one frozen kernel
+        image; whichever side next touches ``kernel`` pays for the
+        deep fork.  Most injection vectors never reach the kernel, so
+        string-family sweeps skip the filesystem clone entirely.
+        """
+        if self._kernel_shared:
+            self._kernel = self._kernel.fork()
+            self._kernel_shared = False
+        return self._kernel
 
     # Addresses of the static buffers (models return these). ------------
     @property
@@ -69,12 +89,19 @@ class LibcRuntime:
 
     def fork(self) -> "LibcRuntime":
         """Child-process semantics: observationally a deep copy, but
-        memory is copy-on-write (:meth:`AddressSpace.fork`), so the
-        per-call fork the sandbox performs costs O(region count)."""
+        memory is copy-on-write (:meth:`AddressSpace.fork`) and the
+        kernel fork is deferred until first touch, so the per-call
+        fork the sandbox performs costs O(region count)."""
         clone = LibcRuntime.__new__(LibcRuntime)
         clone.space = self.space.fork()
         clone.heap = self.heap.fork_into(clone.space)
-        clone.kernel = self.kernel.fork()
+        # Kernel fork is lazy: both sides now share ``_kernel`` as a
+        # frozen image and materialize a private fork on first touch
+        # (via the ``kernel`` property).  Re-sharing an already-shared
+        # image is sound — it stays frozen until someone touches it.
+        self._kernel_shared = True
+        clone._kernel = self._kernel
+        clone._kernel_shared = True
         clone.errno = self.errno
         clone._asctime_buffer = clone.space.region_at(self._asctime_buffer.base)
         clone._tm_buffer = clone.space.region_at(self._tm_buffer.base)
@@ -87,7 +114,18 @@ class LibcRuntime:
         clone.umask_value = self.umask_value
         clone.pid = self.pid
         clone.ctype_table_base = self.ctype_table_base
+        clone.fopen_mode_table_base = self.fopen_mode_table_base
         return clone
+
+    def snapshot(self) -> "PreparedSnapshot":
+        """Freeze the current state as a reusable prepared image.
+
+        The injector's planning layer snapshots a runtime after
+        materializing a vector prefix and serves every vector sharing
+        that prefix from a fresh :meth:`PreparedSnapshot.checkout`
+        fork, so only the varying suffix is re-materialized per call.
+        """
+        return PreparedSnapshot.capture(self)
 
     def register_funcptr(self, target) -> int:
         """Map a tiny code region and bind ``target`` (a Python
@@ -100,6 +138,33 @@ class LibcRuntime:
         )
         self.funcptrs[region.base] = target
         return region.base
+
+
+class PreparedSnapshot:
+    """An immutable prepared runtime image served via COW forks.
+
+    Because :meth:`LibcRuntime.fork` is observationally a deep copy,
+    a checkout is state-identical to re-running, from scratch, every
+    operation that produced the image — the property the planner's
+    golden equivalence tests pin down.  The wrapped image is private:
+    nothing mutates it after capture, so checkouts are O(region
+    count) forever.
+    """
+
+    __slots__ = ("_image",)
+
+    def __init__(self, image: LibcRuntime) -> None:
+        #: Callers of the constructor relinquish ``image``; use
+        #: :meth:`capture` to snapshot a runtime that stays live.
+        self._image = image
+
+    @classmethod
+    def capture(cls, runtime: LibcRuntime) -> "PreparedSnapshot":
+        return cls(runtime.fork())
+
+    def checkout(self) -> LibcRuntime:
+        """A private, mutable fork of the prepared image."""
+        return self._image.fork()
 
 
 def standard_runtime() -> LibcRuntime:

@@ -365,6 +365,43 @@ class AddressSpace:
                 remaining -= consumed
         return bytes(out), False, None
 
+    def scan_window(
+        self, address: int, count: int, access: AccessKind = AccessKind.READ
+    ) -> tuple[bytes, Optional[SegmentationFault]]:
+        """Bulk read of up to ``count`` bytes: ``(payload, fault)``.
+
+        The fixed-length twin of :meth:`scan_cstring` for the
+        ``mem*`` model loops: ``payload`` is the accessible prefix of
+        ``[address, address + count)`` and ``fault`` (not raised) is
+        exactly the :class:`SegmentationFault` a per-byte loop would
+        raise after reading ``len(payload)`` bytes.
+        """
+        out = bytearray()
+        cursor = address
+        remaining = count
+        while remaining > 0:
+            if cursor == NULL:
+                return bytes(out), SegmentationFault(
+                    cursor, access, "NULL dereference"
+                )
+            region = self.region_at(cursor)
+            if region is None:
+                return bytes(out), SegmentationFault(
+                    cursor, access, "unmapped address"
+                )
+            try:
+                region.check_access(cursor, 1, access)
+            except SegmentationFault as fault:
+                return bytes(out), fault
+            take = min(region.end - cursor, remaining)
+            offset = cursor - region.base
+            out += region.data[offset : offset + take]
+            self.access_count += 1
+            self.bytes_read += take
+            cursor += take
+            remaining -= take
+        return bytes(out), None
+
     def read_cstring(self, address: int, limit: int | None = None) -> bytes:
         """Read a NUL-terminated string starting at ``address``.
 

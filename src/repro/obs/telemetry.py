@@ -191,7 +191,9 @@ class ScopedTelemetry:
 
     # -- tracing -------------------------------------------------------
     def span(self, name: str, **attrs: object) -> Span:
-        return self._base.span(name, **self._merged(attrs))
+        # Context is attached, not merged: the per-span dict copy is
+        # deferred until the record leaves the ring buffer.
+        return self._base.tracer.scoped_span(name, self.context, attrs)
 
     def event(self, name: str, **attrs: object) -> None:
         self._base.event(name, **self._merged(attrs))

@@ -38,7 +38,10 @@ class Span:
     terminal status, a function's crash count).
     """
 
-    __slots__ = ("tracer", "span_id", "parent_id", "name", "attrs", "start", "end")
+    __slots__ = (
+        "tracer", "span_id", "parent_id", "name", "attrs", "context",
+        "start", "end",
+    )
 
     def __init__(
         self,
@@ -47,12 +50,16 @@ class Span:
         parent_id: Optional[int],
         name: str,
         attrs: dict[str, object],
+        context: Optional[dict[str, object]] = None,
     ) -> None:
         self.tracer = tracer
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
         self.attrs = attrs
+        #: Scope context, merged under ``attrs`` lazily (explicit
+        #: attrs win) when the record leaves the ring buffer.
+        self.context = context
         self.start = 0.0
         self.end: Optional[float] = None
 
@@ -65,6 +72,22 @@ class Span:
         if self.end is None:
             return 0.0
         return self.end - self.start
+
+    def to_record(self) -> dict:
+        """The buffered dict form; built on demand (``records()``),
+        never in the hot loop."""
+        attrs = self.attrs
+        if self.context:
+            attrs = {**self.context, **attrs}
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start - self.tracer.epoch,
+            "duration": self.duration,
+            "attrs": attrs,
+        }
 
     def __enter__(self) -> "Span":
         self.start = self.tracer.clock()
@@ -82,17 +105,11 @@ class Span:
             stack.pop()
         if stack:
             stack.pop()
-        self.tracer._record(
-            {
-                "type": "span",
-                "id": self.span_id,
-                "parent": self.parent_id,
-                "name": self.name,
-                "start": round(self.start - self.tracer.epoch, 9),
-                "duration": round(self.duration, 9),
-                "attrs": self.attrs,
-            }
-        )
+        # The span object itself is buffered; no dict is built and no
+        # timestamp is rounded here.  This runs once per sandbox call,
+        # so the hot path stays allocation-minimal — records() and the
+        # JSONL exporter materialize dicts when the trace is read.
+        self.tracer._record(self)
 
 
 class Tracer:
@@ -105,10 +122,12 @@ class Tracer:
         self.dropped = 0
         self._next_id = 1
         self._stack: list[int] = []
-        self._buffer: collections.deque[dict] = collections.deque(maxlen=capacity)
+        # Holds event dicts, context-managed Spans, and hot-loop span
+        # tuples; records() normalizes all three to the dict schema.
+        self._buffer: collections.deque = collections.deque(maxlen=capacity)
 
     # ------------------------------------------------------------------
-    def _record(self, record: dict) -> None:
+    def _record(self, record) -> None:
         if len(self._buffer) == self.capacity:
             self.dropped += 1
         self._buffer.append(record)
@@ -122,21 +141,124 @@ class Tracer:
         self._next_id += 1
         return Span(self, span_id, self.current_span_id, name, attrs)
 
+    def scoped_span(
+        self, name: str, context: dict[str, object], attrs: dict[str, object]
+    ) -> Span:
+        """A span carrying a scope context without merging it up front
+        (the per-span dict copy is deferred to :meth:`Span.to_record`)."""
+        span_id = self._next_id
+        self._next_id += 1
+        stack = self._stack
+        return Span(self, span_id, stack[-1] if stack else None, name, attrs, context)
+
+    # -- hot-loop protocol ---------------------------------------------
+    # The context-manager Span costs a few microseconds per use (object
+    # protocol, two call sites for attrs, a set() update).  The
+    # injector/sandbox hot loop records two spans per vector, so it
+    # uses this open/close pair instead: one attrs dict, one Span
+    # built at close with start/end already known.
+
+    def open_span(self) -> int:
+        """Reserve a span id and push it as the current parent.
+
+        Pair with :meth:`close_span`; children recorded in between
+        parent to this id exactly as with a context-managed span.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append(span_id)
+        return span_id
+
+    def close_span(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        attrs: dict[str, object],
+        context: Optional[dict[str, object]] = None,
+    ) -> None:
+        """Finish a span reserved with :meth:`open_span` and buffer it.
+
+        Buffers a plain tuple, not a :class:`Span` — packing a tuple
+        is the cheapest record CPython can make, and this runs once
+        per injection vector.  :meth:`records` rehydrates the dict.
+        """
+        end = self.clock()
+        stack = self._stack
+        while stack and stack[-1] != span_id:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self._record(
+            (span_id, stack[-1] if stack else None, name, start, end, attrs, context)
+        )
+
+    def leaf_span(
+        self,
+        name: str,
+        start: float,
+        attrs: dict[str, object],
+        context: Optional[dict[str, object]] = None,
+    ) -> None:
+        """Record a completed childless span in one call.
+
+        The span is never pushed on the parent stack — correct only
+        when nothing recorded between ``start`` and now should parent
+        to it (the sandbox's per-call span qualifies: libc models do
+        not emit telemetry).  Buffered as a tuple like
+        :meth:`close_span`.
+        """
+        end = self.clock()
+        span_id = self._next_id
+        self._next_id += 1
+        stack = self._stack
+        self._record(
+            (span_id, stack[-1] if stack else None, name, start, end, attrs, context)
+        )
+
     def event(self, name: str, **attrs: object) -> None:
         self._record(
             {
                 "type": "event",
                 "parent": self.current_span_id,
                 "name": name,
-                "at": round(self.clock() - self.epoch, 9),
+                "at": self.clock() - self.epoch,
                 "attrs": attrs,
             }
         )
 
     # ------------------------------------------------------------------
     def records(self) -> list[dict]:
-        """Snapshot of the buffered records, oldest first."""
-        return list(self._buffer)
+        """Snapshot of the buffered records, oldest first.
+
+        The buffer holds three shapes: event dicts, context-managed
+        :class:`Span` objects, and hot-loop tuples — the latter two
+        are materialized into the span record schema here.
+        """
+        out: list[dict] = []
+        epoch = self.epoch
+        for record in self._buffer:
+            kind = type(record)
+            if kind is tuple:
+                span_id, parent_id, name, start, end, attrs, context = record
+                if context:
+                    attrs = {**context, **attrs}
+                out.append(
+                    {
+                        "type": "span",
+                        "id": span_id,
+                        "parent": parent_id,
+                        "name": name,
+                        "start": start - epoch,
+                        "duration": end - start,
+                        "attrs": attrs,
+                    }
+                )
+            elif kind is Span:
+                out.append(record.to_record())
+            else:
+                out.append(record)
+        return out
 
     def clear(self) -> None:
         self._buffer.clear()
@@ -151,7 +273,7 @@ class Tracer:
         snapshots or other summary records may be appended by the
         caller via ``extra_records``.
         """
-        records = self.records()
+        records = [_rounded(record) for record in self.records()]
         extras = list(extra_records)
         header = {
             "type": "trace",
@@ -167,6 +289,15 @@ class Tracer:
             for record in extras:
                 handle.write(json.dumps(record, default=str) + "\n")
         return 1 + len(records) + len(extras)
+
+
+def _rounded(record: dict) -> dict:
+    """Nanosecond-round a record's timestamps for compact JSONL."""
+    out = dict(record)
+    for key in ("start", "duration", "at"):
+        if key in out:
+            out[key] = round(out[key], 9)
+    return out
 
 
 def read_trace(path: str | Path) -> list[dict]:

@@ -49,10 +49,16 @@ class CallContext:
         self.runtime = runtime
         self.mem = runtime.space
         self.heap = runtime.heap
-        self.kernel = runtime.kernel
         self.step_budget = step_budget
         self.steps = 0
         self.errno_set = False
+
+    @property
+    def kernel(self) -> Any:
+        # Resolved per access: the runtime's kernel fork is lazy, and
+        # most calls (the whole string family) never touch it — an
+        # eager shortcut here would materialize it on every call.
+        return self.runtime.kernel
 
     def set_errno(self, code: int) -> None:
         """Record an errno write (thread-safe errno is a function in

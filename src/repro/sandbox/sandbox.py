@@ -56,6 +56,18 @@ class Sandbox:
         #: total sandboxed calls, exposed for the benches
         self.call_count = 0
         self._status_counts: dict[str, int] = {}
+        # Instrument references held once so the per-call path skips
+        # the registry lookup (the registry hands out stable objects).
+        if telemetry.enabled:
+            self._read_counter = telemetry.counter("memory.bytes_read")
+            self._written_counter = telemetry.counter("memory.bytes_written")
+            self._call_counters: dict[str, Any] = {}
+            self._span_context = getattr(telemetry, "context", None)
+            # Bound methods cached once: the per-call path below runs
+            # hundreds of thousands of times per campaign.
+            tracer = telemetry.tracer
+            self._clock = tracer.clock
+            self._leaf_span = tracer.leaf_span
 
     @property
     def stats(self) -> dict[str, int]:
@@ -78,21 +90,42 @@ class Sandbox:
         # errno is only reported when the callee writes it, so clear
         # the "was set" tracking per call via a fresh context.
         ctx = CallContext(target, self.step_budget)
-        space = ctx.mem
-        read_before = getattr(space, "bytes_read", 0)
-        written_before = getattr(space, "bytes_written", 0)
-        with self.telemetry.span("sandbox.call") as span:
+        if not self.telemetry.enabled:
+            # Hot path: with telemetry off, skip span/counter
+            # construction entirely; only the local stats survive.
             outcome = self._execute(function, arguments, target, ctx)
             status = outcome.status.name
             self._status_counts[status] = self._status_counts.get(status, 0) + 1
-            self.telemetry.counter("sandbox.calls", status=status).inc()
-            self.telemetry.counter("memory.bytes_read").inc(
-                getattr(space, "bytes_read", 0) - read_before
+            return outcome
+        space = ctx.mem
+        try:
+            read_before = space.bytes_read
+            written_before = space.bytes_written
+        except AttributeError:
+            read_before = written_before = 0
+        started = self._clock()
+        outcome = self._execute(function, arguments, target, ctx)
+        status = outcome.status.name
+        self._status_counts[status] = self._status_counts.get(status, 0) + 1
+        counter = self._call_counters.get(status)
+        if counter is None:
+            counter = self._call_counters[status] = self.telemetry.counter(
+                "sandbox.calls", status=status
             )
-            self.telemetry.counter("memory.bytes_written").inc(
-                getattr(space, "bytes_written", 0) - written_before
-            )
-            span.set(status=status, steps=outcome.steps)
+        counter.inc()
+        try:
+            self._read_counter.inc(space.bytes_read - read_before)
+            self._written_counter.inc(space.bytes_written - written_before)
+        except AttributeError:
+            pass
+        # Leaf span, recorded in one call: libc models emit no
+        # telemetry, so nothing can need this span as a parent.
+        self._leaf_span(
+            "sandbox.call",
+            started,
+            {"status": status, "steps": outcome.steps},
+            self._span_context,
+        )
         return outcome
 
     @staticmethod

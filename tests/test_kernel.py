@@ -144,3 +144,57 @@ class TestEnvironmentAndFork:
         assert clone.get_termios(0).input_speed == 9
         clone.get_termios(0).input_speed = 13
         assert kernel.get_termios(0).input_speed == 9
+
+
+class TestLazyRuntimeKernelFork:
+    """LibcRuntime defers the kernel deep-fork until first touch;
+    the observable semantics must stay exactly fork-per-call."""
+
+    def test_fork_shares_until_touched(self):
+        from repro.libc.runtime import standard_runtime
+
+        parent = standard_runtime()
+        child = parent.fork()
+        # Both sides share the frozen image until one of them reads.
+        assert parent._kernel is child._kernel
+        assert parent._kernel_shared and child._kernel_shared
+        child.kernel  # first touch materializes a private copy
+        assert not child._kernel_shared
+        assert child._kernel is not parent._kernel
+
+    def test_mutations_stay_private_both_directions(self):
+        from repro.libc.runtime import standard_runtime
+
+        parent = standard_runtime()
+        child = parent.fork()
+        child.kernel.add_file("/tmp/child.txt", b"child")
+        parent.kernel.add_file("/tmp/parent.txt", b"parent")
+        with pytest.raises(KernelError):
+            parent.kernel.lookup("/tmp/child.txt")
+        with pytest.raises(KernelError):
+            child.kernel.lookup("/tmp/parent.txt")
+        # Shared pre-fork content is visible to both.
+        assert parent.kernel.lookup("/etc/passwd").data
+        assert child.kernel.lookup("/etc/passwd").data
+
+    def test_chained_forks_from_untouched_parent(self):
+        from repro.libc.runtime import standard_runtime
+
+        base = standard_runtime()
+        first = base.fork()
+        second = base.fork()  # base still shared from the first fork
+        first.kernel.add_file("/tmp/a.txt", b"a")
+        with pytest.raises(KernelError):
+            second.kernel.lookup("/tmp/a.txt")
+        with pytest.raises(KernelError):
+            base.kernel.lookup("/tmp/a.txt")
+
+    def test_call_context_does_not_materialize(self):
+        from repro.libc.runtime import LibcRuntime
+        from repro.sandbox.context import CallContext
+
+        runtime = LibcRuntime().fork()
+        CallContext(runtime)  # constructing a context is kernel-free
+        assert runtime._kernel_shared
+        assert CallContext(runtime).kernel is runtime.kernel
+        assert not runtime._kernel_shared
