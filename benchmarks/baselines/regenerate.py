@@ -1,0 +1,78 @@
+"""Regenerate the CI campaign baseline (or a fresh document to compare
+against it).
+
+Runs the small deterministic campaign the CI dashboard gate uses and
+writes its totals as a BENCH-format document under the ``ci_campaign``
+bench name, so the committed baseline and a fresh run land on the same
+ledger series:
+
+    PYTHONPATH=src python benchmarks/baselines/regenerate.py            # update the committed baseline
+    PYTHONPATH=src python benchmarks/baselines/regenerate.py --out X.json --cache-dir C --ledger L
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+FUNCTIONS = ["abs", "labs", "atoi", "strlen", "strcpy"]
+BASELINE_PATH = Path(__file__).resolve().parent / "ci_campaign_baseline.json"
+
+
+def campaign_totals(cache_dir: Path, ledger_path: Path) -> dict:
+    from repro.campaign.runner import CampaignConfig, CampaignRunner
+    from repro.obs.ledger import Ledger
+
+    config = CampaignConfig(cache_dir=cache_dir, ledger=ledger_path)
+    CampaignRunner(FUNCTIONS, config=config).run()
+    series = Ledger(ledger_path).bench_series()
+    totals = {
+        metric: points[-1]["value"]
+        for (bench, metric), points in series.items()
+        if bench.startswith("campaign.")
+    }
+    if not totals:
+        raise SystemExit("campaign produced no ledger totals")
+    return {
+        metric: int(value) if float(value).is_integer() else value
+        for metric, value in sorted(totals.items())
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=BASELINE_PATH,
+                        help="where to write the BENCH document "
+                             "(default: the committed baseline)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="campaign cache directory (default: a temp dir)")
+    parser.add_argument("--ledger", type=Path, default=None,
+                        help="ledger to run through (default: a temp file)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="ci_campaign_") as scratch:
+        cache_dir = args.cache_dir or Path(scratch) / "cache"
+        ledger_path = args.ledger or Path(scratch) / "ledger.sqlite"
+        totals = campaign_totals(cache_dir, ledger_path)
+
+    document = {
+        "version": 1,
+        "description": (
+            "Totals from a cold `repro campaign run "
+            + " ".join(FUNCTIONS)
+            + "`; regenerate with benchmarks/baselines/regenerate.py "
+            "after an intentional behaviour change."
+        ),
+        "benchmarks": {"ci_campaign": totals},
+    }
+    args.out.write_text(json.dumps(document, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {args.out}: {totals}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,6 +66,9 @@ class CampaignConfig:
     task_retries: int = DEFAULT_TASK_RETRIES
     seed: int = 0
     max_vectors: int = MAX_VECTORS
+    #: When set, the finished campaign is ingested into this results
+    #: ledger (``repro.obs.ledger``) at finalize time.
+    ledger: Optional[Path] = None
 
 
 @dataclass
@@ -255,10 +258,37 @@ class CampaignRunner:
         timings["total"] = time.perf_counter() - total_started
         if self.store is not None:
             self._write_manifest(ident, names, digests, outcomes, timings)
-        return CampaignResult(
+        result = CampaignResult(
             reports=reports, outcomes=outcomes,
             phase_timings=timings, campaign=ident,
         )
+        if config.ledger is not None:
+            self._ingest_ledger(result)
+        return result
+
+    def _ingest_ledger(self, result: CampaignResult) -> None:
+        """Record the finished campaign in the results ledger.
+
+        Ledger trouble (corrupt file, locked db, read-only disk) must
+        never fail a finished campaign — it degrades to a telemetry
+        event.
+        """
+        telemetry = self.telemetry
+        try:
+            from repro.obs.ledger import Ledger  # lazy: obs <-> campaign
+
+            ledger = Ledger(self.config.ledger)
+            run = ledger.ingest_campaign(result)
+            stats = ledger.stats()
+            telemetry.gauge("ledger.runs_total").set(stats["runs_total"])
+            telemetry.gauge("ledger.last_ingest_ts").set(
+                stats["last_ingest_ts"]
+            )
+            telemetry.event(
+                "campaign.ledger", run=run.id, deduped=run.deduped,
+            )
+        except Exception as exc:  # noqa: BLE001 - ledger is best-effort
+            telemetry.event("campaign.ledger_error", error=repr(exc))
 
     # ------------------------------------------------------------------
     def _manifest_path(self) -> Optional[Path]:

@@ -12,7 +12,11 @@ Exposes the pipeline the way the real HEALERS tooling would be driven:
 * ``bitflips``           — the section-9 bit-flip campaign
 * ``diff``               — compare declaration bundles across releases
 * ``list``               — the simulated library's catalog
-* ``report``             — summarize a campaign telemetry trace
+* ``report``             — summarize a campaign telemetry trace, or
+  render the dependability dashboard (``--html``) from the ledger
+* ``ledger``             — the persistent results database:
+  import / list / show / gc
+* ``regressions``        — the CI gate: latest run vs baseline window
 
 ``inject``, ``harden`` and ``ballista`` accept ``--trace PATH`` to
 record the run's telemetry as a JSONL trace readable by ``report``,
@@ -339,7 +343,8 @@ def _campaign_run(args: argparse.Namespace, cache_dir: Path) -> int:
     runner = CampaignRunner(
         functions=args.functions or None,
         config=CampaignConfig(
-            jobs=args.jobs, cache_dir=cache_dir, resume=args.resume
+            jobs=args.jobs, cache_dir=cache_dir, resume=args.resume,
+            ledger=Path(args.ledger) if args.ledger else None,
         ),
         telemetry=telemetry,
         progress=progress,
@@ -437,6 +442,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         drain_seconds=args.drain_seconds,
+        ledger=Path(args.ledger) if args.ledger else None,
     )
 
     async def run() -> None:
@@ -544,9 +550,32 @@ def _cmd_bitflips(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledger_for(args: argparse.Namespace):
+    from repro.obs import DEFAULT_LEDGER_PATH, Ledger
+
+    db = getattr(args, "db", None)
+    return Ledger(Path(db) if db else DEFAULT_LEDGER_PATH)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import render_report, summarize_trace_file
 
+    if args.html:
+        from repro.obs import LedgerError, build_dashboard
+
+        ledger = _ledger_for(args)
+        try:
+            document = build_dashboard(ledger)
+        except LedgerError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        out = Path(args.html)
+        out.write_text(document, encoding="utf-8")
+        print(f"dashboard: {len(document)} bytes -> {out}", file=sys.stderr)
+        return 0
+    if not args.trace:
+        print("report needs a TRACE file or --html PATH", file=sys.stderr)
+        return 2
     path = Path(args.trace)
     if not path.exists():
         print(f"no such trace: {path}", file=sys.stderr)
@@ -586,6 +615,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 0
     print(render_report(summary, source=str(path)))
     return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.obs import LedgerError
+
+    ledger = _ledger_for(args)
+    try:
+        if args.ledger_command == "import":
+            code = 0
+            for path in args.paths:
+                try:
+                    run = ledger.ingest_bench_file(path)
+                except LedgerError as exc:
+                    print(f"skipped {path}: {exc}", file=sys.stderr)
+                    code = 1
+                    continue
+                state = "deduped" if run.deduped else "ingested"
+                print(f"{state} {path} -> run {run.id} ({run.label})")
+            return code
+        if args.ledger_command == "list":
+            stats = ledger.stats()
+            runs = ledger.runs(kind=args.kind, limit=args.limit)
+            if args.json:
+                print(json.dumps(
+                    {"ledger": stats, "runs": [r.summary() for r in runs]},
+                    indent=2,
+                ))
+                return 0
+            print(f"ledger {stats['path']}: {stats['runs_total']} runs "
+                  f"({', '.join(f'{k}={v}' for k, v in sorted(stats['by_kind'].items())) or 'empty'})")
+            for run in runs:
+                print(f"  {run.id:>4d} {run.kind:9s} {run.created}  "
+                      f"v{run.repro_version}  {run.label}")
+            return 0
+        if args.ledger_command == "show":
+            detail = ledger.run(args.run_id)
+            print(json.dumps(detail, indent=2))
+            return 0
+        # gc
+        stats = ledger.gc(keep=args.keep)
+        print(f"kept {stats.runs_kept} runs, deleted {stats.runs_deleted} "
+              f"runs ({stats.rows_deleted} child rows)")
+        return 0
+    except LedgerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _cmd_regressions(args: argparse.Namespace) -> int:
+    from repro.obs import LedgerError, check_regressions
+
+    ledger = _ledger_for(args)
+    try:
+        report = check_regressions(
+            ledger, baseline=args.baseline, regress_ratio=args.ratio
+        )
+    except LedgerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -664,6 +760,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--resume", action="store_true")
     campaign_run.add_argument("--json", action="store_true")
     campaign_run.add_argument("--trace", metavar="PATH")
+    campaign_run.add_argument("--ledger", metavar="DB",
+                              help="ingest the finished campaign into this "
+                                   "results ledger (sqlite)")
     campaign_status = campaign_sub.add_parser(
         "status", help="summarize the checkpoint manifest"
     )
@@ -699,12 +798,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "the campaign engine)")
     serve.add_argument("--drain-seconds", type=float, default=10.0,
                        help="graceful-shutdown drain budget")
+    serve.add_argument("--ledger", metavar="DB",
+                       help="results ledger (sqlite): enables the history "
+                            "op and the shutdown traffic rollup")
 
     query = sub.add_parser(
         "query", help="send one request to a running daemon"
     )
     query.add_argument("op", choices=[
         "declaration", "inject", "harden", "ballista", "status", "metrics",
+        "history",
     ])
     query.add_argument("functions", nargs="*",
                        help="function names (declaration/inject take one; "
@@ -719,13 +822,65 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--wait", type=float, default=0.0, metavar="SECONDS",
                        help="wait up to SECONDS for the daemon to come up")
 
-    report = sub.add_parser("report", help="summarize a campaign telemetry trace")
-    report.add_argument("trace", help="JSONL trace written by --trace")
+    report = sub.add_parser(
+        "report",
+        help="summarize a telemetry trace, or render the dashboard "
+             "(--html) from the results ledger",
+    )
+    report.add_argument("trace", nargs="?",
+                        help="JSONL trace written by --trace")
     report.add_argument("--json", action="store_true",
                         help="emit the summary as JSON")
     report.add_argument("--prometheus", action="store_true",
                         help="render the trace's metric snapshots in "
                              "Prometheus text format")
+    report.add_argument("--html", metavar="PATH",
+                        help="write the dependability dashboard (built from "
+                             "ledger data alone) to PATH")
+    report.add_argument("--db", metavar="DB",
+                        help="ledger database for --html "
+                             "(default: .healers_cache/ledger.sqlite)")
+
+    ledger = sub.add_parser(
+        "ledger", help="the persistent dependability results database"
+    )
+    ledger.add_argument("--db", metavar="DB",
+                        help="ledger database "
+                             "(default: .healers_cache/ledger.sqlite)")
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_import = ledger_sub.add_parser(
+        "import", help="ingest BENCH_*.json artifacts"
+    )
+    ledger_import.add_argument("paths", nargs="+", metavar="BENCH_JSON")
+    ledger_list = ledger_sub.add_parser("list", help="list stored runs")
+    ledger_list.add_argument("--kind", choices=["campaign", "bench", "service"])
+    ledger_list.add_argument("--limit", type=int, default=20, metavar="N")
+    ledger_list.add_argument("--json", action="store_true")
+    ledger_show = ledger_sub.add_parser(
+        "show", help="full detail of one run as JSON"
+    )
+    ledger_show.add_argument("run_id", type=int)
+    ledger_gc = ledger_sub.add_parser(
+        "gc", help="trim to the newest N runs per kind"
+    )
+    ledger_gc.add_argument("--keep", type=int, default=50, metavar="N")
+
+    regressions = sub.add_parser(
+        "regressions",
+        help="compare the latest runs against a baseline window; "
+             "exits non-zero on a regression (the CI gate)",
+    )
+    regressions.add_argument("--db", metavar="DB",
+                             help="ledger database (default: "
+                                  ".healers_cache/ledger.sqlite)")
+    regressions.add_argument("--baseline", type=int, default=3, metavar="N",
+                             help="baseline window size (prior points "
+                                  "averaged per series)")
+    regressions.add_argument("--ratio", type=float, default=1.5,
+                             metavar="R",
+                             help="effective ratio past which a series "
+                                  "counts as regressed")
+    regressions.add_argument("--json", action="store_true")
 
     bitflips = sub.add_parser("bitflips", help="run the bit-flip campaign")
     bitflips.add_argument("functions", nargs="*")
@@ -751,6 +906,8 @@ _COMMANDS = {
     "bitflips": _cmd_bitflips,
     "diff": _cmd_diff,
     "report": _cmd_report,
+    "ledger": _cmd_ledger,
+    "regressions": _cmd_regressions,
 }
 
 

@@ -8,12 +8,25 @@ Three layers, importable with zero third-party dependencies:
   buffer with a JSONL exporter;
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` façade threaded
   through the pipeline, with :data:`NULL_TELEMETRY` as the inert
-  default for library callers.
+  default for library callers;
+* :mod:`repro.obs.ledger` — the persistent sqlite results database
+  (campaign runs, bench artifacts, service rollups) behind
+  ``repro ledger``;
+* :mod:`repro.obs.dashboard` / :mod:`repro.obs.regressions` — the
+  HTML report builder and the CI regression gate over the ledger.
 
 See ``docs/observability.md`` for the event schema and the metric
 naming conventions.
 """
 
+from repro.obs.dashboard import build_dashboard, render_sparkline
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_PATH,
+    Ledger,
+    LedgerError,
+    LedgerRun,
+    run_provenance,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -22,6 +35,11 @@ from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
     Timer,
     render_prometheus,
+)
+from repro.obs.regressions import (
+    RegressionReport,
+    Verdict,
+    check_regressions,
 )
 from repro.obs.report import (
     DEFAULT_BENCH_PATH,
@@ -38,9 +56,19 @@ from repro.obs.telemetry import (
     ScopedTelemetry,
     Telemetry,
 )
-from repro.obs.tracing import Span, Tracer, read_trace
+from repro.obs.tracing import Span, Tracer, iter_trace, read_trace
 
 __all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "Ledger",
+    "LedgerError",
+    "LedgerRun",
+    "run_provenance",
+    "build_dashboard",
+    "render_sparkline",
+    "RegressionReport",
+    "Verdict",
+    "check_regressions",
     "Counter",
     "Gauge",
     "Histogram",
@@ -50,6 +78,7 @@ __all__ = [
     "Timer",
     "Span",
     "Tracer",
+    "iter_trace",
     "read_trace",
     "NULL_TELEMETRY",
     "NullTelemetry",

@@ -1,0 +1,440 @@
+"""The dependability dashboard: one self-contained HTML file.
+
+:func:`build_dashboard` renders everything the ledger knows — per
+function robustness deltas, overhead trends, cache economics, service
+traffic, and the full bench trajectory — as a single HTML document
+with inline CSS and inline SVG sparklines.  No scripts, no network
+fetches, no third-party assets: the file is a CI artifact that opens
+anywhere and archives losslessly.
+
+Rendering is deterministic in the ledger contents: timestamps come
+from stored run provenance (never the wall clock), iteration orders
+are sorted, and floats are formatted through one helper — a fixed
+fake-clock dataset renders byte-identical HTML every time, which the
+tests pin.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional, Sequence
+
+from repro.obs.ledger import Ledger
+from repro.obs.regressions import RegressionReport, check_regressions
+
+#: Substrings selecting the metrics for the overhead-trend section.
+OVERHEAD_TOKENS = ("overhead", "_pct")
+
+_STYLE = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --good: #0ca30c; --good-text: #006300;
+  --critical: #d03b3b; --warning: #fab219;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --good-text: #0ca30c;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1080px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: var(--ink-2); margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .k { color: var(--ink-2); font-size: 12px; }
+table {
+  border-collapse: collapse; width: 100%;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px;
+}
+th, td { text-align: left; padding: 5px 10px; border-top: 1px solid var(--grid); }
+thead th {
+  border-top: none; color: var(--ink-2); font-weight: 500; font-size: 12px;
+}
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.muted { color: var(--ink-3); }
+.delta-up { color: var(--critical); }
+.delta-down { color: var(--good-text); }
+.verdict { font-weight: 600; }
+.v-regressed { color: var(--critical); }
+.v-improved { color: var(--good-text); }
+.v-ok, .v-new { color: var(--ink-2); font-weight: 400; }
+.spark { vertical-align: middle; }
+.spark polyline { fill: none; stroke: var(--series-1); stroke-width: 2; }
+.spark circle { fill: var(--series-1); }
+.spark line { stroke: var(--grid); stroke-width: 1; }
+.bar { background: var(--grid); border-radius: 4px; height: 8px; width: 120px; }
+.bar > div { background: var(--series-1); border-radius: 4px; height: 8px; }
+footer { color: var(--ink-3); margin-top: 28px; font-size: 12px; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _num(value: Optional[float], digits: int = 4) -> str:
+    """One deterministic number formatter for every cell."""
+    if value is None:
+        return "–"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def render_sparkline(
+    values: Sequence[float], width: int = 140, height: int = 32
+) -> str:
+    """A single-series inline-SVG sparkline (2px line, end marker,
+    native ``<title>`` tooltip listing the points)."""
+    if not values:
+        return '<span class="muted">–</span>'
+    pad = 3.0
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+    step = inner_w / max(1, len(values) - 1)
+    points = [
+        (
+            pad + index * step,
+            pad + inner_h * (1.0 - (value - lo) / span),
+        )
+        for index, value in enumerate(values)
+    ]
+    title = _esc(" → ".join(_num(v) for v in values))
+    parts = [
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">',
+        f"<title>{title}</title>",
+        # recessive baseline at the series minimum
+        f'<line x1="{pad}" y1="{height - pad:.1f}" '
+        f'x2="{width - pad}" y2="{height - pad:.1f}"/>',
+    ]
+    if len(points) > 1:
+        polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        parts.append(f'<polyline points="{polyline}"/>')
+    x, y = points[-1]
+    parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.5"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _tile(value: str, label: str) -> str:
+    return (
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(label)}</div></div>'
+    )
+
+
+def _delta_cell(delta: float, suffix: str = "") -> str:
+    """A signed delta with color + arrow + text (never color alone)."""
+    if delta == 0:
+        return '<td class="num muted">±0</td>'
+    cls = "delta-up" if delta > 0 else "delta-down"
+    arrow = "▲" if delta > 0 else "▼"
+    return (
+        f'<td class="num {cls}">{arrow} {_num(abs(delta))}{_esc(suffix)}</td>'
+    )
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+
+
+def _section_overview(ledger: Ledger, stats: dict) -> str:
+    campaigns = ledger.campaign_runs()
+    unsafe_latest: Optional[int] = None
+    functions_latest: Optional[int] = None
+    if campaigns:
+        _, rows = campaigns[-1]
+        functions_latest = len(rows)
+        unsafe_latest = sum(1 for r in rows if r["unsafe"])
+    tiles = [
+        _tile(_num(float(stats["runs_total"])), "ledger runs"),
+        _tile(_num(float(stats["by_kind"].get("campaign", 0))), "campaign runs"),
+        _tile(_num(float(stats["by_kind"].get("bench", 0))), "bench imports"),
+        _tile(_num(float(stats["by_kind"].get("service", 0))), "service rollups"),
+    ]
+    if functions_latest is not None:
+        tiles.append(_tile(str(functions_latest), "functions (latest campaign)"))
+    if unsafe_latest is not None:
+        tiles.append(_tile(str(unsafe_latest), "unsafe functions"))
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _section_regressions(report: RegressionReport) -> str:
+    rows = []
+    order = {"regressed": 0, "improved": 1, "new": 2, "ok": 3}
+    icon = {"regressed": "▲", "improved": "▼", "new": "•", "ok": "•"}
+    for verdict in sorted(
+        report.verdicts, key=lambda v: (order.get(v.verdict, 9), v.metric)
+    ):
+        rows.append(
+            "<tr>"
+            f'<td class="verdict v-{_esc(verdict.verdict)}">'
+            f"{icon.get(verdict.verdict, '•')} {_esc(verdict.verdict)}</td>"
+            f"<td>{_esc(verdict.metric)}</td>"
+            f'<td class="num">{_num(verdict.latest)}</td>'
+            f'<td class="num">{_num(verdict.baseline)}</td>'
+            f'<td class="num">'
+            f"{_num(verdict.ratio) + 'x' if verdict.ratio is not None else '–'}"
+            f"</td>"
+            f'<td class="muted">{_esc(verdict.detail)}</td>'
+            "</tr>"
+        )
+    state = "REGRESSED" if report.regressed else "ok"
+    body = (
+        "".join(rows)
+        or '<tr><td colspan="6" class="muted">no comparable series yet</td></tr>'
+    )
+    return (
+        f"<h2>Regression gate — {_esc(state)} "
+        f'<span class="muted">(window {report.baseline_window}, '
+        f"threshold {report.regress_ratio:.2f}x)</span></h2>"
+        "<table><thead><tr><th>verdict</th><th>series</th>"
+        '<th class="num">latest</th><th class="num">baseline</th>'
+        '<th class="num">ratio</th><th>note</th></tr></thead>'
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+def _section_robustness(ledger: Ledger) -> str:
+    campaigns = ledger.campaign_runs()
+    if not campaigns:
+        return (
+            "<h2>Robustness by function</h2>"
+            '<p class="muted">no campaign runs ingested yet</p>'
+        )
+    latest_run, latest_rows = campaigns[-1]
+    fnset = latest_run.extra.get("functions_key")
+    previous_rows: dict[str, dict] = {}
+    for run, rows in campaigns[:-1]:
+        if run.extra.get("functions_key") == fnset:
+            previous_rows = {r["function"]: r for r in rows}
+    body = []
+    for row in latest_rows:
+        prior = previous_rows.get(row["function"])
+        unsafe = row["unsafe"]
+        verdict = "?" if unsafe is None else ("UNSAFE" if unsafe else "safe")
+        flip = ""
+        if prior is not None and prior["unsafe"] is not None and unsafe is not None:
+            if prior["unsafe"] != unsafe:
+                flip = " (flipped)"
+        crash_delta = None
+        if prior is not None and prior["crashes"] is not None and row["crashes"] is not None:
+            crash_delta = row["crashes"] - prior["crashes"]
+        body.append(
+            "<tr>"
+            f"<td>{_esc(row['function'])}</td>"
+            f'<td class="{"delta-up" if unsafe else "muted"}">'
+            f"{_esc(verdict)}{_esc(flip)}</td>"
+            f'<td class="num">{_num(row["vectors"])}</td>'
+            f'<td class="num">{_num(row["calls"])}</td>'
+            f'<td class="num">{_num(row["crashes"])}</td>'
+            + (
+                _delta_cell(crash_delta)
+                if crash_delta is not None
+                else '<td class="num muted">–</td>'
+            )
+            + f'<td class="muted">{_esc(row["status"])}</td>'
+            f'<td class="muted">{_esc(row["digest"][:10])}</td>'
+            "</tr>"
+        )
+    return (
+        "<h2>Robustness by function "
+        f'<span class="muted">(campaign {_esc(latest_run.label)}, '
+        f"{_esc(latest_run.created)})</span></h2>"
+        "<table><thead><tr><th>function</th><th>verdict</th>"
+        '<th class="num">vectors</th><th class="num">calls</th>'
+        '<th class="num">crashes</th><th class="num">Δ crashes</th>'
+        "<th>source</th><th>digest</th></tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def _section_overhead(series: dict) -> str:
+    rows = []
+    for (bench, metric), points in sorted(series.items()):
+        if not any(token in metric.lower() for token in OVERHEAD_TOKENS):
+            continue
+        values = [p["value"] for p in points]
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(bench)}</td><td>{_esc(metric)}</td>"
+            f'<td class="num">{len(values)}</td>'
+            f'<td class="num">{_num(values[-1])}</td>'
+            f'<td class="num muted">{_num(min(values))} / {_num(max(values))}</td>'
+            f"<td>{render_sparkline(values)}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return (
+            "<h2>Overhead trends</h2>"
+            '<p class="muted">no overhead metrics ingested yet '
+            "(import BENCH_obs.json / BENCH_table2.json)</p>"
+        )
+    return (
+        "<h2>Overhead trends</h2>"
+        "<table><thead><tr><th>bench</th><th>metric</th>"
+        '<th class="num">points</th><th class="num">latest</th>'
+        '<th class="num">min / max</th><th>trend</th></tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _section_cache(ledger: Ledger) -> str:
+    rows = []
+    for run, fn_rows in ledger.campaign_runs():
+        hits = int(run.extra.get("cache_hits", 0))
+        ran = int(run.extra.get("ran", 0))
+        total = hits + ran
+        rate = (100.0 * hits / total) if total else 0.0
+        rows.append(
+            "<tr>"
+            f"<td>campaign {_esc(run.label)}</td>"
+            f"<td>{_esc(run.created)}</td>"
+            f'<td class="num">{hits}</td><td class="num">{ran}</td>'
+            f'<td class="num">{_num(rate, 3)}%</td>'
+            f'<td><div class="bar"><div style="width:{rate:.0f}%"></div></div></td>'
+            "</tr>"
+        )
+    for run, _ in ledger.service_history():
+        cache = run.extra.get("cache") or {}
+        hits = int(cache.get("hit", 0))
+        misses = int(cache.get("miss", 0))
+        total = hits + misses
+        rate = (100.0 * hits / total) if total else 0.0
+        rows.append(
+            "<tr>"
+            f"<td>service {_esc(run.source)}</td>"
+            f"<td>{_esc(run.created)}</td>"
+            f'<td class="num">{hits}</td><td class="num">{misses}</td>'
+            f'<td class="num">{_num(rate, 3)}%</td>'
+            f'<td><div class="bar"><div style="width:{rate:.0f}%"></div></div></td>'
+            "</tr>"
+        )
+    if not rows:
+        return (
+            "<h2>Cache economics</h2>"
+            '<p class="muted">no campaign or service runs ingested yet</p>'
+        )
+    return (
+        "<h2>Cache economics</h2>"
+        "<table><thead><tr><th>run</th><th>when</th>"
+        '<th class="num">hits</th><th class="num">misses / ran</th>'
+        '<th class="num">hit rate</th><th>share served warm</th></tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _section_service(ledger: Ledger) -> str:
+    history = ledger.service_history()
+    if not history:
+        return ""
+    rows = []
+    for run, rollups in history:
+        for roll in rollups:
+            rows.append(
+                "<tr>"
+                f"<td>{_esc(run.created)}</td>"
+                f"<td>{_esc(roll['op'])}</td>"
+                f"<td>{_esc(roll['code'] if roll['code'] is not None else 'latency')}</td>"
+                f'<td class="num">{_num(roll["requests"])}</td>'
+                f'<td class="num">{_num(roll["p50_ms"])}</td>'
+                f'<td class="num">{_num(roll["p99_ms"])}</td>'
+                "</tr>"
+            )
+    return (
+        "<h2>Service traffic</h2>"
+        "<table><thead><tr><th>rollup</th><th>op</th><th>code</th>"
+        '<th class="num">requests</th><th class="num">p50 ms</th>'
+        '<th class="num">p99 ms</th></tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _section_trajectory(series: dict) -> str:
+    rows = []
+    for (bench, metric), points in sorted(series.items()):
+        values = [p["value"] for p in points]
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(bench)}</td><td>{_esc(metric)}</td>"
+            f'<td class="num">{len(values)}</td>'
+            f'<td class="num">{_num(values[-1])}</td>'
+            f"<td>{render_sparkline(values)}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return (
+            "<h2>Bench trajectory</h2>"
+            '<p class="muted">no bench artifacts imported yet '
+            "(repro ledger import BENCH_*.json)</p>"
+        )
+    return (
+        "<h2>Bench trajectory</h2>"
+        "<table><thead><tr><th>bench</th><th>metric</th>"
+        '<th class="num">points</th><th class="num">latest</th>'
+        "<th>trend</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def build_dashboard(
+    ledger: Ledger,
+    title: str = "HEALERS dependability ledger",
+    regressions: Optional[RegressionReport] = None,
+) -> str:
+    """Render the full dashboard from ledger data alone."""
+    stats = ledger.stats()
+    series = ledger.bench_series()
+    if regressions is None:
+        regressions = check_regressions(ledger)
+    through = stats["last_ingest"] or "(empty ledger)"
+    sections = [
+        _section_overview(ledger, stats),
+        _section_regressions(regressions),
+        _section_robustness(ledger),
+        _section_overhead(series),
+        _section_cache(ledger),
+        _section_service(ledger),
+        _section_trajectory(series),
+    ]
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n"
+        "</head><body><main>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        f'<p class="sub">data through {_esc(through)} · '
+        f"{stats['runs_total']} runs · {_esc(stats['path'])}</p>\n"
+        + "\n".join(s for s in sections if s)
+        + "\n<footer>generated by repro.obs.dashboard from ledger data "
+        "alone — no sandbox calls, no external assets</footer>\n"
+        "</main></body></html>\n"
+    )

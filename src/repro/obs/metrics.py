@@ -286,19 +286,29 @@ def _prom_name(name: str) -> str:
     return sanitized
 
 
+def _escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Exactly three characters are special inside a quoted label value —
+    backslash, double-quote, and newline — and backslash MUST be
+    escaped first or the other escapes get double-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
 def _prom_labels(labels: dict[str, object], extra: Optional[dict] = None) -> str:
     merged = {**labels, **(extra or {})}
     if not merged:
         return ""
-    parts = []
-    for key, value in sorted(merged.items()):
-        escaped = (
-            str(value)
-            .replace("\\", r"\\")
-            .replace('"', r"\"")
-            .replace("\n", r"\n")
-        )
-        parts.append(f'{_prom_name(str(key))}="{escaped}"')
+    parts = [
+        f'{_prom_name(str(key))}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
+    ]
     return "{" + ",".join(parts) + "}"
 
 

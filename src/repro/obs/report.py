@@ -12,9 +12,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional
 
-from repro.obs.tracing import read_trace
+from repro.obs.tracing import iter_trace
 
 #: Default location of the machine-readable bench trajectory.
 DEFAULT_BENCH_PATH = "BENCH_obs.json"
@@ -51,8 +51,13 @@ class TraceSummary:
         return sum(self.sandbox_calls.values())
 
 
-def summarize_trace(records: list[dict]) -> TraceSummary:
-    """Fold a trace's records into the report summary."""
+def summarize_trace(records: Iterable[dict]) -> TraceSummary:
+    """Fold a trace's records into the report summary.
+
+    Accepts any iterable — the fold is single-pass and keeps only the
+    aggregates, so feeding it a generator summarizes arbitrarily large
+    traces in constant memory.
+    """
     summary = TraceSummary()
     for record in records:
         rtype = record.get("type")
@@ -102,7 +107,9 @@ def summarize_trace(records: list[dict]) -> TraceSummary:
 
 
 def summarize_trace_file(path: str | Path) -> TraceSummary:
-    return summarize_trace(read_trace(path))
+    """Summarize a JSONL trace by streaming it record-by-record —
+    never materializes the whole file."""
+    return summarize_trace(iter_trace(path))
 
 
 def render_report(summary: TraceSummary, source: str = "") -> str:
@@ -185,7 +192,10 @@ def export_bench_json(
 
     The file maps benchmark name -> latest result, so reruns update in
     place and the file stays a stable machine-readable surface for CI
-    artifacts.  Returns the full document written.
+    artifacts.  Every write refreshes the document's ``provenance``
+    block (version, git SHA, timestamp) so ledger ingestion never has
+    to guess where an artifact came from.  Returns the full document
+    written.
     """
     out = Path(path)
     document: dict = {"version": 1, "benchmarks": {}}
@@ -199,6 +209,9 @@ def export_bench_json(
         except (json.JSONDecodeError, OSError):
             pass  # unreadable trajectory file: start fresh
     document["benchmarks"][name] = payload
+    from repro.obs.ledger import run_provenance  # lazy: avoids cycle
+
+    document["provenance"] = run_provenance()
     out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     return document

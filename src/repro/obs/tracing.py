@@ -19,7 +19,7 @@ import collections
 import json
 import time
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 #: Default ring-buffer capacity; a full 86-function injection campaign
 #: emits ~100k call spans, so the default keeps roughly the last two
@@ -300,18 +300,26 @@ def _rounded(record: dict) -> dict:
     return out
 
 
-def read_trace(path: str | Path) -> list[dict]:
-    """Parse a JSONL trace back into records (header included)."""
-    records: list[dict] = []
+def iter_trace(path: str | Path) -> Iterator[dict]:
+    """Stream a JSONL trace's records (header included), one at a time.
+
+    Holds a single line in memory at once, so multi-gigabyte campaign
+    traces summarize in constant space.  Consumers that need the whole
+    trace call :func:`read_trace`, which is just ``list(iter_trace())``.
+    """
     with Path(path).open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(
                     f"{path}:{line_number}: not a JSONL trace record: {exc}"
                 ) from exc
-    return records
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace back into records (header included)."""
+    return list(iter_trace(path))

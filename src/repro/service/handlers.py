@@ -65,8 +65,24 @@ class ServiceState:
         burst: float = 1.0,
         max_vectors: int = MAX_VECTORS,
         telemetry: Optional[Telemetry] = None,
+        ledger: Optional[Path | str] = None,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.ledger_path = Path(ledger) if ledger is not None else None
+        if self.ledger_path is not None and self.ledger_path.exists():
+            # Publish ledger gauges from the first metrics scrape on.
+            try:
+                from repro.obs.ledger import Ledger
+
+                stats = Ledger(self.ledger_path).stats()
+                self.telemetry.gauge("ledger.runs_total").set(
+                    stats["runs_total"]
+                )
+                self.telemetry.gauge("ledger.last_ingest_ts").set(
+                    stats["last_ingest_ts"]
+                )
+            except Exception:  # noqa: BLE001 - gauges are best-effort
+                pass
         self.parser = DeclarationParser(typedef_table())
         self.store = OutcomeStore(cache_dir) if cache_dir is not None else None
         self.singleflight = SingleFlight()
@@ -340,6 +356,42 @@ async def handle_metrics(state: ServiceState, params: dict) -> dict:
     }
 
 
+async def handle_history(state: ServiceState, params: dict) -> dict:
+    """The dependability ledger, read-only over the wire.
+
+    Control-plane: bypasses admission so operators can read the
+    trajectory even when the daemon is saturated or draining.
+    """
+    if state.ledger_path is None:
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS,
+            "this service was started without --ledger; no history to read",
+        )
+    limit = params.get("limit", 20)
+    if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS, "params.limit must be a positive integer"
+        )
+    kind = params.get("kind")
+    from repro.obs.ledger import RUN_KINDS, Ledger, LedgerError
+
+    if kind is not None and kind not in RUN_KINDS:
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS,
+            f"params.kind must be one of {sorted(RUN_KINDS)}",
+        )
+    ledger = Ledger(state.ledger_path)
+    try:
+        stats = ledger.stats()
+        runs = ledger.runs(kind=kind, limit=limit)
+    except LedgerError as exc:
+        raise ServiceError(ErrorCode.INTERNAL, str(exc)) from exc
+    return {
+        "ledger": stats,
+        "runs": [run.summary() for run in runs],
+    }
+
+
 #: Endpoint registry; the ``status`` endpoint publishes the key set.
 HANDLERS = {
     "declaration": handle_declaration,
@@ -348,8 +400,9 @@ HANDLERS = {
     "ballista": handle_ballista,
     "status": handle_status,
     "metrics": handle_metrics,
+    "history": handle_history,
 }
 
 #: Control-plane ops bypass admission control and run without a work
 #: deadline: overload and drain must never blind the operator.
-CONTROL_OPS = frozenset({"status", "metrics"})
+CONTROL_OPS = frozenset({"status", "metrics", "history"})

@@ -70,6 +70,8 @@ class ServiceConfig:
     cache_dir: Optional[Path] = None     # content-addressed outcome store
     max_vectors: int = MAX_VECTORS
     drain_seconds: float = DEFAULT_DRAIN_SECONDS
+    ledger: Optional[Path] = None        # results ledger (history op +
+                                         # rollup on graceful shutdown)
 
 
 class HealersService:
@@ -89,6 +91,7 @@ class HealersService:
             burst=config.burst,
             max_vectors=config.max_vectors,
             telemetry=telemetry,
+            ledger=config.ledger,
         )
         self.telemetry = self.state.telemetry
         self._server: Optional[asyncio.base_events.Server] = None
@@ -143,8 +146,35 @@ class HealersService:
             flights = self.state.singleflight.drain()
             if flights:
                 await asyncio.wait(flights, timeout=self.config.drain_seconds)
+        self._ingest_rollup()
         self.state.close()
         self.telemetry.event("service.stopped")
+
+    def _ingest_rollup(self) -> None:
+        """Roll this lifetime's request/latency metrics into the ledger.
+
+        Best-effort: a broken ledger must never turn a graceful
+        shutdown into a crash — it degrades to a telemetry event.
+        """
+        if self.config.ledger is None:
+            return
+        try:
+            from repro.obs.ledger import Ledger
+
+            ledger = Ledger(self.config.ledger)
+            run = ledger.ingest_service_rollup(
+                self.telemetry.registry.collect()
+            )
+            stats = ledger.stats()
+            self.telemetry.gauge("ledger.runs_total").set(stats["runs_total"])
+            self.telemetry.gauge("ledger.last_ingest_ts").set(
+                stats["last_ingest_ts"]
+            )
+            self.telemetry.event(
+                "service.ledger", run=run.id, deduped=run.deduped
+            )
+        except Exception as exc:  # noqa: BLE001 - ledger is best-effort
+            self.telemetry.event("service.ledger_error", error=repr(exc))
 
     # ------------------------------------------------------------------
     async def _handle_connection(

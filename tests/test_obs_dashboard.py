@@ -1,0 +1,157 @@
+"""The HTML dashboard: deterministic render from a fixed fake-clock
+dataset, section coverage, escaping, and self-containment."""
+
+import html
+
+import pytest
+
+from repro.obs.dashboard import build_dashboard, render_sparkline
+from repro.obs.ledger import Ledger
+
+
+def fake_clock(start: float = 1_700_000_000.0, step: float = 60.0):
+    state = {"now": start}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+@pytest.fixture()
+def seeded_ledger(tmp_path):
+    """One ledger holding every run kind, built with a fixed clock."""
+    from types import SimpleNamespace
+
+    from repro.campaign.runner import CampaignResult, FunctionOutcome
+
+    ledger = Ledger(tmp_path / "ledger.sqlite", clock=fake_clock())
+
+    def campaign(unsafe: bool, ident: str):
+        report = SimpleNamespace(
+            unsafe=unsafe, vectors_run=12, calls_made=36, retries=0,
+            crashes=4 if unsafe else 1, hangs=0,
+        )
+        return CampaignResult(
+            reports={"strcpy": report},
+            outcomes={"strcpy": FunctionOutcome(
+                name="strcpy", digest="abcdef0123456789", status="ran",
+            )},
+            campaign=ident,
+        )
+
+    ledger.ingest_campaign(campaign(unsafe=False, ident="aaaa000000000000"))
+    ledger.ingest_campaign(campaign(unsafe=True, ident="bbbb000000000000"))
+    for value in (140.0, 150.0, 160.0):
+        ledger.ingest_bench_document(
+            {"version": 1, "benchmarks": {"obs": {
+                "per_call_overhead_ns": value,
+                "checking_overhead_pct": value / 20.0,
+            }}},
+            source=f"BENCH_{value}.json",
+        )
+    ledger.ingest_service_rollup([
+        {"kind": "counter", "name": "service.requests",
+         "labels": {"op": "inject", "code": "OK"}, "value": 9},
+        {"kind": "counter", "name": "service.cache",
+         "labels": {"result": "hit"}, "value": 6},
+        {"kind": "counter", "name": "service.cache",
+         "labels": {"result": "miss"}, "value": 3},
+        {"kind": "timer", "name": "service.request_seconds",
+         "labels": {"op": "inject"}, "count": 9,
+         "p50": 0.01, "p95": 0.02, "p99": 0.05, "total": 0.1},
+    ])
+    return ledger
+
+
+class TestSparkline:
+    def test_polyline_scaled_into_viewbox(self):
+        svg = render_sparkline([1.0, 2.0, 3.0])
+        assert svg.startswith('<svg class="spark"')
+        assert "<polyline" in svg and "<circle" in svg
+        assert "<title>1 → 2 → 3</title>" in svg
+
+    def test_single_point_is_a_dot(self):
+        svg = render_sparkline([5.0])
+        assert "<polyline" not in svg and "<circle" in svg
+
+    def test_empty_series_degrades(self):
+        assert "svg" not in render_sparkline([])
+
+    def test_flat_series_no_division_by_zero(self):
+        svg = render_sparkline([2.0, 2.0, 2.0])
+        assert "<polyline" in svg
+
+
+class TestDeterminism:
+    def test_two_renders_are_byte_identical(self, seeded_ledger):
+        first = build_dashboard(seeded_ledger)
+        second = build_dashboard(seeded_ledger)
+        assert first == second
+
+    def test_timestamps_come_from_the_data_not_the_wall_clock(
+        self, seeded_ledger
+    ):
+        document = build_dashboard(seeded_ledger)
+        # Every run was stamped by the fake clock in Nov 2023; a render
+        # today must not leak the real date anywhere.
+        assert "2023-11-14" in document
+        assert "2026" not in document
+
+
+class TestSections:
+    def test_all_sections_render(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger)
+        for section in (
+            "Regression gate", "Robustness by function", "Overhead trends",
+            "Cache economics", "Service traffic", "Bench trajectory",
+        ):
+            assert section in document, section
+
+    def test_robustness_shows_flip_and_unsafe(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger)
+        assert "strcpy" in document
+        assert "UNSAFE (flipped)" in document
+
+    def test_overhead_section_selects_pct_metrics(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger)
+        section = document.split("Overhead trends")[1].split("<h2>")[0]
+        assert "checking_overhead_pct" in section
+
+    def test_cache_economics_covers_campaign_and_service(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger)
+        section = document.split("Cache economics")[1].split("<h2>")[0]
+        assert "campaign" in section and "service" in section
+        assert "66.7%" in section  # 6 hits / 9 lookups
+
+    def test_empty_ledger_renders_placeholders(self, tmp_path):
+        document = build_dashboard(Ledger(tmp_path / "empty.sqlite"))
+        assert "(empty ledger)" in document
+        assert "no campaign runs ingested yet" in document
+        assert "no comparable series yet" in document
+
+
+class TestSelfContainment:
+    def test_no_scripts_or_external_assets(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger)
+        assert "<script" not in document
+        assert "http://" not in document and "https://" not in document
+        assert 'src="' not in document and "@import" not in document
+        assert "<style>" in document  # inline CSS only
+
+    def test_hostile_strings_are_escaped(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.sqlite", clock=fake_clock())
+        ledger.ingest_bench_document(
+            {"version": 1, "benchmarks": {
+                '<script>alert(1)</script>': {"elapsed_seconds": 1.0},
+            }},
+            source='<img src=x onerror=alert(1)>',
+        )
+        document = build_dashboard(
+            ledger, title='<b>"evil" & dangerous</b>'
+        )
+        assert "<script>alert(1)" not in document
+        assert "<img src=x" not in document
+        assert "<b>" not in document
+        assert html.escape('<b>"evil" & dangerous</b>') in document

@@ -187,6 +187,23 @@ class TestRenderPrometheus:
         assert "_9bad_name_x_total" in body
         assert 'path="a\\"b\\\\c"' in body
 
+    def test_hostile_label_values_escaped_per_exposition_format(self):
+        # Backslash, double-quote, and newline are the three characters
+        # the text exposition format escapes inside label values; a raw
+        # newline would split the sample line and corrupt the scrape.
+        registry = MetricsRegistry()
+        hostile = 'line1\nline2"quoted"\\trail\\'
+        registry.counter("service.requests", op=hostile).inc()
+        registry.gauge("g", who='"\n\\').set(1)
+        body = render_prometheus(registry)
+        for line in body.splitlines():
+            assert "\n" not in line  # by construction, but explicit
+        assert "line1\nline2" not in body  # raw newline never survives
+        assert r'op="line1\nline2\"quoted\"\\trail\\"' in body
+        # Escape order matters: backslash first, so the literal \n in
+        # the input does not get its backslash double-escaped.
+        assert r'who="\"\n\\"' in body
+
     def test_accepts_snapshot_dicts_deterministically(self):
         snapshots = [
             {"kind": "counter", "name": "b", "labels": {}, "value": 1},

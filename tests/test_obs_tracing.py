@@ -9,9 +9,11 @@ from repro.obs import (
     NullTelemetry,
     Telemetry,
     Tracer,
+    iter_trace,
     read_trace,
     render_report,
     summarize_trace,
+    summarize_trace_file,
 )
 
 
@@ -96,6 +98,58 @@ class TestJsonlRoundTrip:
         path.write_text('{"type": "trace"}\nnot json\n')
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             read_trace(path)
+
+    def test_iter_trace_streams_and_matches_read_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            tracer.event("marker")
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        streamed = iter_trace(path)
+        assert not isinstance(streamed, list)  # a lazy generator
+        assert list(streamed) == read_trace(path)
+
+
+class TestStreamingSummary:
+    def test_multi_thousand_span_trace_summarizes_by_streaming(self, tmp_path):
+        # A trace big enough that loading it whole would be the wrong
+        # shape: 5000 spans + a metric record, written line by line.
+        path = tmp_path / "big.jsonl"
+        spans = 5000
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"type": "trace", "version": 1, "records": spans + 1,
+                 "dropped": 0}
+            ) + "\n")
+            for index in range(spans):
+                handle.write(json.dumps({
+                    "type": "span", "id": index + 1, "parent": None,
+                    "name": "sandbox.call", "start": index * 1e-4,
+                    "duration": 2e-5,
+                    "attrs": {"status": "RETURNED"},
+                }) + "\n")
+            handle.write(json.dumps({
+                "type": "metric", "kind": "counter", "name": "sandbox.calls",
+                "labels": {"status": "RETURNED"}, "value": spans,
+            }) + "\n")
+        summary = summarize_trace_file(path)
+        assert summary.spans == spans
+        assert summary.phases["sandbox.call"].count == spans
+        assert summary.sandbox_calls == {"RETURNED": spans}
+        # Same numbers as the load-everything path.
+        assert summarize_trace(read_trace(path)).phases[
+            "sandbox.call"
+        ].total_seconds == summary.phases["sandbox.call"].total_seconds
+
+    def test_summarize_accepts_a_generator(self):
+        def generate():
+            yield {"type": "span", "name": "x", "duration": 0.5}
+            yield {"type": "event", "name": "e", "at": 0.0}
+
+        summary = summarize_trace(generate())
+        assert summary.spans == 1
+        assert summary.events == 1
+        assert summary.phases["x"].total_seconds == 0.5
 
     def test_telemetry_export_appends_metric_records(self, tmp_path):
         telemetry = Telemetry()

@@ -56,7 +56,8 @@ class TestEndpoints:
         assert status["protocol"] == PROTOCOL_VERSION
         assert status["functions"] > 100
         assert set(status["ops"]) == {
-            "ballista", "declaration", "harden", "inject", "metrics", "status",
+            "ballista", "declaration", "harden", "history", "inject",
+            "metrics", "status",
         }
         assert status["admission"]["capacity"] == 34
         assert status["shutting_down"] is False
@@ -223,3 +224,41 @@ class TestShutdown:
         handle.stop()
         with pytest.raises(OSError):
             socket.create_connection((host, port), timeout=0.5)
+
+
+class TestHistory:
+    def test_history_without_ledger_is_invalid_params(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.call("history")
+        assert err.value.code == ErrorCode.INVALID_PARAMS
+
+    def test_history_reads_ledger_and_shutdown_rolls_up(self, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        db = tmp_path / "ledger.sqlite"
+        Ledger(db).ingest_bench_document(
+            {"version": 1, "benchmarks": {"smoke": {"elapsed_seconds": 1.0}}},
+            source="seed",
+        )
+        handle = serve_in_thread(
+            ServiceConfig(port=0, workers=1, ledger=db)
+        )
+        try:
+            with ServiceClient(*handle.address) as client:
+                history = client.call("history", {"limit": 5})
+                assert history["ledger"]["runs_total"] == 1
+                assert history["runs"][0]["kind"] == "bench"
+                with pytest.raises(ServiceError) as err:
+                    client.call("history", {"limit": 0})
+                assert err.value.code == ErrorCode.INVALID_PARAMS
+                with pytest.raises(ServiceError) as err:
+                    client.call("history", {"kind": "nope"})
+                assert err.value.code == ErrorCode.INVALID_PARAMS
+                body = client.metrics_text()
+                assert "ledger_runs_total 1" in body
+        finally:
+            handle.stop()
+        # Graceful shutdown rolled this lifetime's traffic into the ledger.
+        service_runs = Ledger(db).runs(kind="service")
+        assert len(service_runs) == 1
+        assert service_runs[0].extra["requests_total"] > 0
