@@ -1,19 +1,26 @@
-"""Bench: campaign engine scaling (serial vs --jobs 4 vs warm cache).
+"""Bench: campaign engine scaling — serial vs fleet modes vs warm cache.
 
-Runs a 20-function injection campaign three ways — serial, through a
-4-worker pool, and again over a warm content-addressed cache — and
-records the wall clocks to ``BENCH_campaign.json`` so CI archives the
-trajectory.
+Runs a 20-function injection campaign four ways — serial, on the
+thread fleet, on the process fleet, and again over a warm
+content-addressed cache — and records every wall clock to
+``BENCH_campaign.json`` so CI archives the trajectory.
 
-Hard guarantees asserted everywhere:
+Honesty rules (this bench used to lie by omission):
 
-* the parallel campaign's reports equal the serial ones (the pool is
-  an execution detail, not a semantic one);
-* the warm re-run is 100% cache hits and executes zero injections.
+* every timing row records its ``fleet_mode`` — a thread number and a
+  process number are different experiments and never alias;
+* the thread row is a *labeled baseline*: the GIL serializes the
+  injection loop, so thread "parallelism" hovers near 1x and no
+  speedup bar is asserted against it — it exists to be seen, not to
+  pass;
+* the >=2x speedup bar is asserted against **process mode**, and only
+  when the machine actually has the cores to show it (CI runners do;
+  a single-core container cannot speed up CPU-bound work and only
+  records its numbers).
 
-The >=2x speedup bar is asserted only when the machine actually has
-the cores to show it (CI runners do; single-core containers cannot
-speed up CPU-bound work and only record their numbers).
+Hard guarantees asserted everywhere: every mode's reports are
+bit-identical to serial, in catalog order, and the warm re-run is
+100% cache hits with zero injections.
 """
 
 from __future__ import annotations
@@ -39,7 +46,8 @@ BENCH_FUNCTIONS = [
 
 PARALLEL_JOBS = 4
 
-#: Acceptance bar from the ISSUE, asserted when the host has the cores.
+#: Acceptance bar from the ISSUE, asserted on process mode when the
+#: host has the cores.
 MIN_SPEEDUP = 2.0
 
 
@@ -51,52 +59,87 @@ def _timed_campaign(config: CampaignConfig):
 
 def test_campaign_scaling(tmp_path):
     # Warm up imports, parser tables and allocator pools so the serial
-    # leg does not pay first-run costs the parallel leg skips.
+    # leg does not pay first-run costs the parallel legs skip.
     CampaignRunner(["abs"], CampaignConfig()).run()
 
     serial, serial_seconds = _timed_campaign(CampaignConfig())
     assert serial.ran == len(BENCH_FUNCTIONS)
 
-    cache_dir = tmp_path / "campaign-cache"
-    parallel, parallel_seconds = _timed_campaign(
-        CampaignConfig(jobs=PARALLEL_JOBS, cache_dir=cache_dir)
+    threads, thread_seconds = _timed_campaign(
+        CampaignConfig(fleet="threads", workers=PARALLEL_JOBS)
     )
-    assert parallel.ran == len(BENCH_FUNCTIONS)
-    assert parallel.failed == {}
-    # Bit-identical semantics: pooled execution reproduces the serial
+    assert threads.failed == {}
+    assert list(threads.reports) == BENCH_FUNCTIONS
+    assert threads.reports == serial.reports
+
+    cache_dir = tmp_path / "campaign-cache"
+    processes, process_seconds = _timed_campaign(
+        CampaignConfig(
+            fleet="processes", workers=PARALLEL_JOBS, cache_dir=cache_dir
+        )
+    )
+    assert processes.ran == len(BENCH_FUNCTIONS)
+    assert processes.failed == {}
+    # Bit-identical semantics: fleet execution reproduces the serial
     # reports exactly, in catalog order.
-    assert list(parallel.reports) == BENCH_FUNCTIONS
-    assert parallel.reports == serial.reports
+    assert list(processes.reports) == BENCH_FUNCTIONS
+    assert processes.reports == serial.reports
 
     warm, warm_seconds = _timed_campaign(
-        CampaignConfig(jobs=PARALLEL_JOBS, cache_dir=cache_dir)
+        CampaignConfig(
+            fleet="processes", workers=PARALLEL_JOBS, cache_dir=cache_dir
+        )
     )
     assert warm.cache_hits == len(BENCH_FUNCTIONS)
     assert warm.ran == 0
     assert warm.reports == serial.reports
 
     cores = os.cpu_count() or 1
-    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    process_speedup = (
+        serial_seconds / process_seconds if process_seconds else 0.0
+    )
+    thread_speedup = serial_seconds / thread_seconds if thread_seconds else 0.0
     payload = {
         "functions": len(BENCH_FUNCTIONS),
         "jobs": PARALLEL_JOBS,
-        "effective_jobs": effective_jobs(PARALLEL_JOBS, len(BENCH_FUNCTIONS)),
         "cpu_count": cores,
-        "serial_seconds": round(serial_seconds, 3),
-        "parallel_seconds": round(parallel_seconds, 3),
-        "warm_cache_seconds": round(warm_seconds, 3),
-        "speedup": round(speedup, 3),
         "min_speedup": MIN_SPEEDUP,
         "speedup_asserted": cores >= PARALLEL_JOBS,
+        "warm_cache_seconds": round(warm_seconds, 3),
         "warm_cache_hits": warm.cache_hits,
+        "modes": [
+            {
+                "fleet_mode": "serial",
+                "workers": 1,
+                "seconds": round(serial_seconds, 3),
+                "speedup": 1.0,
+            },
+            {
+                "fleet_mode": "threads",
+                "workers": threads.workers,
+                "seconds": round(thread_seconds, 3),
+                "speedup": round(thread_speedup, 3),
+                "baseline_only": True,  # GIL-bound; never asserted
+            },
+            {
+                "fleet_mode": "processes",
+                "workers": processes.workers,
+                "effective_jobs": effective_jobs(
+                    PARALLEL_JOBS, len(BENCH_FUNCTIONS), "processes"
+                ),
+                "seconds": round(process_seconds, 3),
+                "speedup": round(process_speedup, 3),
+            },
+        ],
     }
     export_bench_json("campaign_scaling", payload, path=BENCH_PATH)
     print(f"\n=== campaign scaling ===\n  {payload}")
 
     assert warm_seconds < serial_seconds, "warm cache slower than injection"
     if cores >= PARALLEL_JOBS:
-        assert speedup >= MIN_SPEEDUP, (
-            f"--jobs {PARALLEL_JOBS} gave {speedup:.2f}x "
-            f"(serial {serial_seconds:.1f}s vs parallel "
-            f"{parallel_seconds:.1f}s); bar is {MIN_SPEEDUP:.1f}x"
+        assert process_speedup >= MIN_SPEEDUP, (
+            f"--fleet processes --workers {PARALLEL_JOBS} gave "
+            f"{process_speedup:.2f}x (serial {serial_seconds:.1f}s vs "
+            f"process fleet {process_seconds:.1f}s); bar is "
+            f"{MIN_SPEEDUP:.1f}x"
         )

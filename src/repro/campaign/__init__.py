@@ -33,6 +33,7 @@ from repro.campaign.scheduler import (
     DEFAULT_TASK_RETRIES,
     DEFAULT_TASK_TIMEOUT,
     TaskResult,
+    clamp_jobs,
     dispatch_order,
     effective_jobs,
     plan_shards,
@@ -61,6 +62,7 @@ __all__ = [
     "TaskResult",
     "UncacheableReport",
     "campaign_id",
+    "clamp_jobs",
     "clean_cache",
     "dispatch_order",
     "effective_jobs",

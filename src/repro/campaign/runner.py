@@ -69,6 +69,15 @@ class CampaignConfig:
     #: When set, the finished campaign is ingested into this results
     #: ledger (``repro.obs.ledger``) at finalize time.
     ledger: Optional[Path] = None
+    #: Fleet execution mode (``threads`` | ``processes`` | ``remote``);
+    #: None keeps the legacy scheduler (inline for jobs<=1, the
+    #: supervised pool otherwise).
+    fleet: Optional[str] = None
+    #: Fleet worker count; defaults to ``jobs`` when unset.
+    workers: Optional[int] = None
+    #: ``HOST:PORT`` of an already-running daemon for the remote fleet;
+    #: None self-hosts a loopback daemon for the campaign's duration.
+    fleet_address: Optional[str] = None
 
 
 @dataclass
@@ -91,6 +100,11 @@ class CampaignResult:
     outcomes: dict[str, FunctionOutcome]
     phase_timings: dict[str, float] = field(default_factory=dict)
     campaign: str = ""
+    #: How the inject phase executed: ``serial`` | ``pool`` | a fleet
+    #: mode (``threads`` | ``processes`` | ``remote``).
+    fleet_mode: str = "serial"
+    #: Effective worker count of the inject phase.
+    workers: int = 1
 
     @property
     def cache_hits(self) -> int:
@@ -231,22 +245,49 @@ class CampaignRunner:
             if self.progress is not None:
                 self.progress(result.name, outcome, report)
 
+        requested = config.workers if config.workers is not None else config.jobs
+        fleet_mode = config.fleet or ("pool" if config.jobs > 1 else "serial")
+        workers = effective_jobs(
+            requested, len(names), config.fleet or "processes"
+        )
         if misses:
             with telemetry.span(
-                "campaign.inject", functions=len(misses), jobs=config.jobs
+                "campaign.inject",
+                functions=len(misses),
+                jobs=config.jobs,
+                fleet=fleet_mode,
             ):
-                run_tasks(
-                    misses,
-                    functools.partial(
-                        _inject_payload, max_vectors=config.max_vectors
-                    ),
-                    jobs=config.jobs,
-                    timeout=config.timeout,
-                    task_retries=config.task_retries,
-                    seed=config.seed,
-                    telemetry=telemetry,
-                    on_result=on_result,
-                )
+                if config.fleet is not None:
+                    from repro.fleet import run_fleet
+
+                    run_fleet(
+                        config.fleet,
+                        misses,
+                        digests,
+                        campaign=ident,
+                        workers=requested,
+                        seed=config.seed,
+                        max_vectors=config.max_vectors,
+                        timeout=config.timeout,
+                        task_retries=config.task_retries,
+                        telemetry=telemetry,
+                        on_result=on_result,
+                        cache_dir=config.cache_dir,
+                        address=config.fleet_address,
+                    )
+                else:
+                    run_tasks(
+                        misses,
+                        functools.partial(
+                            _inject_payload, max_vectors=config.max_vectors
+                        ),
+                        jobs=config.jobs,
+                        timeout=config.timeout,
+                        task_retries=config.task_retries,
+                        seed=config.seed,
+                        telemetry=telemetry,
+                        on_result=on_result,
+                    )
         timings["inject"] = time.perf_counter() - started
 
         # -------------------------------------------------- finalize phase
@@ -261,6 +302,7 @@ class CampaignRunner:
         result = CampaignResult(
             reports=reports, outcomes=outcomes,
             phase_timings=timings, campaign=ident,
+            fleet_mode=fleet_mode, workers=workers,
         )
         if config.ledger is not None:
             self._ingest_ledger(result)
@@ -319,11 +361,19 @@ class CampaignRunner:
         path = self._manifest_path()
         if path is None:
             return
+        requested = (
+            self.config.workers
+            if self.config.workers is not None
+            else self.config.jobs
+        )
         manifest = {
             "schema": CACHE_SCHEMA,
             "campaign": ident,
             "jobs": self.config.jobs,
-            "effective_jobs": effective_jobs(self.config.jobs, len(names)),
+            "effective_jobs": effective_jobs(
+                requested, len(names), self.config.fleet or "processes"
+            ),
+            "fleet": self.config.fleet,
             "functions": [
                 {
                     "name": name,

@@ -96,18 +96,56 @@ def dispatch_order(names: Sequence[str], jobs: int) -> list[str]:
     return order
 
 
-def effective_jobs(jobs: int, task_count: int | None = None) -> int:
-    """Pool width actually worth running: ``jobs`` clamped to the host
-    CPU count (and the task count, when known).
+def effective_jobs(
+    jobs: int, task_count: int | None = None, mode: str = "processes"
+) -> int:
+    """Worker count actually worth running for the given fleet mode.
 
-    Oversubscribing a host never speeds up CPU-bound injection work —
-    it only adds scheduling noise (a 4-worker pool on a 1-core host
-    benches *slower* than serial) — so the scheduler sizes the pool by
-    what the hardware can execute and benches record this value.
+    ``processes`` (the pool and the process fleet): clamped to the host
+    CPU count — oversubscribing cores never speeds up CPU-bound
+    injection work, it only adds scheduling noise (a 4-worker pool on a
+    1-core host benches *slower* than serial).
+
+    ``threads``: **not** CPU-clamped.  The GIL serializes the injection
+    loop regardless, so thread count is a concurrency knob, not a core
+    allocation; clamping it by cores would be the thread heuristic
+    lying about process capacity and vice versa.
+
+    ``remote``: **not** CPU-clamped.  The coordinator's core count says
+    nothing about where leased shards execute.
+
+    Every mode is clamped to the task count when known (a worker with
+    no shard to lease is pure spawn cost), and benches record this
+    value.
     """
-    width = max(1, min(jobs, os.cpu_count() or 1))
+    width = max(1, jobs)
+    if mode == "processes":
+        width = min(width, os.cpu_count() or 1)
     if task_count is not None:
         width = max(1, min(width, task_count))
+    return width
+
+
+def clamp_jobs(
+    jobs: int,
+    task_count: int,
+    mode: str = "processes",
+    telemetry=NULL_TELEMETRY,
+) -> int:
+    """:func:`effective_jobs` plus the audit trail: whenever the clamp
+    changes the requested width, a ``campaign.jobs_clamped`` event
+    records the decision — in every fleet mode, so a bench or operator
+    can always see why fewer workers ran than were asked for."""
+    width = effective_jobs(jobs, task_count, mode)
+    if width != max(1, jobs):
+        telemetry.event(
+            "campaign.jobs_clamped",
+            requested=jobs,
+            effective=width,
+            mode=mode,
+            task_count=task_count,
+            cpu_count=os.cpu_count() or 1,
+        )
     return width
 
 
@@ -235,14 +273,7 @@ def run_tasks(
     # Clamp the pool to the host's cores; a supervised pool is kept
     # even at width 1 so timeout policing and crash containment still
     # apply (the inline path above has neither).
-    width = effective_jobs(jobs, len(names))
-    if width < min(jobs, len(names)):
-        telemetry.event(
-            "campaign.jobs_clamped",
-            requested=jobs,
-            effective=width,
-            cpu_count=os.cpu_count() or 1,
-        )
+    width = clamp_jobs(jobs, len(names), mode="processes", telemetry=telemetry)
 
     def spawn(worker_id: int) -> _WorkerSlot:
         receiver, sender = ctx.Pipe(duplex=False)

@@ -7,8 +7,12 @@ Exposes the pipeline the way the real HEALERS tooling would be driven:
 * ``harden``             — run the pipeline and write the C artifacts
 * ``ballista``           — the Figure-6 robustness evaluation
 * ``campaign``           — managed campaigns: run / status / clean
+  (``run --fleet {threads,processes,remote} --workers N`` executes the
+  inject phase on the :mod:`repro.fleet` fabric)
 * ``serve``              — the hardening-as-a-service daemon
 * ``query``              — one request against a running daemon
+* ``fleet``              — remote campaign workers (``fleet worker
+  --connect HOST:PORT``) and broker visibility (``fleet status``)
 * ``bitflips``           — the section-9 bit-flip campaign
 * ``diff``               — compare declaration bundles across releases
 * ``list``               — the simulated library's catalog
@@ -345,6 +349,8 @@ def _campaign_run(args: argparse.Namespace, cache_dir: Path) -> int:
         config=CampaignConfig(
             jobs=args.jobs, cache_dir=cache_dir, resume=args.resume,
             ledger=Path(args.ledger) if args.ledger else None,
+            fleet=args.fleet, workers=args.workers,
+            fleet_address=args.connect,
         ),
         telemetry=telemetry,
         progress=progress,
@@ -367,6 +373,8 @@ def _campaign_run(args: argparse.Namespace, cache_dir: Path) -> int:
 def _campaign_summary(result) -> dict[str, object]:
     return {
         "campaign": result.campaign,
+        "fleet_mode": result.fleet_mode,
+        "workers": result.workers,
         "cached": result.cache_hits,
         "ran": result.ran,
         "failed": result.failed,
@@ -443,6 +451,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         drain_seconds=args.drain_seconds,
         ledger=Path(args.ledger) if args.ledger else None,
+        lease_ttl=args.lease_ttl,
     )
 
     async def run() -> None:
@@ -471,6 +480,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.remote import parse_address
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.fleet_command == "status":
+        from repro.service import ServiceClient, ServiceError
+
+        try:
+            with ServiceClient(host, port) as client:
+                print(json.dumps(client.fleet_status(), indent=2))
+        except ServiceError as exc:
+            print(f"error {exc.code}: {exc.message}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    from repro.fleet.worker import remote_worker_main
+    from repro.service import wait_for_service
+
+    if args.wait and not wait_for_service(host, port, timeout=args.wait):
+        print(f"no service at {host}:{port} after {args.wait:.0f}s",
+              file=sys.stderr)
+        return 2
+    try:
+        return remote_worker_main(
+            host, port, name=args.name,
+            exit_when_idle=args.exit_when_idle,
+            max_shards=args.max_shards,
+        )
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -754,6 +805,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("functions", nargs="*",
                               help="functions (default: the 86-function set)")
     campaign_run.add_argument("--jobs", type=int, default=1, metavar="N")
+    campaign_run.add_argument("--fleet", choices=["threads", "processes", "remote"],
+                              help="execute the inject phase on a fleet: "
+                                   "threads (GIL-bound baseline), processes "
+                                   "(true multi-core), or remote (workers "
+                                   "lease shards from a service daemon)")
+    campaign_run.add_argument("--workers", type=int, default=None, metavar="N",
+                              help="fleet worker count (default: --jobs)")
+    campaign_run.add_argument("--connect", metavar="HOST:PORT",
+                              help="submit to this running daemon instead of "
+                                   "self-hosting one (remote fleet only)")
     campaign_run.add_argument("--cache-dir", metavar="DIR",
                               help="cache directory (default: "
                                    ".healers_cache/campaign)")
@@ -801,6 +862,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ledger", metavar="DB",
                        help="results ledger (sqlite): enables the history "
                             "op and the shutdown traffic rollup")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="fleet shard lease duration in seconds; a "
+                            "remote worker silent this long loses its work "
+                            "back to the queue")
+
+    fleet = sub.add_parser(
+        "fleet", help="remote campaign workers and fleet visibility"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_worker = fleet_sub.add_parser(
+        "worker",
+        help="run a remote campaign worker against a service daemon",
+    )
+    fleet_worker.add_argument("--connect", default="127.0.0.1:7411",
+                              metavar="HOST:PORT",
+                              help="daemon to lease shards from")
+    fleet_worker.add_argument("--name", default=None,
+                              help="worker name (default: host:pid)")
+    fleet_worker.add_argument("--exit-when-idle", action="store_true",
+                              help="exit once the broker drains instead of "
+                                   "polling for the next campaign")
+    fleet_worker.add_argument("--max-shards", type=int, default=None,
+                              metavar="N",
+                              help="exit after completing N shards")
+    fleet_worker.add_argument("--wait", type=float, default=0.0,
+                              metavar="SECONDS",
+                              help="wait up to SECONDS for the daemon")
+    fleet_status = fleet_sub.add_parser(
+        "status", help="broker-wide fleet visibility as JSON"
+    )
+    fleet_status.add_argument("--connect", default="127.0.0.1:7411",
+                              metavar="HOST:PORT")
 
     query = sub.add_parser(
         "query", help="send one request to a running daemon"
@@ -902,6 +995,7 @@ _COMMANDS = {
     "ballista": _cmd_ballista,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "query": _cmd_query,
     "bitflips": _cmd_bitflips,
     "diff": _cmd_diff,

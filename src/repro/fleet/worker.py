@@ -1,0 +1,210 @@
+"""What a fleet worker actually runs, regardless of transport.
+
+:func:`execute_function` is the single execution path every fleet mode
+shares: re-seed from the campaign seed and the function name (exactly
+as the serial engine and the legacy pool do), run the injector, and
+serialize the report worker-side so only a JSON-able payload crosses
+the process or network boundary.  Bit-identical campaign output in
+every mode follows from this function being the only way work runs.
+
+:func:`remote_worker_main` is the long-lived loop of a remote worker:
+register with the daemon (fingerprint-checked), lease shards, stream
+per-function results back, heartbeat from a side thread so a lease
+held through a long injection never expires under a live worker.  It
+is spawn-safe: module-level, takes only picklable arguments.
+
+Chaos hook
+----------
+
+``REPRO_FLEET_CHAOS=kill-after:N`` makes a worker ``SIGKILL`` itself
+after completing N functions — the deterministic stand-in for
+``kill -9`` that the recovery tests and the CI fleet job use to prove
+reshard-and-retry without racing a real signal against the scheduler.
+The hook is read once per completion and does nothing when the
+variable is unset, so production paths never pay for it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.campaign.scheduler import reseed
+from repro.fleet.wire import FunctionResult, ShardSpec, fleet_fingerprints
+
+#: Environment variable holding the chaos policy (``kill-after:N``).
+CHAOS_ENV = "REPRO_FLEET_CHAOS"
+
+#: How often an idle remote worker re-polls for work (seconds).
+DEFAULT_POLL_INTERVAL = 0.2
+
+
+def default_worker_name() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def maybe_chaos_exit(completed: int) -> None:
+    """Honour ``REPRO_FLEET_CHAOS=kill-after:N``: after N completed
+    functions the worker SIGKILLs itself (no cleanup, no goodbye —
+    exactly what a kernel OOM kill or a ``kill -9`` looks like)."""
+    policy = os.environ.get(CHAOS_ENV, "")
+    if not policy.startswith("kill-after:"):
+        return
+    try:
+        threshold = int(policy.split(":", 1)[1])
+    except ValueError:
+        return
+    if completed >= threshold:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def execute_function(
+    name: str,
+    digest: str,
+    seed: int,
+    max_vectors: int,
+    attempt: int = 1,
+    worker: str = "",
+) -> FunctionResult:
+    """Run one function's injector under the campaign's per-task seed
+    and return its wire-encoded outcome (never raises)."""
+    import traceback
+
+    started = time.perf_counter()
+    try:
+        from repro.campaign.runner import _inject_payload
+
+        reseed(seed, name)
+        payload = _inject_payload(name, max_vectors=max_vectors)
+    except BaseException:
+        return FunctionResult(
+            function=name,
+            digest=digest,
+            status="failed",
+            attempt=attempt,
+            elapsed=time.perf_counter() - started,
+            error=traceback.format_exc(limit=20),
+            worker=worker,
+        )
+    return FunctionResult(
+        function=name,
+        digest=digest,
+        status="ok",
+        attempt=attempt,
+        elapsed=time.perf_counter() - started,
+        payload=payload,
+        worker=worker,
+    )
+
+
+def execute_shard(
+    shard: ShardSpec,
+    worker: str = "",
+    on_result: Optional[Callable[[FunctionResult], None]] = None,
+    completed_before: int = 0,
+) -> list[FunctionResult]:
+    """Run every function of one shard in order, reporting each result
+    as it lands; returns the full list.  ``completed_before`` threads
+    the worker-lifetime completion count into the chaos hook."""
+    shard.verify_local()
+    results: list[FunctionResult] = []
+    for name, digest, attempt in zip(
+        shard.functions, shard.digests, shard.attempts
+    ):
+        result = execute_function(
+            name, digest, shard.seed, shard.max_vectors, attempt, worker
+        )
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+        maybe_chaos_exit(completed_before + len(results))
+    return results
+
+
+# ----------------------------------------------------------------------
+# the remote worker loop (spawn-safe module-level entry point)
+# ----------------------------------------------------------------------
+
+
+def remote_worker_main(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    exit_when_idle: bool = False,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    max_shards: Optional[int] = None,
+) -> int:
+    """Connect to a hardening daemon, lease shards, stream results.
+
+    ``exit_when_idle`` makes the worker return once the broker has no
+    queued work *and* no campaign in flight — the mode a
+    :class:`~repro.fleet.remote.RemoteFleet`-spawned worker runs in.
+    A standalone ``repro fleet worker`` keeps polling until killed.
+    Returns a process exit code.
+    """
+    from repro.service.client import ServiceClient
+
+    worker_name = name or default_worker_name()
+    client = ServiceClient(host, port, retries=4)
+    registration = client.worker_register(worker_name, fleet_fingerprints())
+    worker_id = str(registration["worker_id"])
+    lease_ttl = float(registration.get("lease_ttl", 30.0))
+
+    stop_heartbeat = threading.Event()
+
+    def heartbeat_loop() -> None:
+        # A dedicated connection: the main connection is busy with
+        # lease/result traffic and injections hold it for a while.
+        hb = ServiceClient(host, port, retries=2)
+        try:
+            while not stop_heartbeat.wait(max(0.1, lease_ttl / 3.0)):
+                try:
+                    hb.worker_heartbeat(worker_id)
+                except Exception:
+                    # A dead daemon ends the worker via the main loop.
+                    return
+        finally:
+            hb.close()
+
+    beat = threading.Thread(
+        target=heartbeat_loop, name=f"fleet-hb-{worker_id}", daemon=True
+    )
+    beat.start()
+
+    completed = 0
+    shards_done = 0
+    try:
+        while True:
+            leased = client.worker_lease(worker_id)
+            shard_doc = leased.get("shard")
+            if shard_doc is None:
+                if exit_when_idle and leased.get("drained", False):
+                    return 0
+                time.sleep(poll_interval)
+                continue
+            shard = ShardSpec.decode(shard_doc)
+
+            def stream(result: FunctionResult) -> None:
+                client.worker_result(
+                    worker_id, shard.campaign, shard.shard_id, result.encode()
+                )
+
+            execute_shard(
+                shard, worker=worker_name, on_result=stream,
+                completed_before=completed,
+            )
+            completed += len(shard.functions)
+            shards_done += 1
+            client.worker_complete(worker_id, shard.shard_id)
+            if max_shards is not None and shards_done >= max_shards:
+                return 0
+    except (ConnectionError, OSError):
+        # Daemon gone: a worker without a broker has nothing to do.
+        return 1
+    finally:
+        stop_heartbeat.set()
+        client.close()

@@ -184,7 +184,9 @@ class GcStats:
 # bench payload flattening
 # ----------------------------------------------------------------------
 
-_LIST_KEY_FIELDS = ("function", "name", "configuration", "op", "bench")
+_LIST_KEY_FIELDS = (
+    "function", "name", "configuration", "op", "bench", "fleet_mode",
+)
 
 
 def flatten_metrics(payload: object, prefix: str = "") -> dict[str, float]:
@@ -426,16 +428,25 @@ class Ledger:
         provenance = _complete_provenance(provenance, self.clock)
         names = list(result.outcomes)
         fnset = functions_key(names)
+        # Output is bit-identical across fleet modes, but the *timings*
+        # are the whole point of comparing modes — fold the mode into
+        # the run key so a process-fleet run never dedupes against a
+        # serial run of the same campaign.
+        fleet_mode = str(getattr(result, "fleet_mode", "serial"))
+        workers = int(getattr(result, "workers", 1))
         key = _content_key(
             "campaign",
             result.campaign,
             provenance["repro_version"],
             provenance["host"],
+            fleet_mode,
         )
         extra = {
             "campaign": result.campaign,
             "functions_key": fnset,
             "functions": len(names),
+            "fleet_mode": fleet_mode,
+            "workers": workers,
             "cache_hits": result.cache_hits,
             "ran": result.ran,
             "failed": sorted(result.failed),
@@ -491,6 +502,37 @@ class Ledger:
                     for metric, value in sorted(totals.items())
                 ],
             )
+            # Timings live in a per-mode series: a thread run and a
+            # process run of the same function set are different
+            # performance experiments and must never alias in the
+            # regression gate.  (Robustness totals above stay
+            # mode-independent — output is bit-identical by design.)
+            # Only fully-cold runs qualify — a cache-warm run timing
+            # in the same series would make every later cold run look
+            # like a regression.
+            if result.ran == len(names) and result.cache_hits == 0:
+                timing = {
+                    "workers": float(workers),
+                    "total_seconds": float(
+                        result.phase_timings.get("total", 0.0)
+                    ),
+                    "inject_seconds": float(
+                        result.phase_timings.get("inject", 0.0)
+                    ),
+                }
+                conn.executemany(
+                    "INSERT INTO bench_metrics (run_id, bench, metric, value)"
+                    " VALUES (?, ?, ?, ?)",
+                    [
+                        (
+                            run.id,
+                            f"campaign.{fnset}.{fleet_mode}",
+                            metric,
+                            value,
+                        )
+                        for metric, value in sorted(timing.items())
+                    ],
+                )
         return run
 
     def ingest_bench_document(self, document: object, source: str = "") -> LedgerRun:

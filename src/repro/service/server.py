@@ -72,6 +72,7 @@ class ServiceConfig:
     drain_seconds: float = DEFAULT_DRAIN_SECONDS
     ledger: Optional[Path] = None        # results ledger (history op +
                                          # rollup on graceful shutdown)
+    lease_ttl: float = 30.0              # fleet shard lease duration
 
 
 class HealersService:
@@ -92,6 +93,7 @@ class HealersService:
             max_vectors=config.max_vectors,
             telemetry=telemetry,
             ledger=config.ledger,
+            lease_ttl=config.lease_ttl,
         )
         self.telemetry = self.state.telemetry
         self._server: Optional[asyncio.base_events.Server] = None

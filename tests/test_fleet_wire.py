@@ -1,0 +1,158 @@
+"""Tests for the fleet wire format (shard/result serialization)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.fleet import (
+    WIRE_VERSION,
+    FingerprintMismatch,
+    FunctionResult,
+    ShardSpec,
+    WireError,
+    build_shards,
+    fleet_fingerprints,
+    verify_fingerprints,
+)
+
+
+def make_shard(**overrides):
+    spec = dict(
+        shard_id="camp/0",
+        campaign="camp",
+        seed=7,
+        max_vectors=24,
+        functions=["strcpy", "memcpy"],
+        digests=["d-strcpy", "d-memcpy"],
+    )
+    spec.update(overrides)
+    return ShardSpec.build(**spec)
+
+
+class TestShardRoundTrip:
+    def test_encode_decode_is_identity(self):
+        shard = make_shard(attempts=[1, 3])
+        assert ShardSpec.decode(shard.encode()) == shard
+
+    def test_decode_survives_json_boundary(self):
+        shard = make_shard()
+        wired = json.loads(json.dumps(shard.encode()))
+        assert ShardSpec.decode(wired) == shard
+
+    def test_digest_stable_across_json(self):
+        shard = make_shard()
+        again = ShardSpec.decode(json.loads(json.dumps(shard.encode())))
+        assert again.digest() == shard.digest()
+
+    def test_digest_stable_across_pickle(self):
+        shard = make_shard(attempts=[2, 2])
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone == shard
+        assert clone.digest() == shard.digest()
+
+    def test_digest_sees_every_field(self):
+        base = make_shard()
+        assert make_shard(seed=8).digest() != base.digest()
+        assert make_shard(max_vectors=25).digest() != base.digest()
+        assert make_shard(attempts=[2, 1]).digest() != base.digest()
+        assert make_shard(shard_id="camp/1").digest() != base.digest()
+
+    def test_default_attempts_are_first(self):
+        assert make_shard().attempts == (1, 1)
+
+    def test_lookup_helpers(self):
+        shard = make_shard(attempts=[1, 4])
+        assert shard.digest_for("memcpy") == "d-memcpy"
+        assert shard.attempt_for("memcpy") == 4
+
+
+class TestShardValidation:
+    def test_mismatched_digests_refused(self):
+        with pytest.raises(WireError):
+            make_shard(digests=["only-one"])
+
+    def test_mismatched_attempts_refused(self):
+        with pytest.raises(WireError):
+            make_shard(attempts=[1])
+
+    def test_non_object_refused(self):
+        with pytest.raises(WireError):
+            ShardSpec.decode("not a shard")
+
+    def test_wrong_wire_version_refused(self):
+        doc = make_shard().encode()
+        doc["wire"] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="wire version"):
+            ShardSpec.decode(doc)
+
+    @pytest.mark.parametrize(
+        "missing", ["shard_id", "campaign", "functions", "digests", "seed"]
+    )
+    def test_missing_field_refused(self, missing):
+        doc = make_shard().encode()
+        del doc[missing]
+        with pytest.raises(WireError, match="malformed"):
+            ShardSpec.decode(doc)
+
+
+class TestFingerprints:
+    def test_local_fingerprints_verify(self):
+        verify_fingerprints(fleet_fingerprints())
+        make_shard().verify_local()
+
+    def test_foreign_fingerprints_refused(self):
+        skewed = dict(fleet_fingerprints(), schema=-1)
+        with pytest.raises(FingerprintMismatch):
+            verify_fingerprints(skewed)
+        with pytest.raises(FingerprintMismatch):
+            make_shard(fingerprints=skewed).verify_local()
+
+    def test_mismatch_is_a_wire_error(self):
+        assert issubclass(FingerprintMismatch, WireError)
+
+
+class TestFunctionResult:
+    def test_round_trip(self):
+        result = FunctionResult(
+            function="strcpy", digest="d", status="ok", attempt=2,
+            elapsed=0.125, payload={"calls": 3}, worker="w1",
+        )
+        clone = FunctionResult.decode(
+            json.loads(json.dumps(result.encode()))
+        )
+        assert clone == result
+        assert clone.ok
+
+    def test_failure_round_trip(self):
+        result = FunctionResult(
+            function="strcpy", digest="d", status="failed", attempt=3,
+            elapsed=0.5, error="boom",
+        )
+        clone = FunctionResult.decode(result.encode())
+        assert clone == result
+        assert not clone.ok
+
+    def test_malformed_refused(self):
+        with pytest.raises(WireError):
+            FunctionResult.decode({"wire": WIRE_VERSION})
+        with pytest.raises(WireError):
+            FunctionResult.decode([])
+
+
+class TestBuildShards:
+    def test_striping_matches_scheduler(self):
+        names = [f"fn{i}" for i in range(5)]
+        digests = {n: f"d-{n}" for n in names}
+        shards = build_shards(
+            names, digests, 2, campaign="c", seed=1, max_vectors=10
+        )
+        assert [list(s.functions) for s in shards] == [
+            ["fn0", "fn2", "fn4"], ["fn1", "fn3"]
+        ]
+        assert [s.shard_id for s in shards] == ["c/0", "c/1"]
+        for shard in shards:
+            assert list(shard.digests) == [
+                digests[n] for n in shard.functions
+            ]
+            shard.verify_local()

@@ -58,6 +58,9 @@ class TestEndpoints:
         assert set(status["ops"]) == {
             "ballista", "declaration", "harden", "history", "inject",
             "metrics", "status",
+            "worker.register", "worker.lease", "worker.heartbeat",
+            "worker.result", "worker.complete",
+            "fleet.submit", "fleet.collect", "fleet.forget", "fleet.status",
         }
         assert status["admission"]["capacity"] == 34
         assert status["shutting_down"] is False
