@@ -24,6 +24,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.ballista.pools import PoolValue, pool_for
 from repro.cdecl import DeclarationParser, typedef_table
+from repro.faults.model import FaultModelsSpec, resolve_fault_models
 from repro.libc.catalog import BALLISTA_SET, BY_NAME, FunctionSpec
 from repro.libc.runtime import LibcRuntime, standard_runtime
 from repro.obs.telemetry import NULL_TELEMETRY
@@ -177,6 +178,7 @@ class BallistaHarness:
         configuration: str = "unwrapped",
         step_budget: int = 1_000_000,
         jobs: int = 1,
+        fault_models: FaultModelsSpec = (),
     ) -> BallistaReport:
         """Execute every test; each runs in a fork of a base runtime.
 
@@ -189,12 +191,22 @@ class BallistaHarness:
         factory or wrapper cannot be reconstructed in a worker fall
         back to serial execution (a ``ballista.serial_fallback``
         telemetry event names the reason).
+
+        ``fault_models`` (see :mod:`repro.faults`) arms one scenario
+        per test, cycling through each function's scenario list in
+        deterministic test order — the environmental-fault variant of
+        the sweep.  Armed sweeps always run serially.
         """
+        models = resolve_fault_models(fault_models)
         if jobs > 1:
             blocker = self._sharding_blocker(wrapper)
+            if models:
+                blocker = "fault models armed"
             if blocker is None:
                 return self._run_sharded(wrapper, configuration, step_budget, jobs)
             self.telemetry.event("ballista.serial_fallback", reason=blocker)
+        scenario_cycle = self._scenario_cycle(models)
+        seen_per_function: dict[str, int] = {}
         telemetry = self.telemetry.scope(configuration=configuration)
         report = BallistaReport(configuration)
         sandbox = Sandbox(step_budget=step_budget, telemetry=telemetry)
@@ -205,10 +217,18 @@ class BallistaHarness:
         }
         with telemetry.span("campaign", kind="ballista") as campaign:
             for test in self.tests():
+                armed = None
+                cycle = scenario_cycle.get(test.function, ())
+                if cycle:
+                    index = seen_per_function.get(test.function, 0)
+                    seen_per_function[test.function] = index + 1
+                    armed = cycle[index % len(cycle)]
                 with telemetry.span(
                     "ballista.test", function=test.function
                 ) as test_span:
-                    status, detail = _execute_test(test, sandbox, base, wrapper)
+                    status, detail = _execute_test(
+                        test, sandbox, base, wrapper, armed
+                    )
                     test_span.set(status=status)
                 status_counters[status].inc()
                 report.records.append(TestRecord(test, status, detail))
@@ -218,6 +238,23 @@ class BallistaHarness:
                 crashes=report.count("crash"),
             )
         return report
+
+    def _scenario_cycle(self, models) -> dict[str, tuple]:
+        """Per function, the flat ``(model, scenario)`` cycle the armed
+        sweep steps through (deterministic: models arrive sorted by
+        name, scenario order is each model's enumeration order)."""
+        if not models:
+            return {}
+        cycle: dict[str, tuple] = {}
+        for spec in self.functions:
+            prototype = self.parser.parse_prototype(spec.prototype)
+            pairs = [
+                (model, scenario)
+                for model in models
+                for scenario in model.scenarios(spec, prototype)
+            ]
+            cycle[spec.name] = tuple(pairs)
+        return cycle
 
     # ------------------------------------------------------------------
     def _sharding_blocker(self, wrapper: Optional[WrapperLibrary]) -> Optional[str]:
@@ -305,8 +342,13 @@ def _execute_test(
     sandbox: Sandbox,
     base: LibcRuntime,
     wrapper: Optional[WrapperLibrary],
+    armed: Optional[tuple] = None,
 ) -> tuple[str, str]:
-    """Run one test in a fresh fork; shared by serial and sharded paths."""
+    """Run one test in a fresh fork; shared by serial and sharded paths.
+
+    ``armed`` is an optional ``(model, scenario)`` pair applied to the
+    forked runtime (and possibly the argument list) before the call.
+    """
     runtime = base.fork()
     if wrapper is not None:
         # Each test is a fresh forked process image; tracking tables
@@ -323,11 +365,18 @@ def _execute_test(
         elif wrapper is not None and pool_value.seed == "dir":
             wrapper.state.seed_dir(value)
     spec = BY_NAME[test.function]
+    if armed is not None:
+        model, scenario = armed
+        values = list(model.arm(scenario, runtime, values, spec))
     if wrapper is not None:
         outcome = wrapper.call(test.function, values, runtime)
     else:
         outcome = sandbox.call(spec.model, values, runtime)
-    return _classify(outcome)
+    status, detail = _classify(outcome)
+    if armed is not None and status == "crash":
+        model, scenario = armed
+        detail = f"[{model.name}:{scenario.label}] {detail}"
+    return status, detail
 
 
 #: Worker-process memo: one rebuilt (harness, grouped tests, wrapper,

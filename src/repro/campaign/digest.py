@@ -19,7 +19,14 @@ covers the four inputs of one per-function injection campaign:
    :data:`~repro.injector.PLAN_VERSION` and
    :data:`~repro.injector.MEMO_POLICY`: a change to plan compilation
    or to the memoization soundness policy reschedules or re-dedups
-   the experiment, so cached outcomes must be recomputed.
+   the experiment, so cached outcomes must be recomputed;
+6. the **armed fault models** — when a campaign runs with
+   ``fault_models``, the :func:`repro.faults.faults_fingerprint`
+   block (model names, versions, parameters, scenario sampling cap)
+   joins the document, so faulted and unfaulted outcomes — and
+   outcomes under different model parameters — never alias.  An
+   empty model set adds nothing, keeping every pre-existing digest
+   stable.
 
 Digests are sha256 over a canonical JSON encoding; two campaign runs
 agree on a function's digest iff they would run the identical
@@ -33,6 +40,7 @@ import json
 from typing import Optional
 
 from repro.cdecl import DeclarationParser, typedef_table
+from repro.faults.model import FaultModelsSpec, faults_fingerprint, resolve_fault_models
 from repro.generators.select import generators_for
 from repro.injector import MAX_RETRIES, MAX_VECTORS, MEMO_POLICY, PLAN_VERSION
 from repro.libc.catalog import FunctionSpec
@@ -84,6 +92,7 @@ def outcome_digest(
     max_retries: int = MAX_RETRIES,
     lattice_version: str = LATTICE_VERSION,
     parser: Optional[DeclarationParser] = None,
+    fault_models: FaultModelsSpec = (),
 ) -> str:
     """The content address of one function's injection outcome."""
     document = {
@@ -94,6 +103,11 @@ def outcome_digest(
         "caps": {"max_vectors": max_vectors, "max_retries": max_retries},
         "planner": {"version": PLAN_VERSION, "memo": MEMO_POLICY},
     }
+    models = resolve_fault_models(fault_models)
+    if models:
+        # Only added when armed: the no-fault digest must stay
+        # byte-identical to digests minted before this key existed.
+        document["faults"] = faults_fingerprint(models)
     canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -29,7 +29,7 @@ import json
 import os
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
@@ -43,6 +43,7 @@ from repro.campaign.scheduler import (
 )
 from repro.campaign.store import OutcomeStore, report_from_payload, report_to_payload
 from repro.cdecl import DeclarationParser, typedef_table
+from repro.faults.model import canonical_fault_specs
 from repro.injector import FaultInjector, InjectionReport, MAX_VECTORS
 from repro.libc.catalog import BY_NAME, FunctionSpec
 from repro.obs.telemetry import NULL_TELEMETRY
@@ -78,6 +79,11 @@ class CampaignConfig:
     #: ``HOST:PORT`` of an already-running daemon for the remote fleet;
     #: None self-hosts a loopback daemon for the campaign's duration.
     fleet_address: Optional[str] = None
+    #: Armed fault models as canonical spec strings (see
+    #: ``repro.faults``); kept as strings so the config stays frozen,
+    #: hashable, and picklable across the fleet boundary.  Use
+    #: :func:`repro.faults.canonical_fault_specs` to normalize.
+    fault_models: tuple[str, ...] = ()
 
 
 @dataclass
@@ -105,6 +111,8 @@ class CampaignResult:
     fleet_mode: str = "serial"
     #: Effective worker count of the inject phase.
     workers: int = 1
+    #: Canonical spec strings of the fault models the campaign armed.
+    fault_models: tuple[str, ...] = ()
 
     @property
     def cache_hits(self) -> int:
@@ -128,14 +136,22 @@ class CampaignResult:
 # ----------------------------------------------------------------------
 
 
-def _inject_payload(name: str, max_vectors: int = MAX_VECTORS) -> dict:
+def _inject_payload(
+    name: str,
+    max_vectors: int = MAX_VECTORS,
+    fault_models: tuple[str, ...] = (),
+) -> dict:
     """Run one function's injector and serialize the report.
 
     Serialization happens worker-side so only a JSON-able dict crosses
     the process boundary and the parent can persist it verbatim.
+    ``fault_models`` travels as canonical spec strings and is resolved
+    to model instances here, inside the worker.
     """
     spec = BY_NAME[name]
-    report = FaultInjector(spec, max_vectors=max_vectors).run()
+    report = FaultInjector(
+        spec, max_vectors=max_vectors, fault_models=fault_models
+    ).run()
     return report_to_payload(report, spec.prototype)
 
 
@@ -160,6 +176,12 @@ class CampaignRunner:
             if unknown:
                 raise KeyError(f"unknown functions: {', '.join(unknown)}")
             self.specs = [BY_NAME[n] for n in functions]
+        if tuple(config.fault_models) != canonical_fault_specs(config.fault_models):
+            # Canonicalize eagerly so the digest, the manifest, the
+            # fleet wire format, and the ledger all see one spelling.
+            config = replace(
+                config, fault_models=canonical_fault_specs(config.fault_models)
+            )
         self.config = config
         self.telemetry = telemetry
         self.progress = progress
@@ -182,7 +204,10 @@ class CampaignRunner:
             started = time.perf_counter()
             digests = {
                 spec.name: outcome_digest(
-                    spec, max_vectors=config.max_vectors, parser=self.parser
+                    spec,
+                    max_vectors=config.max_vectors,
+                    parser=self.parser,
+                    fault_models=config.fault_models,
                 )
                 for spec in self.specs
             }
@@ -274,12 +299,15 @@ class CampaignRunner:
                         on_result=on_result,
                         cache_dir=config.cache_dir,
                         address=config.fleet_address,
+                        fault_models=config.fault_models,
                     )
                 else:
                     run_tasks(
                         misses,
                         functools.partial(
-                            _inject_payload, max_vectors=config.max_vectors
+                            _inject_payload,
+                            max_vectors=config.max_vectors,
+                            fault_models=config.fault_models,
                         ),
                         jobs=config.jobs,
                         timeout=config.timeout,
@@ -303,6 +331,7 @@ class CampaignRunner:
             reports=reports, outcomes=outcomes,
             phase_timings=timings, campaign=ident,
             fleet_mode=fleet_mode, workers=workers,
+            fault_models=config.fault_models,
         )
         if config.ledger is not None:
             self._ingest_ledger(result)
@@ -374,6 +403,7 @@ class CampaignRunner:
                 requested, len(names), self.config.fleet or "processes"
             ),
             "fleet": self.config.fleet,
+            "fault_models": list(self.config.fault_models),
             "functions": [
                 {
                     "name": name,

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.campaign.digest import CACHE_SCHEMA
 from repro.cdecl import DeclarationParser, typedef_table
+from repro.faults.model import ScenarioEvidence
 from repro.injector import ErrnoClassification, InjectionReport
 from repro.typelattice import RobustType, TestResult, TypeInstance, VectorObservation
 
@@ -119,6 +120,21 @@ def report_to_payload(report: InjectionReport, prototype_text: str) -> dict:
             ]
             for obs in report.observations
         ],
+        # Scenario evidence rides along only when fault models were
+        # armed, so unfaulted payloads stay byte-identical to those
+        # written before the key existed (the digest separates the
+        # two populations; this keeps the bytes honest too).
+        **(
+            {
+                "fault_evidence": [
+                    [e.model, e.scenario, e.vectors, e.crashes, e.hangs,
+                     e.baseline_failures]
+                    for e in report.fault_evidence
+                ]
+            }
+            if report.fault_evidence
+            else {}
+        ),
     }
 
 
@@ -162,6 +178,11 @@ def report_from_payload(
                 blamed,
             )
             for fundamentals, result, blamed in payload["observations"]
+        ],
+        fault_evidence=[
+            ScenarioEvidence(model, scenario, vectors, crashes, hangs, baseline)
+            for model, scenario, vectors, crashes, hangs, baseline
+            in payload.get("fault_evidence", [])
         ],
     )
 

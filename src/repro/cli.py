@@ -100,6 +100,19 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_models_arg(args: argparse.Namespace):
+    """Canonical spec strings from ``--fault-models``, or None after
+    printing the parse error (callers then return exit code 2)."""
+    from repro.faults import canonical_fault_specs
+
+    try:
+        return canonical_fault_specs(getattr(args, "fault_models", None))
+    except (KeyError, ValueError) as exc:
+        # str(KeyError) wraps the message in quotes; unwrap it.
+        print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+        return None
+
+
 def _campaign_requested(args: argparse.Namespace) -> bool:
     return bool(
         getattr(args, "jobs", 1) > 1
@@ -108,7 +121,7 @@ def _campaign_requested(args: argparse.Namespace) -> bool:
     )
 
 
-def _campaign_config(args: argparse.Namespace):
+def _campaign_config(args: argparse.Namespace, fault_models=()):
     from repro.campaign import CampaignConfig
 
     cache_dir = getattr(args, "cache_dir", None)
@@ -116,6 +129,7 @@ def _campaign_config(args: argparse.Namespace):
         jobs=getattr(args, "jobs", 1),
         cache_dir=Path(cache_dir) if cache_dir else None,
         resume=getattr(args, "resume", False),
+        fault_models=tuple(fault_models),
     )
 
 
@@ -128,6 +142,9 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown functions: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    fault_models = _fault_models_arg(args)
+    if fault_models is None:
+        return 2
     telemetry = _telemetry_for(args)
     rows: list[dict[str, object]] = []
     failed: dict[str, str] = {}
@@ -137,22 +154,23 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         if args.semi_auto:
             declaration = apply_manual_edits(declaration)
         if args.json:
-            rows.append(
-                {
-                    "function": name,
-                    "unsafe": report.unsafe,
-                    "vectors": report.vectors_run,
-                    "calls": report.calls_made,
-                    "retries": report.retries,
-                    "crashes": report.crashes,
-                    "hangs": report.hangs,
-                    "errno_class": report.errno_class.describe(),
-                    "robust_types": [
-                        t.robust.render() for t in report.robust_types
-                    ],
-                    "assertions": sorted(declaration.assertions),
-                }
-            )
+            row: dict[str, object] = {
+                "function": name,
+                "unsafe": report.unsafe,
+                "vectors": report.vectors_run,
+                "calls": report.calls_made,
+                "retries": report.retries,
+                "crashes": report.crashes,
+                "hangs": report.hangs,
+                "errno_class": report.errno_class.describe(),
+                "robust_types": [
+                    t.robust.render() for t in report.robust_types
+                ],
+                "assertions": sorted(declaration.assertions),
+            }
+            if report.fault_evidence:
+                row["unsafe_scenarios"] = list(report.unsafe_scenarios)
+            rows.append(row)
         else:
             print(declaration.to_xml())
             print(f"<!-- {report.calls_made} calls, {report.retries} retries, "
@@ -163,7 +181,7 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 
         runner = CampaignRunner(
             functions=args.functions,
-            config=_campaign_config(args),
+            config=_campaign_config(args, fault_models),
             telemetry=telemetry,
         )
         result = runner.run()
@@ -174,7 +192,9 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     else:
         with telemetry.span("campaign", kind="inject", functions=len(args.functions)):
             for name in args.functions:
-                emit(name, inject_function(name, telemetry=telemetry))
+                emit(name, inject_function(
+                    name, telemetry=telemetry, fault_models=fault_models
+                ))
     if args.json:
         print(json.dumps(rows, indent=2))
     for name, error in failed.items():
@@ -189,6 +209,9 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     from repro.wrapper import generate_checks_header
 
     functions = args.functions or None
+    fault_models = _fault_models_arg(args)
+    if fault_models is None:
+        return 2
     telemetry = _telemetry_for(args)
     progress = None
     if not args.json:
@@ -202,6 +225,7 @@ def _cmd_harden(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         resume=args.resume,
+        fault_models=fault_models,
     )
     hardened = pipeline.run()
     out = Path(args.output)
@@ -219,6 +243,10 @@ def _cmd_harden(args: argparse.Namespace) -> int:
                     "output": str(out),
                     "unsafe": hardened.unsafe_functions(),
                     "safe": hardened.safe_functions(),
+                    "scenario_unsafe": sorted(
+                        n for n, d in hardened.declarations.items()
+                        if d.scenario_unsafe
+                    ),
                     "failed": hardened.failed_functions,
                     "elapsed_seconds": round(hardened.elapsed_seconds, 6),
                     "phase_timings": {
@@ -255,6 +283,9 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
     from repro.core.cache import load_or_generate
     from repro.libc.catalog import BY_NAME
 
+    fault_models = _fault_models_arg(args)
+    if fault_models is None:
+        return 2
     telemetry = _telemetry_for(args)
     if args.functions:
         hardened = HealersPipeline(
@@ -263,6 +294,7 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            fault_models=fault_models,
         ).run()
         harness = BallistaHarness(
             functions=[BY_NAME[n] for n in args.functions], telemetry=telemetry
@@ -273,6 +305,7 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            fault_models=fault_models,
         ).run()
         harness = BallistaHarness(total_target=11995, telemetry=telemetry)
     else:
@@ -289,7 +322,8 @@ def _cmd_ballista(args: argparse.Namespace) -> int:
     from repro.ballista import render_figure6
 
     reports = [
-        harness.run(wrapper=wrapper, configuration=label, jobs=args.jobs)
+        harness.run(wrapper=wrapper, configuration=label, jobs=args.jobs,
+                    fault_models=fault_models)
         for label, wrapper in configurations
     ]
     if args.json:
@@ -337,6 +371,9 @@ def _campaign_run(args: argparse.Namespace, cache_dir: Path) -> int:
     if unknown:
         print(f"unknown functions: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    fault_models = _fault_models_arg(args)
+    if fault_models is None:
+        return 2
     telemetry = _telemetry_for(args)
     progress = None
     if not args.json:
@@ -351,6 +388,7 @@ def _campaign_run(args: argparse.Namespace, cache_dir: Path) -> int:
             ledger=Path(args.ledger) if args.ledger else None,
             fleet=args.fleet, workers=args.workers,
             fleet_address=args.connect,
+            fault_models=fault_models,
         ),
         telemetry=telemetry,
         progress=progress,
@@ -375,6 +413,7 @@ def _campaign_summary(result) -> dict[str, object]:
         "campaign": result.campaign,
         "fleet_mode": result.fleet_mode,
         "workers": result.workers,
+        "fault_models": list(result.fault_models),
         "cached": result.cache_hits,
         "ran": result.ran,
         "failed": result.failed,
@@ -601,6 +640,39 @@ def _cmd_bitflips(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import available_models, get_model
+
+    models = [get_model(name)() for name in available_models()]
+    if args.faults_command == "list":
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "name": model.name,
+                            "version": model.version,
+                            "default_params": dict(model.default_params),
+                            "description": model.describe(),
+                        }
+                        for model in models
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        for model in models:
+            params = ", ".join(
+                f"{key}={value}" for key, value in sorted(model.default_params.items())
+            )
+            print(f"{model.name} (v{model.version})")
+            print(f"  {model.describe()}")
+            if params:
+                print(f"  defaults: {params}")
+        return 0
+    return 2
+
+
 def _ledger_for(args: argparse.Namespace):
     from repro.obs import DEFAULT_LEDGER_PATH, Ledger
 
@@ -763,6 +835,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--resume", action="store_true",
                          help="continue an interrupted campaign from its "
                               "checkpoint manifest")
+        cmd.add_argument("--fault-models", metavar="SPEC",
+                         help="arm fault-model scenarios: comma-separated "
+                              "specs like 'resource,signal:offsets=1|64' "
+                              "(see 'faults list')")
 
     inject = sub.add_parser("inject", help="fault-inject functions, print declarations")
     inject.add_argument("functions", nargs="+")
@@ -824,6 +900,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--ledger", metavar="DB",
                               help="ingest the finished campaign into this "
                                    "results ledger (sqlite)")
+    campaign_run.add_argument("--fault-models", metavar="SPEC",
+                              help="arm fault-model scenarios: comma-separated "
+                                   "specs like 'resource,signal:offsets=1|64' "
+                                   "(see 'faults list')")
     campaign_status = campaign_sub.add_parser(
         "status", help="summarize the checkpoint manifest"
     )
@@ -978,6 +1058,15 @@ def build_parser() -> argparse.ArgumentParser:
     bitflips = sub.add_parser("bitflips", help="run the bit-flip campaign")
     bitflips.add_argument("functions", nargs="*")
 
+    faults = sub.add_parser(
+        "faults", help="inspect the pluggable fault-model dictionary"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_list = faults_sub.add_parser(
+        "list", help="list registered fault models and their defaults"
+    )
+    faults_list.add_argument("--json", action="store_true")
+
     diff = sub.add_parser(
         "diff", help="compare two declaration bundles (release adaptation)"
     )
@@ -998,6 +1087,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "query": _cmd_query,
     "bitflips": _cmd_bitflips,
+    "faults": _cmd_faults,
     "diff": _cmd_diff,
     "report": _cmd_report,
     "ledger": _cmd_ledger,

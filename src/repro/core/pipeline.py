@@ -91,7 +91,10 @@ class HealersPipeline:
         jobs: int = 1,
         cache_dir: Optional[Path | str] = None,
         resume: bool = False,
+        fault_models: object = (),
     ) -> None:
+        from repro.faults.model import canonical_fault_specs
+
         if functions is None:
             self.specs: list[FunctionSpec] = list(BALLISTA_SET)
         else:
@@ -103,6 +106,7 @@ class HealersPipeline:
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.resume = resume
+        self.fault_models = canonical_fault_specs(fault_models)
 
     def run(self) -> HardenedLibrary:
         """Phase 1.  Serial and in-process by default; with ``jobs > 1``
@@ -123,6 +127,7 @@ class HealersPipeline:
                     runtime_factory=self.runtime_factory,
                     max_vectors=self.max_vectors,
                     telemetry=telemetry,
+                    fault_models=self.fault_models,
                 )
                 report = injector.run()
                 reports[spec.name] = report
@@ -164,6 +169,7 @@ class HealersPipeline:
             cache_dir=self.cache_dir,
             resume=self.resume,
             max_vectors=self.max_vectors,
+            fault_models=self.fault_models,
         )
         progress = self.progress
 
@@ -219,8 +225,10 @@ def harden(
     jobs: int = 1,
     cache_dir: Optional[Path | str] = None,
     resume: bool = False,
+    fault_models: object = (),
 ) -> HardenedLibrary:
     """One-call convenience wrapper around the pipeline."""
     return HealersPipeline(
-        functions=functions, jobs=jobs, cache_dir=cache_dir, resume=resume
+        functions=functions, jobs=jobs, cache_dir=cache_dir, resume=resume,
+        fault_models=fault_models,
     ).run()

@@ -54,10 +54,18 @@ class FunctionDeclaration:
     #: for this function; populated by manual edits.
     assertions: tuple[str, ...] = ()
     variadic: bool = False
+    #: ``model:scenario`` keys under which the fault-model sweep saw
+    #: crashes or hangs beyond the unfaulted baseline — the function is
+    #: robust against bad arguments but not this environment.
+    unsafe_scenarios: tuple[str, ...] = ()
 
     @property
     def unsafe(self) -> bool:
         return self.attribute == "unsafe"
+
+    @property
+    def scenario_unsafe(self) -> bool:
+        return bool(self.unsafe_scenarios)
 
     @property
     def arity(self) -> int:
@@ -85,6 +93,10 @@ class FunctionDeclaration:
             assertions = ET.SubElement(root, "assertions")
             for name in self.assertions:
                 ET.SubElement(assertions, "assert").text = name
+        if self.unsafe_scenarios:
+            scenarios = ET.SubElement(root, "unsafe_scenarios")
+            for key in self.unsafe_scenarios:
+                ET.SubElement(scenarios, "scenario").text = key
         ET.indent(root)
         return ET.tostring(root, encoding="unicode")
 
@@ -121,6 +133,10 @@ class FunctionDeclaration:
             errno_class=root.findtext("errno_class", NONE_FOUND),
             assertions=tuple(
                 el.text or "" for el in root.findall("assertions/assert")
+            ),
+            unsafe_scenarios=tuple(
+                el.text or ""
+                for el in root.findall("unsafe_scenarios/scenario")
             ),
         )
 
@@ -217,4 +233,5 @@ def declaration_from_report(report, version: str = "GLIBC_2.2") -> FunctionDecla
         attribute="unsafe" if report.unsafe else "safe",
         errno_class=report.errno_class.kind,
         variadic=prototype.ftype.variadic,
+        unsafe_scenarios=getattr(report, "unsafe_scenarios", ()),
     )

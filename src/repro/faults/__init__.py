@@ -1,0 +1,39 @@
+"""repro.faults — the pluggable fault-model dictionary.
+
+See :mod:`repro.faults.model` for the protocol and determinism rules,
+and ``docs/faults.md`` for the catalog and how to write a model.
+"""
+
+from repro.faults.model import (
+    FAULTS_VERSION,
+    SCENARIO_VECTOR_CAP,
+    FaultModel,
+    FaultScenario,
+    ScenarioEvidence,
+    available_models,
+    canonical_fault_specs,
+    faults_fingerprint,
+    format_parameter_index,
+    function_pointer_indices,
+    get_model,
+    register_model,
+    resolve_fault_models,
+    scenario_sample,
+)
+
+__all__ = [
+    "FAULTS_VERSION",
+    "SCENARIO_VECTOR_CAP",
+    "FaultModel",
+    "FaultScenario",
+    "ScenarioEvidence",
+    "available_models",
+    "canonical_fault_specs",
+    "faults_fingerprint",
+    "format_parameter_index",
+    "function_pointer_indices",
+    "get_model",
+    "register_model",
+    "resolve_fault_models",
+    "scenario_sample",
+]

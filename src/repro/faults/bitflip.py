@@ -1,0 +1,111 @@
+"""Bit-flip fault model — the first model migrated onto the registry.
+
+The flip primitives (what a flip *is* and how it is applied) live
+here; :mod:`repro.injector.bitflips` keeps its public golden-call
+campaign API as a thin shim over them, so there is exactly one
+fault-scenario registry.
+
+As a registry model, ``bitflip`` contributes argument-*value* flips
+(a corrupted register or spilled slot) to the injector's scenario
+sweep: each scenario XORs one bit into one argument of an otherwise
+baseline vector.  Memory flips — damaging the pointed-to object —
+need the golden calls' block-size knowledge and stay with the
+dedicated :class:`~repro.injector.bitflips.BitFlipCampaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.faults.model import FaultModel, FaultScenario, register_model
+
+#: Bits eligible for value flips (LP64 argument registers).
+VALUE_BITS = 64
+
+#: default bit positions for injector scenarios: low byte, mid-word,
+#: pointer-significant, and sign bit
+DEFAULT_BITS = "1|17|33|63"
+
+
+@dataclass(frozen=True)
+class FlipSpec:
+    """One injected bit flip."""
+
+    argument: int
+    kind: str  # "value" | "memory"
+    bit: int  # bit index within the value / within the pointed-to block
+
+    def describe(self) -> str:
+        return f"arg{self.argument}:{self.kind}:bit{self.bit}"
+
+
+def enumerate_flips(
+    args: Sequence[int], block_sizes: Sequence[int], memory_stride: int = 8
+) -> list[FlipSpec]:
+    """All single-bit flips of the call: every bit of every argument
+    value, plus every ``memory_stride``-th bit of each pointed-to
+    block (full coverage of small structures without exploding)."""
+    flips: list[FlipSpec] = []
+    for index in range(len(args)):
+        for bit in range(VALUE_BITS):
+            flips.append(FlipSpec(index, "value", bit))
+        for bit in range(0, block_sizes[index] * 8, memory_stride):
+            flips.append(FlipSpec(index, "memory", bit))
+    return flips
+
+
+def apply_flip(runtime, args: Sequence[int], spec: FlipSpec) -> list[int]:
+    """Apply one flip, returning the (possibly substituted) args.
+
+    Value flips replace the argument; memory flips damage the byte
+    the argument points at (bypassing protection, as a hardware upset
+    or stray DMA write would).
+    """
+    if spec.kind == "value":
+        flipped = list(args)
+        flipped[spec.argument] ^= 1 << spec.bit
+        return flipped
+    address = args[spec.argument] + spec.bit // 8
+    region = runtime.space.region_at(address)
+    if region is not None:
+        byte = region.peek(address, 1)[0]
+        region.poke(address, bytes([byte ^ (1 << (spec.bit % 8))]))
+    return list(args)
+
+
+def _parse_bits(raw: object) -> tuple[int, ...]:
+    if isinstance(raw, int):
+        bits: tuple[int, ...] = (raw,)
+    else:
+        bits = tuple(int(part) for part in str(raw).split("|") if part.strip())
+    if not bits or any(not 0 <= b < VALUE_BITS for b in bits):
+        raise ValueError(f"bad bitflip bits {raw!r} (want 0..{VALUE_BITS - 1}, | separated)")
+    return bits
+
+
+@register_model
+class BitFlipModel(FaultModel):
+    """Single-bit corruption of argument values."""
+
+    name = "bitflip"
+    version = 1
+    default_params = {"bits": DEFAULT_BITS}
+
+    def scenarios(self, spec, prototype) -> tuple[FaultScenario, ...]:
+        arity = len(prototype.ftype.parameters)
+        return tuple(
+            FaultScenario(
+                self.name, f"value@arg{index}:bit{bit}", (("argument", index), ("bit", bit))
+            )
+            for index in range(arity)
+            for bit in _parse_bits(self.params["bits"])
+        )
+
+    def arm(self, scenario: FaultScenario, runtime, args: Sequence, spec) -> list:
+        params = dict(scenario.params)
+        flip = FlipSpec(params["argument"], "value", params["bit"])
+        armed = list(args)
+        if isinstance(armed[flip.argument], int):
+            return apply_flip(runtime, armed, flip)
+        return armed

@@ -1,0 +1,133 @@
+"""Callback and format-string fault models.
+
+``callback`` substitutes hostile comparators for function-pointer
+arguments (``qsort``/``bsearch``'s ``compar``): one that frees the
+memory it is handed, one that never returns, and one that lies
+inconsistently.  A robust sort survives a lying comparator; nothing
+survives a comparator that frees the elements — the question is
+whether the *library* crashes (unsafe) or the damage stays inside the
+caller's contract.
+
+``format`` substitutes hostile format strings for the printf family:
+``%n`` writes through a missing (invalid) vararg pointer, a width
+bomb drives the padding loop past the step budget, and a run of
+``%s`` conversions starves the argument list into invalid pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.faults.model import (
+    FaultModel,
+    FaultScenario,
+    format_parameter_index,
+    function_pointer_indices,
+    register_model,
+)
+
+
+def _hostile_free(ctx, *pointers: int) -> int:
+    # Frees whatever the library hands the callback; comparator
+    # arguments point into library-owned scratch, so this is the
+    # "callback corrupts the heap behind the library's back" case.
+    for pointer in pointers:
+        ctx.heap.free(pointer)
+    return 0
+
+
+def _hostile_spin(ctx, *pointers: int) -> int:
+    while True:
+        ctx.step(64)
+
+
+def _hostile_lying(ctx, *pointers: int) -> int:
+    # Inconsistent, but deterministic in its inputs: a comparator
+    # that violates strict weak ordering without crashing itself.
+    key = 0
+    for pointer in pointers:
+        key ^= pointer
+    return -1 if key & 1 else 1
+
+
+_CALLBACKS = {
+    "free": _hostile_free,
+    "spin": _hostile_spin,
+    "lying": _hostile_lying,
+}
+
+
+@register_model
+class CallbackSabotageModel(FaultModel):
+    """Hostile callbacks passed where the library expects a comparator."""
+
+    name = "callback"
+    version = 1
+    default_params: dict[str, object] = {}
+
+    def scenarios(self, spec, prototype) -> tuple[FaultScenario, ...]:
+        scenarios = []
+        for index in function_pointer_indices(prototype):
+            for behaviour in ("free", "spin", "lying"):
+                scenarios.append(
+                    FaultScenario(
+                        self.name, f"{behaviour}@arg{index}", (("argument", index),)
+                    )
+                )
+        return tuple(scenarios)
+
+    def arm(self, scenario: FaultScenario, runtime, args: Sequence, spec) -> list:
+        behaviour = scenario.label.split("@", 1)[0]
+        index = dict(scenario.params)["argument"]
+        armed = list(args)
+        armed[index] = runtime.register_funcptr(_CALLBACKS[behaviour])
+        return armed
+
+
+#: hostile format payloads, by scenario label
+_PAYLOADS = {
+    # %n through the missing-vararg invalid pointer: the classic
+    # format-string write primitive.
+    "percent_n": b"%n%n%n%n",
+    # enough padding to blow any step budget before producing output
+    "width_bomb": b"%999999999d",
+    # every %s consumes one (missing, therefore invalid) pointer
+    "starve": b"%s%s%s%s%s%s%s%s",
+}
+
+
+@register_model
+class FormatStringModel(FaultModel):
+    """Hostile format strings for the printf family."""
+
+    name = "format"
+    version = 1
+    default_params: dict[str, object] = {}
+
+    def scenarios(self, spec, prototype) -> tuple[FaultScenario, ...]:
+        if not spec.variadic or "printf" not in spec.name:
+            return ()
+        index = format_parameter_index(prototype)
+        if index is None:
+            return ()
+        return tuple(
+            FaultScenario(self.name, label, (("argument", index),))
+            for label in sorted(_PAYLOADS)
+        )
+
+    def arm(self, scenario: FaultScenario, runtime, args: Sequence, spec) -> list:
+        index = dict(scenario.params)["argument"]
+        payload = _PAYLOADS[scenario.label] + b"\x00"
+        # A private arena region rather than heap.malloc: the format
+        # string must survive even when composed mentally with an
+        # exhausted allocator, and must not disturb the allocation
+        # table the baseline vector set up.
+        from repro.memory import Protection, RegionKind
+
+        region = runtime.space.map_region(
+            len(payload), Protection.RW, RegionKind.LIBC, "hostile format"
+        )
+        region.poke(region.base, payload)
+        armed = list(args)
+        armed[index] = region.base
+        return armed

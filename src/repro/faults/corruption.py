@@ -1,0 +1,57 @@
+"""Table-corruption fault model.
+
+The ctype family indexes an in-memory classification table with no
+bounds or integrity checking (``table[c + 128]``) — exactly the kind
+of trusted internal structure the paper calls out as the C library's
+soft underbelly.  This model bit-damages the mapped table at
+deterministic offsets before the call, probing whether corruption
+turns into a contained wrong answer (silent) or an actual failure.
+
+Offsets and bit positions are derived from the flip index with fixed
+strides, so the scenario set is a pure function of the parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.faults.model import FaultModel, FaultScenario, register_model
+from repro.libc.ctype_fns import TABLE_SIZE, ctype_table_base
+from repro.sandbox.context import CallContext
+
+
+@register_model
+class TableCorruptionModel(FaultModel):
+    """Bit-flips the ctype classification table before the call."""
+
+    name = "ctype_table"
+    version = 1
+    #: number of single-bit-damage scenarios to enumerate
+    default_params = {"flips": 4}
+
+    def scenarios(self, spec, prototype) -> tuple[FaultScenario, ...]:
+        if not getattr(spec.model, "__module__", "").endswith("ctype_fns"):
+            return ()
+        scenarios = []
+        for flip in range(int(self.params["flips"])):
+            offset = (flip * 97) % TABLE_SIZE
+            bit = flip % 8
+            scenarios.append(
+                FaultScenario(
+                    self.name,
+                    f"flip@{offset}:{bit}",
+                    (("bit", bit), ("offset", offset)),
+                )
+            )
+        return tuple(scenarios)
+
+    def arm(self, scenario: FaultScenario, runtime, args: Sequence, spec) -> list:
+        params = dict(scenario.params)
+        # Force-map the table in this fork (lazily created on first
+        # ctype call otherwise) so there is something to damage.
+        base = ctype_table_base(CallContext(runtime))
+        region = runtime.space.region_at(base)
+        address = base + params["offset"]
+        original = region.peek(address, 1)[0]
+        region.poke(address, bytes([original ^ (1 << params["bit"])]))
+        return list(args)

@@ -1,0 +1,56 @@
+"""Resource-exhaustion fault model.
+
+Three environmental scenarios every deployed library faces and the
+paper's error-return analysis presumes it survives:
+
+* ``malloc_null`` — the allocator fails after a configurable number
+  of successful allocations (``Heap.exhaust_after``); a robust
+  function returns its error value, a fragile one dereferences NULL.
+* ``fd_exhausted`` — the descriptor table is full
+  (``Kernel.fd_budget``), so ``open`` fails with ``EMFILE``.
+* ``disk_full`` — writes to regular files fail with ``ENOSPC``
+  (``Kernel.disk_budget``).
+
+All three are pure budget mutations on the forked runtime: argument
+values are untouched, so any new crash is attributable to the
+environment alone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.faults.model import FaultModel, FaultScenario, register_model
+
+
+@register_model
+class ResourceExhaustionModel(FaultModel):
+    """Exhausted memory, descriptors, and disk space."""
+
+    name = "resource"
+    version = 1
+    #: successful operations allowed before the resource runs dry
+    default_params = {"mallocs": 0, "fds": 0, "disk_bytes": 0}
+
+    def scenarios(self, spec, prototype) -> tuple[FaultScenario, ...]:
+        # Budgets are invisible to functions that never touch the
+        # resource, so the model applies to the whole catalog; calls
+        # that skip the resource simply reproduce their baseline.
+        return (
+            FaultScenario(self.name, "malloc_null", (("mallocs", self.params["mallocs"]),)),
+            FaultScenario(self.name, "fd_exhausted", (("fds", self.params["fds"]),)),
+            FaultScenario(self.name, "disk_full", (("disk_bytes", self.params["disk_bytes"]),)),
+        )
+
+    def arm(self, scenario: FaultScenario, runtime, args: Sequence, spec) -> list:
+        if scenario.label == "malloc_null":
+            runtime.heap.exhaust_after = int(self.params["mallocs"])
+        elif scenario.label == "fd_exhausted":
+            # Touching `kernel` materializes the lazy fork; sound here
+            # because the runtime is this scenario's private fork.
+            runtime.kernel.fd_budget = int(self.params["fds"])
+        elif scenario.label == "disk_full":
+            runtime.kernel.disk_budget = int(self.params["disk_bytes"])
+        else:
+            raise ValueError(f"unknown resource scenario {scenario.label!r}")
+        return list(args)

@@ -1,0 +1,85 @@
+"""Signal-interruption and reentrancy fault model.
+
+Delivers a simulated asynchronous signal at a deterministic step
+offset inside the call (the step counter is the reproduction's
+instruction clock, so "offset 64" is the same interruption point on
+every run).  Two handler behaviours per offset:
+
+* ``clobber`` — the handler runs a syscall that overwrites ``errno``
+  (set to ``EINTR``), the classic async-signal bug: a function that
+  reads errno after the interrupted region reports the handler's
+  errno, not its own.
+* ``reenter`` — the handler calls the interrupted function again with
+  the same arguments, probing non-reentrant libc state (``strtok``'s
+  save pointer, static result buffers).  Whatever the nested call
+  raises propagates as the outcome of the interrupted call.
+
+Arming stores an :class:`~repro.sandbox.context.InterruptPlan` on the
+forked runtime; the sandbox selects the interrupt-delivering context
+subclass when it sees one, so unarmed calls pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.faults.model import FaultModel, FaultScenario, register_model
+from repro.libc.errno_codes import EINTR
+from repro.sandbox.context import InterruptPlan
+
+#: default interruption points (in steps); early, mid-loop, deep
+DEFAULT_OFFSETS = "1|64|512"
+
+
+def _parse_offsets(raw: object) -> tuple[int, ...]:
+    if isinstance(raw, int):
+        return (raw,)
+    offsets = tuple(int(part) for part in str(raw).split("|") if part.strip())
+    if not offsets or any(o < 1 for o in offsets):
+        raise ValueError(f"bad signal offsets {raw!r} (want positive ints, | separated)")
+    return offsets
+
+
+@register_model
+class SignalInterruptionModel(FaultModel):
+    """A simulated signal preempts the call at fixed step offsets."""
+
+    name = "signal"
+    version = 1
+    default_params = {"offsets": DEFAULT_OFFSETS, "reenter": 1}
+
+    def scenarios(self, spec, prototype) -> tuple[FaultScenario, ...]:
+        scenarios = []
+        for offset in _parse_offsets(self.params["offsets"]):
+            scenarios.append(
+                FaultScenario(self.name, f"clobber@{offset}", (("offset", offset),))
+            )
+            if self.params["reenter"]:
+                scenarios.append(
+                    FaultScenario(self.name, f"reenter@{offset}", (("offset", offset),))
+                )
+        return tuple(scenarios)
+
+    def arm(self, scenario: FaultScenario, runtime, args: Sequence, spec) -> list:
+        offset = dict(scenario.params)["offset"]
+        armed_args = list(args)
+        if scenario.label.startswith("clobber@"):
+
+            def fire(ctx) -> None:
+                # Deliberately not ctx.set_errno: the *handler* wrote
+                # errno, which must not count as the callee reporting
+                # an error — but an implementation that reads errno
+                # after the interrupted region now sees EINTR.
+                ctx.runtime.errno = EINTR
+
+        else:
+            function = spec.model
+
+            def fire(ctx) -> None:
+                # Re-entry shares the interrupted call's context, so
+                # nested work draws down the same step budget and
+                # nested faults surface as the outer outcome.
+                function(ctx, *armed_args)
+
+        runtime.pending_interrupt = InterruptPlan(offset, fire)
+        return armed_args

@@ -64,6 +64,7 @@ def build_shards(
     campaign: str,
     seed: int,
     max_vectors: int,
+    fault_models: Sequence[str] = (),
 ) -> list[ShardSpec]:
     """Stripe the campaign's functions into up to ``workers`` shards
     (same round-robin striping as the legacy scheduler, so shard
@@ -77,6 +78,7 @@ def build_shards(
             max_vectors=max_vectors,
             functions=stripe,
             digests=[digests[name] for name in stripe],
+            fault_models=fault_models,
         )
         for index, stripe in enumerate(stripes)
     ]
@@ -97,6 +99,7 @@ def run_fleet(
     on_result: Optional[Callable[[TaskResult], None]] = None,
     cache_dir=None,
     address: Optional[str] = None,
+    fault_models: Sequence[str] = (),
 ) -> dict[str, TaskResult]:
     """Execute the named functions through the chosen fleet mode and
     return ``{name: TaskResult}`` (merge order is the caller's —
@@ -115,6 +118,7 @@ def run_fleet(
         task_retries=task_retries,
         telemetry=telemetry,
         on_result=on_result,
+        fault_models=tuple(fault_models),
     )
     if mode == "threads":
         from repro.fleet.threads import run_thread_fleet

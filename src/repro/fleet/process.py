@@ -120,6 +120,7 @@ def _process_worker_main(worker_id: int, task_q, conn) -> None:
                 result = execute_function(
                     name, digest, shard.seed, shard.max_vectors, attempt,
                     worker=f"proc-{worker_id}",
+                    fault_models=shard.fault_models,
                 )
                 completed += 1
                 send(("fn", worker_id, shard.shard_id, result.encode()))
@@ -166,6 +167,7 @@ def run_process_fleet(
     heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
     telemetry=NULL_TELEMETRY,
     on_result: Optional[Callable[[TaskResult], None]] = None,
+    fault_models: Sequence[str] = (),
 ) -> dict[str, TaskResult]:
     """Execute every function through a supervised process fleet."""
     from repro.fleet import build_shards
@@ -178,7 +180,7 @@ def run_process_fleet(
 
     shards = build_shards(
         names, digests, workers, campaign=campaign, seed=seed,
-        max_vectors=max_vectors,
+        max_vectors=max_vectors, fault_models=fault_models,
     )
     width = len(shards)
     shards_by_id: dict[str, ShardSpec] = {s.shard_id: s for s in shards}
@@ -234,6 +236,7 @@ def run_process_fleet(
             digests=[digests[n] for n, _ in retry],
             attempts=[a for _, a in retry],
             fingerprints=dict(template.fingerprints),
+            fault_models=template.fault_models,
         )
         submit(shard)
         telemetry.counter("fleet.reshard_count").inc()

@@ -72,6 +72,7 @@ def run_remote_fleet(
     on_result: Optional[Callable[[TaskResult], None]] = None,
     cache_dir=None,
     address: Optional[str] = None,
+    fault_models: Sequence[str] = (),
 ) -> dict[str, TaskResult]:
     """Run the campaign through a shard broker; see the module doc."""
     from repro.fleet import build_shards
@@ -118,7 +119,7 @@ def run_remote_fleet(
     try:
         shards = build_shards(
             names, digests, workers, campaign=campaign, seed=seed,
-            max_vectors=max_vectors,
+            max_vectors=max_vectors, fault_models=fault_models,
         )
         submitted = client.fleet_submit(
             [s.encode() for s in shards], task_retries=task_retries

@@ -43,6 +43,7 @@ def run_thread_fleet(
     task_retries: int = DEFAULT_TASK_RETRIES,
     telemetry=NULL_TELEMETRY,
     on_result: Optional[Callable[[TaskResult], None]] = None,
+    fault_models: Sequence[str] = (),
 ) -> dict[str, TaskResult]:
     """Execute every function on a thread pool, one task per shard."""
     from repro.fleet import build_shards
@@ -52,7 +53,7 @@ def run_thread_fleet(
         return {}
     shards = build_shards(
         names, digests, workers, campaign=campaign, seed=seed,
-        max_vectors=max_vectors,
+        max_vectors=max_vectors, fault_models=fault_models,
     )
     results: dict[str, TaskResult] = {}
     lock = threading.Lock()
@@ -70,7 +71,7 @@ def run_thread_fleet(
             for attempt in range(1, task_retries + 2):
                 result = execute_function(
                     name, digest, shard.seed, shard.max_vectors, attempt,
-                    worker=worker,
+                    worker=worker, fault_models=shard.fault_models,
                 )
                 if result.ok or attempt > task_retries:
                     finalize(task_result_from(result))

@@ -1,4 +1,4 @@
-"""The fleet wire format, version 1.
+"""The fleet wire format, version 2.
 
 A campaign shard is the fleet's unit of work: an ordered slice of a
 campaign's function list plus everything a worker in *another process
@@ -11,12 +11,19 @@ experiment bit for bit:
 * the **campaign seed** — workers re-seed per function with
   :func:`~repro.campaign.scheduler.task_seed`, making results
   independent of which worker runs what, in what order;
+* the **armed fault models** (canonical spec strings, see
+  :mod:`repro.faults`), so a worker arms exactly the scenario set the
+  parent's digests were planned under;
 * the **code fingerprints** (:func:`fleet_fingerprints`): cache
-  schema, lattice version, planner version and memo policy.  A worker
-  whose local versions disagree **must refuse the shard**
-  (:meth:`ShardSpec.verify_local` raises
+  schema, lattice version, planner version, memo policy and fault
+  subsystem version.  A worker whose local versions disagree **must
+  refuse the shard** (:meth:`ShardSpec.verify_local` raises
   :class:`FingerprintMismatch`) — a fleet mixing code versions would
   silently produce digests that lie.
+
+Version 2 added ``fault_models`` and the ``faults`` fingerprint; a v1
+shard (or a v1 worker handed a v2 shard) is refused outright rather
+than guessed at.
 
 Shards serialize to plain JSON objects (:meth:`ShardSpec.encode` /
 :meth:`ShardSpec.decode`) so they travel both the ``multiprocessing``
@@ -38,11 +45,13 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.campaign.digest import CACHE_SCHEMA
+from repro.faults.model import FAULTS_VERSION
 from repro.injector import MEMO_POLICY, PLAN_VERSION
 from repro.typelattice import LATTICE_VERSION
 
 #: Bump on any incompatible change to the shard/result encoding.
-WIRE_VERSION = 1
+#: v2: shards carry ``fault_models``; fingerprints carry ``faults``.
+WIRE_VERSION = 2
 
 #: The fleet modes ``campaign run --fleet`` accepts.
 FLEET_MODES = ("threads", "processes", "remote")
@@ -70,6 +79,7 @@ def fleet_fingerprints() -> dict[str, object]:
         "lattice": LATTICE_VERSION,
         "plan": PLAN_VERSION,
         "memo": MEMO_POLICY,
+        "faults": FAULTS_VERSION,
     }
 
 
@@ -96,6 +106,8 @@ class ShardSpec:
     digests: tuple[str, ...]       # parallel to ``functions``
     attempts: tuple[int, ...]      # attempt number each function runs as
     fingerprints: tuple[tuple[str, object], ...]
+    #: canonical fault-model spec strings armed for every function
+    fault_models: tuple[str, ...] = ()
 
     @classmethod
     def build(
@@ -108,6 +120,7 @@ class ShardSpec:
         digests: Sequence[str],
         attempts: Optional[Sequence[int]] = None,
         fingerprints: Optional[dict] = None,
+        fault_models: Sequence[str] = (),
     ) -> "ShardSpec":
         functions = tuple(functions)
         digests = tuple(digests)
@@ -129,6 +142,7 @@ class ShardSpec:
             digests=digests,
             attempts=attempts,
             fingerprints=tuple(sorted(fp.items())),
+            fault_models=tuple(str(m) for m in fault_models),
         )
 
     # ------------------------------------------------------------------
@@ -144,6 +158,7 @@ class ShardSpec:
             "digests": list(self.digests),
             "attempts": list(self.attempts),
             "fingerprints": dict(self.fingerprints),
+            "fault_models": list(self.fault_models),
         }
 
     @classmethod
@@ -170,6 +185,7 @@ class ShardSpec:
                 digests=digests,
                 attempts=attempts,
                 fingerprints=fingerprints,
+                fault_models=[str(m) for m in document.get("fault_models", [])],
             )
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, WireError):

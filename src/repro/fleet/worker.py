@@ -69,6 +69,7 @@ def execute_function(
     max_vectors: int,
     attempt: int = 1,
     worker: str = "",
+    fault_models: tuple[str, ...] = (),
 ) -> FunctionResult:
     """Run one function's injector under the campaign's per-task seed
     and return its wire-encoded outcome (never raises)."""
@@ -79,7 +80,9 @@ def execute_function(
         from repro.campaign.runner import _inject_payload
 
         reseed(seed, name)
-        payload = _inject_payload(name, max_vectors=max_vectors)
+        payload = _inject_payload(
+            name, max_vectors=max_vectors, fault_models=fault_models
+        )
     except BaseException:
         return FunctionResult(
             function=name,
@@ -116,7 +119,8 @@ def execute_shard(
         shard.functions, shard.digests, shard.attempts
     ):
         result = execute_function(
-            name, digest, shard.seed, shard.max_vectors, attempt, worker
+            name, digest, shard.seed, shard.max_vectors, attempt, worker,
+            shard.fault_models,
         )
         results.append(result)
         if on_result is not None:

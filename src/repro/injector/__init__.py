@@ -1,7 +1,13 @@
 """Adaptive fault injection: per-function injector generation, robust
 argument type discovery, error-return-code classification, and the
-bit-flip campaign of the paper's future-work section."""
+bit-flip campaign of the paper's future-work section.
 
+Scenario-based fault models (resource exhaustion, signal interruption,
+hostile callbacks, table corruption) live in :mod:`repro.faults`; the
+injector arms them through ``FaultInjector(fault_models=...)`` and
+reports per-scenario :class:`~repro.faults.ScenarioEvidence`."""
+
+from repro.faults.model import ScenarioEvidence
 from repro.injector.bitflips import (
     BitFlipCampaign,
     BitFlipReport,
@@ -45,6 +51,7 @@ __all__ = [
     "InjectionReport",
     "MAX_RETRIES",
     "MAX_VECTORS",
+    "ScenarioEvidence",
     "auto_checkable",
     "inject_function",
     "ChainMemo",

@@ -14,32 +14,30 @@ classifies the outcome.  Unlike the Ballista pools, which sample
 exceptional values from a type-aware catalog, bit flips explore the
 immediate neighbourhood of valid states: a good model of hardware
 upsets and of stray writes by unrelated buggy code.
+
+The flip primitives now live in :mod:`repro.faults.bitflip`, where
+the ``bitflip`` :class:`~repro.faults.FaultModel` shares them with
+the injector's scenario sweep; this module keeps its public API
+(``FlipSpec``, ``enumerate_flips``, ``BitFlipCampaign``, the golden
+calls) as a shim over that single registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
+from repro.faults.bitflip import (  # noqa: F401  (re-exported shim API)
+    VALUE_BITS,
+    BitFlipModel,
+    FlipSpec,
+    apply_flip,
+    enumerate_flips,
+)
 from repro.libc.catalog import BY_NAME
 from repro.libc.runtime import LibcRuntime, standard_runtime
 from repro.sandbox import CallOutcome, CallStatus, Sandbox
 from repro.wrapper.wrapper import WrapperLibrary
-
-#: Bits eligible for value flips (LP64 argument registers).
-VALUE_BITS = 64
-
-
-@dataclass(frozen=True)
-class FlipSpec:
-    """One injected bit flip."""
-
-    argument: int
-    kind: str  # "value" | "memory"
-    bit: int  # bit index within the value / within the pointed-to block
-
-    def describe(self) -> str:
-        return f"arg{self.argument}:{self.kind}:bit{self.bit}"
 
 
 @dataclass
@@ -148,21 +146,6 @@ GOLDEN_CALLS: dict[str, GoldenCall] = {
 }
 
 
-def enumerate_flips(
-    args: Sequence[int], block_sizes: Sequence[int], memory_stride: int = 8
-) -> list[FlipSpec]:
-    """All single-bit flips of the call: every bit of every argument
-    value, plus every ``memory_stride``-th bit of each pointed-to
-    block (full coverage of small structures without exploding)."""
-    flips: list[FlipSpec] = []
-    for index in range(len(args)):
-        for bit in range(VALUE_BITS):
-            flips.append(FlipSpec(index, "value", bit))
-        for bit in range(0, block_sizes[index] * 8, memory_stride):
-            flips.append(FlipSpec(index, "memory", bit))
-    return flips
-
-
 class BitFlipCampaign:
     """Runs a bit-flip sweep for one function."""
 
@@ -187,16 +170,7 @@ class BitFlipCampaign:
     def _apply_flip(
         self, runtime: LibcRuntime, args: list[int], spec: FlipSpec
     ) -> list[int]:
-        if spec.kind == "value":
-            flipped = list(args)
-            flipped[spec.argument] ^= 1 << spec.bit
-            return flipped
-        address = args[spec.argument] + spec.bit // 8
-        region = runtime.space.region_at(address)
-        if region is not None:
-            byte = region.peek(address, 1)[0]
-            region.poke(address, bytes([byte ^ (1 << (spec.bit % 8))]))
-        return list(args)
+        return apply_flip(runtime, args, spec)
 
     def run(
         self,

@@ -34,6 +34,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.cdecl import DeclarationParser, FunctionPrototype, typedef_table
+from repro.faults.model import (
+    FaultModelsSpec,
+    ScenarioEvidence,
+    resolve_fault_models,
+    scenario_sample,
+)
 from repro.generators.base import Materialized, TestCaseGenerator, TestCaseTemplate
 from repro.generators.select import generators_for
 from repro.libc.catalog import (
@@ -102,10 +108,21 @@ class InjectionReport:
     crashes: int
     hangs: int
     observations: list[VectorObservation] = field(default_factory=list)
+    #: per-scenario evidence from armed fault models (repro.faults);
+    #: empty unless the injector ran with ``fault_models``.  Scenario
+    #: evidence never feeds the baseline robust types or the
+    #: ``unsafe`` attribute — it is a separate classification axis.
+    fault_evidence: list[ScenarioEvidence] = field(default_factory=list)
 
     @property
     def safe(self) -> bool:
         return not self.unsafe
+
+    @property
+    def unsafe_scenarios(self) -> tuple[str, ...]:
+        """Keys of the scenarios that crashed or hung this function
+        beyond its baseline failures, sorted for stable output."""
+        return tuple(sorted(e.key for e in self.fault_evidence if e.unsafe))
 
 
 def auto_checkable(instance) -> bool:
@@ -125,6 +142,7 @@ class FaultInjector:
         checkable: Callable = auto_checkable,
         telemetry=NULL_TELEMETRY,
         plan: Optional[str] = "shared",
+        fault_models: FaultModelsSpec = (),
     ) -> None:
         if plan not in (None, "shared", "private"):
             raise ValueError(f"unknown plan mode: {plan!r}")
@@ -139,6 +157,10 @@ class FaultInjector:
         self.runtime_factory = runtime_factory
         self.max_vectors = max_vectors
         self.checkable = checkable
+        #: armed fault models (instances, spec strings, or a comma
+        #: spec); empty = baseline HEALERS behaviour, bit-identical
+        #: to a build without the faults subsystem.
+        self.fault_models = resolve_fault_models(fault_models)
         #: per-function telemetry scope: every metric/span recorded by
         #: this injector (and its sandbox) carries ``function=<name>``.
         self.telemetry = telemetry.scope(function=spec.name)
@@ -169,6 +191,7 @@ class FaultInjector:
         sandbox = Sandbox(telemetry=telemetry)
         base_runtime = self.runtime_factory()
         observations: list[VectorObservation] = []
+        benign_vectors: list[tuple[TestCaseTemplate, ...]] = []
         calls = retries = crashes = hangs = 0
         returned_values: list[object] = []
         errno_returns: list[tuple[object, int]] = []
@@ -243,8 +266,15 @@ class FaultInjector:
                     returned_values.append(record.return_value)
                     if record.errno_was_set:
                         errno_returns.append((record.return_value, record.errno))
+                    # Candidate pool for the scenario sweep: vectors
+                    # that completed without a robustness failure, so
+                    # a scenario crash is attributable to the fault.
+                    benign_vectors.append(vector)
                 observations.append(record.observation)
 
+            fault_evidence = self._run_fault_scenarios(
+                sandbox, base_runtime, vectors, benign_vectors
+            )
             errno_class = self._classify_errno(errno_returns)
             unsafe = crashes + hangs > 0
             robust_types = self._compute_robust_types(observations)
@@ -279,6 +309,7 @@ class FaultInjector:
             crashes=crashes,
             hangs=hangs,
             observations=observations,
+            fault_evidence=fault_evidence,
         )
 
     # ------------------------------------------------------------------
@@ -300,6 +331,79 @@ class FaultInjector:
         """The template most likely to be a valid argument; used to
         hold co-arguments steady during sweeps."""
         return templates[benign_index([t.label for t in templates])]
+
+    # ------------------------------------------------------------------
+    def _run_fault_scenarios(
+        self,
+        sandbox: Sandbox,
+        base_runtime: LibcRuntime,
+        vectors: Sequence[tuple[TestCaseTemplate, ...]],
+        benign_vectors: Sequence[tuple[TestCaseTemplate, ...]],
+    ) -> list[ScenarioEvidence]:
+        """Re-run a sampled vector subset under every armed scenario.
+
+        Runs strictly after the baseline loop, on the naive path
+        (fresh fork + full re-materialization per call): templates are
+        in their final post-campaign states, which are deterministic
+        because baseline reports are bit-identical across plan modes.
+        Preference goes to vectors that completed cleanly, so any new
+        crash is the scenario's; when no vector was benign, the
+        sampled vectors are re-run once unarmed to establish the
+        baseline-failure floor the evidence discounts.
+        """
+        if not self.fault_models:
+            return []
+        pool = list(benign_vectors) if benign_vectors else list(vectors)
+        sample = scenario_sample(pool)
+        baseline_failures = 0
+        if not benign_vectors:
+            for vector in sample:
+                outcome = self._scenario_call(sandbox, base_runtime, vector, None, None)
+                if outcome.robustness_failure:
+                    baseline_failures += 1
+        evidence: list[ScenarioEvidence] = []
+        telemetry = self.telemetry
+        for model in self.fault_models:
+            armed_counter = telemetry.counter("faults.scenarios_armed", model=model.name)
+            crash_counter = telemetry.counter("faults.scenario_crashes", model=model.name)
+            for scenario in model.scenarios(self.spec, self.prototype):
+                armed_counter.inc()
+                crashes = hangs = 0
+                for vector in sample:
+                    outcome = self._scenario_call(
+                        sandbox, base_runtime, vector, model, scenario
+                    )
+                    if outcome.status is CallStatus.HUNG:
+                        hangs += 1
+                    elif outcome.robustness_failure:
+                        crashes += 1
+                crash_counter.inc(crashes + hangs)
+                evidence.append(
+                    ScenarioEvidence(
+                        model=model.name,
+                        scenario=scenario.label,
+                        vectors=len(sample),
+                        crashes=crashes,
+                        hangs=hangs,
+                        baseline_failures=baseline_failures,
+                    )
+                )
+        return evidence
+
+    def _scenario_call(
+        self,
+        sandbox: Sandbox,
+        base_runtime: LibcRuntime,
+        vector: tuple[TestCaseTemplate, ...],
+        model,
+        scenario,
+    ) -> CallOutcome:
+        runtime = base_runtime.fork()
+        materialized = [t.materialize(runtime) for t in vector]
+        args: list = [m.value for m in materialized]
+        if model is not None:
+            args = model.arm(scenario, runtime, args, self.spec)
+        return sandbox.call(self.spec.model, args, runtime)
 
     # ------------------------------------------------------------------
     def _execute_vector(
@@ -453,6 +557,7 @@ def inject_function(
     checkable: Callable = auto_checkable,
     telemetry=NULL_TELEMETRY,
     plan: Optional[str] = "shared",
+    fault_models: FaultModelsSpec = (),
 ) -> InjectionReport:
     """Convenience: build and run the injector for a catalog function."""
     from repro.libc.catalog import BY_NAME
@@ -464,5 +569,6 @@ def inject_function(
         checkable=checkable,
         telemetry=telemetry,
         plan=plan,
+        fault_models=fault_models,
     )
     return injector.run()

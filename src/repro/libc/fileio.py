@@ -497,11 +497,16 @@ def libc_rename(ctx: CallContext, old: int, new: int) -> int:
 
 
 def _format(ctx: CallContext, fmt: int, args: tuple) -> bytes:
-    """Minimal printf engine: %s %d %u %c %x %% and the dangerous %n.
+    """Minimal printf engine: %s %d %u %c %x %% and the dangerous %n,
+    with field widths.
 
     A %s whose argument is missing consumes an invalid pointer —
     exactly how a real varargs printf walks off the register save
     area — so under-supplied format strings crash realistically.
+    Width padding is accounted byte-for-byte against the step budget,
+    so a width bomb like ``%999999999d`` hangs instead of silently
+    producing gigabytes — the behaviour the injector's format fault
+    scenarios pin down.
     """
     from repro.memory import INVALID_POINTER
 
@@ -515,6 +520,12 @@ def _format(ctx: CallContext, fmt: int, args: tuple) -> bytes:
         arg_index += 1
         return value
 
+    def padded(piece: bytes, width: int) -> bytes:
+        if width <= len(piece):
+            return piece
+        ctx.account(width - len(piece))
+        return b" " * (width - len(piece)) + piece
+
     while True:
         byte = common.read_byte(ctx, cursor)
         if byte == 0:
@@ -525,18 +536,23 @@ def _format(ctx: CallContext, fmt: int, args: tuple) -> bytes:
             continue
         spec = common.read_byte(ctx, cursor)
         cursor += 1
+        width = 0
+        while ord("0") <= spec <= ord("9"):
+            width = width * 10 + (spec - ord("0"))
+            spec = common.read_byte(ctx, cursor)
+            cursor += 1
         if spec == ord("%"):
             out.append(ord("%"))
         elif spec == ord("s"):
-            out += common.read_cstring(ctx, next_arg())
+            out += padded(common.read_cstring(ctx, next_arg()), width)
         elif spec in (ord("d"), ord("i")):
-            out += str(common.to_int64(next_arg())).encode()
+            out += padded(str(common.to_int64(next_arg())).encode(), width)
         elif spec == ord("u"):
-            out += str(common.to_uint64(next_arg())).encode()
+            out += padded(str(common.to_uint64(next_arg())).encode(), width)
         elif spec == ord("x"):
-            out += format(common.to_uint64(next_arg()), "x").encode()
+            out += padded(format(common.to_uint64(next_arg()), "x").encode(), width)
         elif spec == ord("c"):
-            out.append(next_arg() & 0xFF)
+            out += padded(bytes([next_arg() & 0xFF]), width)
         elif spec == ord("n"):
             # Writes the byte count through the next pointer argument:
             # the format-string attack vector the wrapper's
@@ -546,6 +562,8 @@ def _format(ctx: CallContext, fmt: int, args: tuple) -> bytes:
             break
         else:
             out.append(ord("%"))
+            if width:
+                out += str(width).encode()
             out.append(spec)
     return bytes(out)
 

@@ -20,6 +20,7 @@ from repro.libc.errno_codes import (
     EISDIR,
     EMFILE,
     ENOENT,
+    ENOSPC,
     ENOTDIR,
     ENOTTY,
     EROFS,
@@ -118,6 +119,15 @@ class Kernel:
         self.termios: dict[int, TermiosState] = {}
         self.environment: dict[bytes, bytes] = {}
         self.now: int = 1_023_456_789  # deterministic "current time"
+        #: Resource-exhaustion budgets (see repro.faults.resource).
+        #: None means unlimited.  ``fd_budget`` bounds further
+        #: successful opens (0 = descriptor table "full", EMFILE);
+        #: ``disk_budget`` bounds further bytes written to regular
+        #: files (0 = disk full, ENOSPC).  Budgets model the process
+        #: environment, not the filesystem contents, so they are
+        #: deliberately invisible to stat/read.
+        self.fd_budget: Optional[int] = None
+        self.disk_budget: Optional[int] = None
         self._setup_std_streams()
 
     # -- construction helpers -------------------------------------------
@@ -171,6 +181,8 @@ class Kernel:
     def open(self, path: str, flags: int) -> int:
         if len(self.fds) >= MAX_FDS:
             raise KernelError(EMFILE)
+        if self.fd_budget is not None and self.fd_budget <= 0:
+            raise KernelError(EMFILE, "descriptor budget exhausted")
         try:
             node = self.lookup(path)
         except KernelError:
@@ -191,6 +203,8 @@ class Kernel:
         if flags & APPEND:
             open_file.offset = len(node.data)
         self.fds[fd] = open_file
+        if self.fd_budget is not None:
+            self.fd_budget -= 1
         if node.is_tty:
             self.termios[fd] = TermiosState()
         return fd
@@ -237,6 +251,10 @@ class Kernel:
         node = open_file.node
         if node.is_tty:
             return len(payload)  # tty output is discarded
+        if self.disk_budget is not None:
+            if self.disk_budget < len(payload):
+                raise KernelError(ENOSPC, "disk budget exhausted")
+            self.disk_budget -= len(payload)
         end = open_file.offset + len(payload)
         if len(node.data) < end:
             node.data.extend(b"\x00" * (end - len(node.data)))
@@ -305,6 +323,8 @@ class Kernel:
         clone._next_inode = self._next_inode
         clone._next_fd = self._next_fd
         clone.now = self.now
+        clone.fd_budget = self.fd_budget
+        clone.disk_budget = self.disk_budget
         clone.environment = dict(self.environment)
         clone.termios = {fd: TermiosState(**vars(st)) for fd, st in self.termios.items()}
         # Re-resolve descriptor nodes in the cloned tree by path walk:

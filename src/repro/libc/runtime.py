@@ -59,6 +59,9 @@ class LibcRuntime:
         self.ctype_table_base: int | None = None
         #: lazily mapped fopen mode jump table base address.
         self.fopen_mode_table_base: int | None = None
+        #: armed simulated-signal plan (see repro.faults.signals);
+        #: the sandbox delivers it via InterruptibleContext.
+        self.pending_interrupt = None
 
     @property
     def kernel(self) -> Kernel:
@@ -115,6 +118,7 @@ class LibcRuntime:
         clone.pid = self.pid
         clone.ctype_table_base = self.ctype_table_base
         clone.fopen_mode_table_base = self.fopen_mode_table_base
+        clone.pending_interrupt = self.pending_interrupt
         return clone
 
     def snapshot(self) -> "PreparedSnapshot":

@@ -50,6 +50,11 @@ class Heap:
         #: statistics for the benches
         self.malloc_count = 0
         self.free_count = 0
+        #: Resource-exhaustion budget (see repro.faults.resource):
+        #: None means unlimited; an integer allows that many further
+        #: successful allocations, after which malloc returns NULL —
+        #: the deterministic stand-in for memory pressure.
+        self.exhaust_after: Optional[int] = None
 
     # ------------------------------------------------------------------
     # allocator entry points (the simulated libc calls these)
@@ -62,6 +67,10 @@ class Heap:
         """
         if size < 0:
             return NULL
+        if self.exhaust_after is not None:
+            if self.exhaust_after <= 0:
+                return NULL
+            self.exhaust_after -= 1
         try:
             region = self.space.map_region(
                 size, Protection.RW, RegionKind.HEAP, label=f"malloc({size})"
@@ -162,4 +171,5 @@ class Heap:
                 clone._blocks[base] = region
         clone.malloc_count = self.malloc_count
         clone.free_count = self.free_count
+        clone.exhaust_after = self.exhaust_after
         return clone

@@ -273,6 +273,70 @@ def _section_robustness(ledger: Ledger) -> str:
     )
 
 
+def _section_faults(ledger: Ledger) -> str:
+    """Per-model robustness of the latest fault-model campaign: which
+    armed models condemned which functions, and how broadly."""
+    faulted = [
+        (run, rows)
+        for run, rows in ledger.campaign_runs()
+        if run.extra.get("fault_models")
+    ]
+    if not faulted:
+        return ""
+    run, rows = faulted[-1]
+    models = [str(m) for m in run.extra.get("fault_models", [])]
+    scenario_unsafe: dict = run.extra.get("scenario_unsafe") or {}
+    per_model: dict[str, dict[str, int]] = {}
+    for function, keys in sorted(scenario_unsafe.items()):
+        for key in keys:
+            model = str(key).split(":", 1)[0]
+            bucket = per_model.setdefault(
+                model, {"scenarios": 0, "functions": 0}
+            )
+            bucket["scenarios"] += 1
+        for model in {str(k).split(":", 1)[0] for k in keys}:
+            per_model[model]["functions"] += 1
+    body = []
+    for spec in models:
+        model = spec.split(":", 1)[0]
+        bucket = per_model.get(model, {"scenarios": 0, "functions": 0})
+        cls = "delta-up" if bucket["scenarios"] else "muted"
+        verdict = "condemns" if bucket["scenarios"] else "clean"
+        body.append(
+            "<tr>"
+            f"<td>{_esc(spec)}</td>"
+            f'<td class="{cls}">{_esc(verdict)}</td>'
+            f'<td class="num">{bucket["functions"]}</td>'
+            f'<td class="num">{bucket["scenarios"]}</td>'
+            "</tr>"
+        )
+    detail = []
+    for function, keys in sorted(scenario_unsafe.items()):
+        detail.append(
+            "<tr>"
+            f"<td>{_esc(function)}</td>"
+            f'<td class="muted">{_esc(", ".join(sorted(map(str, keys))))}</td>'
+            "</tr>"
+        )
+    detail_table = ""
+    if detail:
+        detail_table = (
+            "<table><thead><tr><th>function</th>"
+            "<th>unsafe scenarios</th></tr></thead>"
+            f"<tbody>{''.join(detail)}</tbody></table>"
+        )
+    return (
+        "<h2>Fault-model robustness "
+        f'<span class="muted">(campaign {_esc(run.label)}, '
+        f"{_esc(run.created)})</span></h2>"
+        "<table><thead><tr><th>armed model</th><th>verdict</th>"
+        '<th class="num">functions hit</th>'
+        '<th class="num">unsafe scenarios</th></tr></thead>'
+        f"<tbody>{''.join(body)}</tbody></table>"
+        + detail_table
+    )
+
+
 def _section_overhead(series: dict) -> str:
     rows = []
     for (bench, metric), points in sorted(series.items()):
@@ -419,6 +483,7 @@ def build_dashboard(
         _section_overview(ledger, stats),
         _section_regressions(regressions),
         _section_robustness(ledger),
+        _section_faults(ledger),
         _section_overhead(series),
         _section_cache(ledger),
         _section_service(ledger),

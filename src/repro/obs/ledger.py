@@ -434,13 +434,19 @@ class Ledger:
         # serial run of the same campaign.
         fleet_mode = str(getattr(result, "fleet_mode", "serial"))
         workers = int(getattr(result, "workers", 1))
-        key = _content_key(
+        fault_models = tuple(getattr(result, "fault_models", ()))
+        # Armed fault models join the key only when present so every
+        # pre-existing (unfaulted) run keeps its dedup identity.
+        key_parts = [
             "campaign",
             result.campaign,
             provenance["repro_version"],
             provenance["host"],
             fleet_mode,
-        )
+        ]
+        if fault_models:
+            key_parts.append(list(fault_models))
+        key = _content_key(*key_parts)
         extra = {
             "campaign": result.campaign,
             "functions_key": fnset,
@@ -457,6 +463,13 @@ class Ledger:
                 k: round(v, 6) for k, v in result.phase_timings.items()
             },
         }
+        if fault_models:
+            extra["fault_models"] = list(fault_models)
+            extra["scenario_unsafe"] = {
+                name: list(report.unsafe_scenarios)
+                for name, report in sorted(result.reports.items())
+                if getattr(report, "unsafe_scenarios", ())
+            }
         with self._connect() as conn:
             run = self._insert_run(
                 conn, key, "campaign", provenance,
@@ -494,11 +507,28 @@ class Ledger:
                 "crashes_total": float(sum(r.crashes for r in reports)),
                 "hangs_total": float(sum(r.hangs for r in reports)),
             }
+            # Faulted campaigns get their own totals series (keyed by
+            # the armed model set): scenario sweeps run extra calls,
+            # so their counts must never gate against unfaulted runs.
+            series = f"campaign.{fnset}"
+            if fault_models:
+                series += f".faults-{_content_key(list(fault_models))[:8]}"
+                evidence = [
+                    e for r in reports
+                    for e in getattr(r, "fault_evidence", [])
+                ]
+                totals["scenarios_total"] = float(len(evidence))
+                totals["scenario_crashes_total"] = float(
+                    sum(e.crashes + e.hangs for e in evidence)
+                )
+                totals["unsafe_scenarios_total"] = float(
+                    sum(e.unsafe for e in evidence)
+                )
             conn.executemany(
                 "INSERT INTO bench_metrics (run_id, bench, metric, value)"
                 " VALUES (?, ?, ?, ?)",
                 [
-                    (run.id, f"campaign.{fnset}", metric, value)
+                    (run.id, series, metric, value)
                     for metric, value in sorted(totals.items())
                 ],
             )
@@ -526,7 +556,7 @@ class Ledger:
                     [
                         (
                             run.id,
-                            f"campaign.{fnset}.{fleet_mode}",
+                            f"{series}.{fleet_mode}",
                             metric,
                             value,
                         )

@@ -10,7 +10,8 @@ injector's watchdog.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable
 
 
 class Hang(Exception):
@@ -96,3 +97,49 @@ class CallContext:
             self.steps = self.step_budget + 1
             raise Hang(f"exceeded step budget of {self.step_budget}")
         self.steps += count
+
+
+@dataclass
+class InterruptPlan:
+    """A simulated asynchronous signal, armed on a runtime.
+
+    ``fire`` runs once, in the interrupted call's context, the first
+    time the step counter reaches ``offset`` — the reproduction of a
+    signal handler preempting a libc call at an arbitrary instruction
+    boundary.  The handler may clobber ``errno``, mutate libc state,
+    or re-enter the interrupted function; whatever faults it causes
+    propagate as the outcome of the interrupted call.
+    """
+
+    offset: int
+    fire: Callable[["CallContext"], None]
+
+
+class InterruptibleContext(CallContext):
+    """A :class:`CallContext` that delivers one armed interrupt.
+
+    Kept as a separate subclass so the baseline ``step``/``account``
+    hot path (millions of calls per campaign) pays nothing for the
+    feature; the sandbox selects this class only when the runtime
+    carries a ``pending_interrupt``.
+    """
+
+    def __init__(self, runtime: Any, step_budget: int, plan: InterruptPlan) -> None:
+        super().__init__(runtime, step_budget)
+        self.interrupt = plan
+        self.interrupted = False
+
+    def _maybe_fire(self) -> None:
+        if not self.interrupted and self.steps >= self.interrupt.offset:
+            # Flag first: a handler that re-enters the function (and
+            # therefore steps again) must not be re-interrupted.
+            self.interrupted = True
+            self.interrupt.fire(self)
+
+    def step(self, count: int = 1) -> None:
+        super().step(count)
+        self._maybe_fire()
+
+    def account(self, count: int) -> None:
+        super().account(count)
+        self._maybe_fire()

@@ -19,7 +19,7 @@ from typing import Any, Callable, Sequence
 
 from repro.memory.faults import AccessKind, BusError, OutOfMemory, SegmentationFault
 from repro.obs.telemetry import NULL_TELEMETRY
-from repro.sandbox.context import Abort, CallContext, Hang
+from repro.sandbox.context import Abort, CallContext, Hang, InterruptibleContext
 from repro.sandbox.outcome import CallOutcome, CallStatus
 
 #: Default step budget: generous enough for every legitimate libc
@@ -88,8 +88,15 @@ class Sandbox:
         self.call_count += 1
         target = runtime.fork() if self.isolate else runtime
         # errno is only reported when the callee writes it, so clear
-        # the "was set" tracking per call via a fresh context.
-        ctx = CallContext(target, self.step_budget)
+        # the "was set" tracking per call via a fresh context.  A
+        # runtime armed with a simulated signal (see repro.faults)
+        # gets the interrupt-delivering context subclass; the single
+        # getattr keeps the unarmed hot path untouched.
+        plan = getattr(target, "pending_interrupt", None)
+        if plan is None:
+            ctx = CallContext(target, self.step_budget)
+        else:
+            ctx = InterruptibleContext(target, self.step_budget, plan)
         if not self.telemetry.enabled:
             # Hot path: with telemetry off, skip span/counter
             # construction entirely; only the local stats survive.

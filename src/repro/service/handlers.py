@@ -44,13 +44,17 @@ from repro.service.singleflight import SingleFlight
 
 
 def _run_injection(
-    name: str, telemetry=NULL_TELEMETRY, max_vectors: int = MAX_VECTORS
+    name: str,
+    telemetry=NULL_TELEMETRY,
+    max_vectors: int = MAX_VECTORS,
+    fault_models: tuple[str, ...] = (),
 ) -> dict:
     """Run one function's injector in the calling (worker) thread and
     return the JSON-stable outcome payload."""
     spec = BY_NAME[name]
     report = FaultInjector(
-        spec, max_vectors=max_vectors, telemetry=telemetry
+        spec, max_vectors=max_vectors, telemetry=telemetry,
+        fault_models=fault_models,
     ).run()
     return report_to_payload(report, spec.prototype)
 
@@ -101,19 +105,23 @@ class ServiceState:
         )
         self.started = time.monotonic()
         self.shutting_down = False
-        self._digests: dict[str, str] = {}
+        self._digests: dict[tuple[str, tuple[str, ...]], str] = {}
         # The fleet's shard broker: remote workers lease campaign
         # shards from here (see repro.fleet.broker).
         self.broker = ShardBroker(telemetry=self.telemetry, lease_ttl=lease_ttl)
 
     # ------------------------------------------------------------------
-    def digest_for(self, name: str) -> str:
+    def digest_for(self, name: str, fault_models: tuple[str, ...] = ()) -> str:
         """The content address of ``name``'s outcome (memoized: specs,
-        generators, and lattice version are fixed for a process)."""
-        digest = self._digests.get(name)
+        generators, and lattice version are fixed for a process; the
+        armed fault-model set keys the memo alongside the name)."""
+        key = (name, fault_models)
+        digest = self._digests.get(key)
         if digest is None:
-            digest = outcome_digest(BY_NAME[name], parser=self.parser)
-            self._digests[name] = digest
+            digest = outcome_digest(
+                BY_NAME[name], parser=self.parser, fault_models=fault_models
+            )
+            self._digests[key] = digest
         return digest
 
     def spec_for(self, name: object):
@@ -125,11 +133,13 @@ class ServiceState:
         return BY_NAME[name]
 
     # ------------------------------------------------------------------
-    async def report_payload(self, name: str) -> tuple[dict, str]:
+    async def report_payload(
+        self, name: str, fault_models: tuple[str, ...] = ()
+    ) -> tuple[dict, str]:
         """One function's outcome payload plus how it was obtained
         (``"cache"`` or ``"injected"``)."""
         self.spec_for(name)
-        digest = self.digest_for(name)
+        digest = self.digest_for(name, fault_models)
         if self.store is not None:
             payload = self.store.get_payload(digest)
             if payload is not None:
@@ -142,7 +152,8 @@ class ServiceState:
             payload = await loop.run_in_executor(
                 self.executor,
                 functools.partial(
-                    _run_injection, name, self.telemetry, self.max_vectors
+                    _run_injection, name, self.telemetry, self.max_vectors,
+                    fault_models,
                 ),
             )
             if self.store is not None:
@@ -152,8 +163,10 @@ class ServiceState:
         payload = await self.singleflight.run(digest, factory)
         return payload, "injected"
 
-    async def report_for(self, name: str) -> tuple[InjectionReport, str]:
-        payload, source = await self.report_payload(name)
+    async def report_for(
+        self, name: str, fault_models: tuple[str, ...] = ()
+    ) -> tuple[InjectionReport, str]:
+        payload, source = await self.report_payload(name, fault_models)
         return report_from_payload(payload, self.parser), source
 
     # ------------------------------------------------------------------
@@ -196,8 +209,31 @@ def _functions_param(params: dict, required: bool) -> Optional[list[str]]:
     return functions
 
 
+def _fault_models_param(params: dict) -> tuple[str, ...]:
+    """Canonical fault-model spec strings from ``params.fault_models``
+    (a spec string or list of them; absent → no models armed)."""
+    raw = params.get("fault_models")
+    if raw is None:
+        return ()
+    if not isinstance(raw, (str, list)) or (
+        isinstance(raw, list) and not all(isinstance(m, str) for m in raw)
+    ):
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS,
+            "params.fault_models must be a spec string or list of strings",
+        )
+    from repro.faults.model import canonical_fault_specs
+
+    try:
+        return canonical_fault_specs(raw)
+    except (KeyError, ValueError) as exc:
+        # str(KeyError) wraps the message in quotes; unwrap it.
+        message = exc.args[0] if exc.args else str(exc)
+        raise ServiceError(ErrorCode.INVALID_PARAMS, str(message)) from exc
+
+
 def _report_row(name: str, report: InjectionReport, source: str, digest: str) -> dict:
-    return {
+    row = {
         "function": name,
         "digest": digest,
         "source": source,
@@ -210,6 +246,9 @@ def _report_row(name: str, report: InjectionReport, source: str, digest: str) ->
         "errno_class": report.errno_class.describe(),
         "robust_types": [t.robust.render() for t in report.robust_types],
     }
+    if report.fault_evidence:
+        row["unsafe_scenarios"] = list(report.unsafe_scenarios)
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -240,8 +279,11 @@ async def handle_declaration(state: ServiceState, params: dict) -> dict:
 async def handle_inject(state: ServiceState, params: dict) -> dict:
     """One function's full injection-campaign summary."""
     name = _function_param(params)
-    report, source = await state.report_for(name)
-    return _report_row(name, report, source, state.digest_for(name))
+    fault_models = _fault_models_param(params)
+    report, source = await state.report_for(name, fault_models)
+    return _report_row(
+        name, report, source, state.digest_for(name, fault_models)
+    )
 
 
 async def handle_harden(state: ServiceState, params: dict) -> dict:

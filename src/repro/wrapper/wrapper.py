@@ -118,10 +118,17 @@ class WrapperLibrary:
     ) -> CallOutcome:
         if declaration is None or self.policy is WrapperPolicy.MEASURE:
             return self._forward(spec, args, runtime, name)
-        if not declaration.unsafe and not self.wrap_safe:
+        if (
+            not declaration.unsafe
+            and not declaration.scenario_unsafe
+            and not self.wrap_safe
+        ):
             # "The wrapper generator creates robustness wrappers only
             # for unsafe functions ... it avoids the overhead of
-            # unnecessary argument checks." (section 3.4)
+            # unnecessary argument checks." (section 3.4)  A function
+            # the fault-model sweep condemned (unsafe_scenarios) is
+            # wrapped too: argument-robust but environment-fragile
+            # still earns its prefix checks.
             return self._forward(spec, args, runtime, name)
 
         started = time.perf_counter()

@@ -95,11 +95,12 @@ class TestWorkerDeath:
 @needs_fork
 class TestDeadlinesAndRetries:
     def test_hung_function_hits_deadline(self, monkeypatch):
-        def fake_execute(name, digest, seed, max_vectors, attempt=1, worker=""):
+        def fake_execute(name, digest, seed, max_vectors, attempt=1, worker="",
+                         fault_models=()):
             if name == "abs":
                 time.sleep(60.0)
             return execute_function(
-                name, digest, seed, max_vectors, attempt, worker
+                name, digest, seed, max_vectors, attempt, worker, fault_models
             )
 
         monkeypatch.setattr(
@@ -114,14 +115,15 @@ class TestDeadlinesAndRetries:
         assert all(results[n].ok for n in FUNCTIONS if n != "abs")
 
     def test_transient_failure_retries_on_fresh_worker(self, monkeypatch):
-        def fake_execute(name, digest, seed, max_vectors, attempt=1, worker=""):
+        def fake_execute(name, digest, seed, max_vectors, attempt=1, worker="",
+                         fault_models=()):
             if name == "abs" and attempt == 1:
                 return FunctionResult(
                     function=name, digest=digest, status="failed",
                     attempt=attempt, elapsed=0.0, error="transient",
                 )
             return execute_function(
-                name, digest, seed, max_vectors, attempt, worker
+                name, digest, seed, max_vectors, attempt, worker, fault_models
             )
 
         monkeypatch.setattr(
@@ -132,14 +134,15 @@ class TestDeadlinesAndRetries:
         assert results["abs"].attempts == 2
 
     def test_exhausted_retries_fail_terminally(self, monkeypatch):
-        def fake_execute(name, digest, seed, max_vectors, attempt=1, worker=""):
+        def fake_execute(name, digest, seed, max_vectors, attempt=1, worker="",
+                         fault_models=()):
             if name == "abs":
                 return FunctionResult(
                     function=name, digest=digest, status="failed",
                     attempt=attempt, elapsed=0.0, error="always broken",
                 )
             return execute_function(
-                name, digest, seed, max_vectors, attempt, worker
+                name, digest, seed, max_vectors, attempt, worker, fault_models
             )
 
         monkeypatch.setattr(
