@@ -583,6 +583,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
             params["functions"] = args.functions
         if args.semi_auto:
             params["semi_auto"] = True
+    elif args.op == "validate":
+        if not args.calls:
+            print("validate requires --calls JSON", file=sys.stderr)
+            return 2
+        try:
+            calls = json.loads(args.calls)
+        except json.JSONDecodeError as exc:
+            print(f"--calls is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        params["calls"] = calls
+        params["policy"] = args.policy
+        if args.execute:
+            params["execute"] = True
+        if args.semi_auto:
+            params["semi_auto"] = True
     elif args.functions:
         print(f"{args.op} takes no functions", file=sys.stderr)
         return 2
@@ -979,8 +994,8 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="send one request to a running daemon"
     )
     query.add_argument("op", choices=[
-        "declaration", "inject", "harden", "ballista", "status", "metrics",
-        "history",
+        "declaration", "inject", "harden", "ballista", "validate", "status",
+        "metrics", "history",
     ])
     query.add_argument("functions", nargs="*",
                        help="function names (declaration/inject take one; "
@@ -994,6 +1009,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="automatic RETRY_LATER retries")
     query.add_argument("--wait", type=float, default=0.0, metavar="SECONDS",
                        help="wait up to SECONDS for the daemon to come up")
+    query.add_argument("--calls", default=None, metavar="JSON",
+                       help="validate: JSON list of {function, args} call "
+                            "specs (args: numbers or null/invalid/cstring/"
+                            "readonly/buffer/malloc objects)")
+    query.add_argument("--execute", action="store_true",
+                       help="validate: forward admitted calls to the "
+                            "simulated library too")
+    query.add_argument("--policy", default="robust",
+                       help="validate: wrapper policy (default: robust)")
 
     report = sub.add_parser(
         "report",

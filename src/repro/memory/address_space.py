@@ -69,6 +69,11 @@ class AddressSpace:
         self._regions: list[Region] = []
         self._next_base = FIRST_ADDRESS
         self._lookup_cache: Optional[Region] = None
+        #: Mapping generation: monotonically bumped by anything that can
+        #: change an accessibility decision — map/unmap/protect here and
+        #: Heap.free — so validity caches (the wrapper's revalidation
+        #: cache) can be invalidated without subscribing to mutations.
+        self.generation = 0
         #: count of access *calls*, exposed for the performance benches
         self.access_count = 0
         #: bytes moved, so benches compare real work, not call counts
@@ -110,6 +115,7 @@ class AddressSpace:
         self._bases.insert(index, base)
         self._regions.insert(index, region)
         self._lookup_cache = None
+        self.generation += 1
         return region
 
     def map_at_end_of_page(
@@ -137,6 +143,7 @@ class AddressSpace:
         index = self._regions.index(region)
         self._bases[index] = region.base
         self._lookup_cache = None
+        self.generation += 1
         return region
 
     def unmap(self, region: Region) -> None:
@@ -147,11 +154,13 @@ class AddressSpace:
         del self._bases[index]
         del self._regions[index]
         self._lookup_cache = None
+        self.generation += 1
 
     def protect(self, region: Region, prot: Protection) -> None:
         """Change a live region's protection (simulated ``mprotect``)."""
         region.prot = prot
         self._lookup_cache = None
+        self.generation += 1
 
     def region_at(self, address: int) -> Optional[Region]:
         """Return the region containing ``address`` or None."""

@@ -100,6 +100,10 @@ class Heap:
         if region is None:
             raise SegmentationFault(pointer, AccessKind.FREE, "invalid free")
         region.freed = True
+        # Freed blocks flip accessibility without touching the mapping
+        # list, so bump the space generation by hand for the wrapper's
+        # revalidation cache.
+        self.space.generation += 1
         self.free_count += 1
 
     def realloc(self, pointer: int, size: int) -> int:

@@ -171,6 +171,27 @@ class ServiceClient:
             params["configurations"] = list(configurations)
         return self.call("ballista", params, **kw)
 
+    def validate(
+        self,
+        calls: list[dict],
+        semi_auto: bool = False,
+        policy: str = "robust",
+        execute: bool = False,
+        fault_models: Optional[list[str]] = None,
+        **kw,
+    ) -> dict:
+        """Batch-validate ``[{"function", "args"}, ...]`` in one
+        request (one admission ticket for the whole batch)."""
+        params: dict[str, object] = {
+            "calls": list(calls),
+            "semi_auto": semi_auto,
+            "policy": policy,
+            "execute": execute,
+        }
+        if fault_models is not None:
+            params["fault_models"] = list(fault_models)
+        return self.call("validate", params, **kw)
+
     def status(self, **kw) -> dict:
         return self.call("status", **kw)
 

@@ -374,6 +374,175 @@ async def handle_ballista(state: ServiceState, params: dict) -> dict:
     return await loop.run_in_executor(state.executor, evaluate)
 
 
+def _calls_param(params: dict) -> list[tuple[str, list]]:
+    """``params.calls``: a non-empty list of ``{"function", "args"}``."""
+    calls = params.get("calls")
+    if not isinstance(calls, list) or not calls:
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS,
+            "params.calls (non-empty list of {function, args}) is required",
+        )
+    parsed: list[tuple[str, list]] = []
+    for index, entry in enumerate(calls):
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("function"), str
+        ):
+            raise ServiceError(
+                ErrorCode.INVALID_PARAMS,
+                f"params.calls[{index}] must be an object with a "
+                "string `function`",
+            )
+        args = entry.get("args", [])
+        if not isinstance(args, list):
+            raise ServiceError(
+                ErrorCode.INVALID_PARAMS,
+                f"params.calls[{index}].args must be a list",
+            )
+        parsed.append((entry["function"], args))
+    return parsed
+
+
+def _materialize_arg(spec: object, runtime, index: int, position: int):
+    """Turn one wire arg spec into a concrete runtime value.
+
+    Numbers pass through; objects allocate into the request's private
+    runtime: ``{"null": true}``, ``{"invalid": true}``,
+    ``{"cstring": s}``, ``{"readonly": s}`` (read-only string),
+    ``{"buffer": n}`` (mapped scratch), ``{"malloc": n}`` (tracked
+    heap block).
+    """
+    from repro.memory import INVALID_POINTER, NULL, Protection
+
+    if isinstance(spec, bool) or not isinstance(spec, (int, float, dict)):
+        raise ServiceError(
+            ErrorCode.INVALID_PARAMS,
+            f"params.calls[{index}].args[{position}] must be a number "
+            "or an allocation object",
+        )
+    if isinstance(spec, (int, float)):
+        return spec
+    if spec.get("null"):
+        return NULL
+    if spec.get("invalid"):
+        return INVALID_POINTER
+    if isinstance(spec.get("cstring"), str):
+        return runtime.space.alloc_cstring(spec["cstring"]).base
+    if isinstance(spec.get("readonly"), str):
+        return runtime.space.alloc_cstring(
+            spec["readonly"], prot=Protection.READ
+        ).base
+    if isinstance(spec.get("buffer"), int) and not isinstance(
+        spec.get("buffer"), bool
+    ):
+        return runtime.space.map_region(spec["buffer"]).base
+    if isinstance(spec.get("malloc"), int) and not isinstance(
+        spec.get("malloc"), bool
+    ):
+        return runtime.heap.malloc(spec["malloc"])
+    raise ServiceError(
+        ErrorCode.INVALID_PARAMS,
+        f"params.calls[{index}].args[{position}]: unknown allocation "
+        "spec (use null/invalid/cstring/readonly/buffer/malloc)",
+    )
+
+
+async def handle_validate(state: ServiceState, params: dict) -> dict:
+    """Batch-validate many calls through one compiled wrapper.
+
+    The whole batch runs under this request's single admission ticket:
+    declarations come from the (cached) injection reports, the calls
+    are checked by shared :class:`~repro.wrapper.program.CheckProgram`s
+    with a warm revalidation cache, and — only when ``execute`` is
+    set — forwarded to the simulated library as well.
+    """
+    from repro.declarations import apply_all_manual_edits, declaration_from_report
+
+    calls = _calls_param(params)
+    fault_models = _fault_models_param(params)
+    execute = bool(params.get("execute"))
+    policy_name = params.get("policy", "robust")
+    names = sorted({name for name, _ in calls})
+    specs = {name: state.spec_for(name) for name in names}
+    reports = {}
+    for name in names:
+        report, _ = await state.report_for(name, fault_models)
+        reports[name] = report
+
+    def run() -> dict:
+        from repro.libc.runtime import standard_runtime
+        from repro.wrapper import WrapperLibrary, WrapperPolicy
+
+        try:
+            policy = WrapperPolicy(policy_name)
+        except ValueError:
+            raise ServiceError(
+                ErrorCode.INVALID_PARAMS,
+                f"params.policy must be one of "
+                f"{sorted(p.value for p in WrapperPolicy)}",
+            ) from None
+        declarations = {
+            name: declaration_from_report(reports[name], specs[name].version)
+            for name in names
+        }
+        if params.get("semi_auto"):
+            declarations = apply_all_manual_edits(declarations)
+        wrapper = WrapperLibrary(
+            declarations, policy=policy, telemetry=state.telemetry
+        )
+        runtime = standard_runtime()
+        materialized = [
+            (
+                name,
+                [
+                    _materialize_arg(spec, runtime, index, position)
+                    for position, spec in enumerate(args)
+                ],
+            )
+            for index, (name, args) in enumerate(calls)
+        ]
+        rows: list[dict] = []
+        if execute:
+            outcomes = wrapper.call_many(materialized, runtime)
+            for (name, _), outcome in zip(materialized, outcomes):
+                rows.append(
+                    {
+                        "function": name,
+                        "status": outcome.status.name,
+                        "return_value": outcome.return_value,
+                        "errno": outcome.errno,
+                    }
+                )
+            violations = wrapper.stats.violations
+        else:
+            for (name, _), violation in zip(
+                materialized, wrapper.validate_many(materialized, runtime)
+            ):
+                rows.append(
+                    {
+                        "function": name,
+                        "ok": violation is None,
+                        "violation": violation,
+                    }
+                )
+            violations = sum(1 for row in rows if not row["ok"])
+        stats = wrapper.stats
+        return {
+            "calls": rows,
+            "batch": len(rows),
+            "violations": violations,
+            "wrapper": {
+                "checks": stats.checks,
+                "programs_compiled": stats.programs_compiled,
+                "program_shares": stats.program_shares,
+                "revalidate_hits": stats.revalidate_hits,
+                "revalidate_misses": stats.revalidate_misses,
+            },
+        }
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(state.executor, run)
+
+
 async def handle_status(state: ServiceState, params: dict) -> dict:
     """Liveness, capacity, and cache visibility in one cheap call."""
     from repro import __version__
@@ -588,6 +757,7 @@ HANDLERS = {
     "inject": handle_inject,
     "harden": handle_harden,
     "ballista": handle_ballista,
+    "validate": handle_validate,
     "status": handle_status,
     "metrics": handle_metrics,
     "history": handle_history,

@@ -8,8 +8,17 @@ from repro.wrapper.codegen import (
     generate_wrapper_function,
     generate_wrapper_library,
 )
+from repro.wrapper.program import (
+    PROGRAM_VERSION,
+    CheckProgram,
+    ProgramContext,
+    clear_program_cache,
+    compile_program,
+    program_cache_size,
+    program_for,
+)
 from repro.wrapper.relational import BUFFER_PLANS, BufferPlan, relational_violation
-from repro.wrapper.state import WrapperState
+from repro.wrapper.state import DEFAULT_LOG_CAP, WrapperState
 from repro.wrapper.wrapper import WrapperLibrary, WrapperPolicy, WrapperStats
 
 __all__ = [
@@ -17,15 +26,23 @@ __all__ = [
     "BufferPlan",
     "CheckConfig",
     "CheckLibrary",
+    "CheckProgram",
+    "DEFAULT_LOG_CAP",
     "MAX_STRING_SCAN",
+    "PROGRAM_VERSION",
+    "ProgramContext",
     "WrapperLibrary",
     "WrapperPolicy",
     "WrapperState",
     "WrapperStats",
     "check_expression",
+    "clear_program_cache",
+    "compile_program",
     "generate_checks_header",
     "generate_preamble",
     "generate_wrapper_function",
     "generate_wrapper_library",
+    "program_cache_size",
+    "program_for",
     "relational_violation",
 ]

@@ -174,14 +174,14 @@ class CheckLibrary:
                 data = space.load(pointer, limit) if limit else b""
                 index = data.find(b"\x00")
                 return index if index >= 0 else None
-        length = 0
-        while length < MAX_STRING_SCAN:
-            if not space.is_readable(pointer + length, 1):
-                return None
-            if space.load(pointer + length, 1) == b"\x00":
-                return length
-            length += 1
-        return None
+        # Non-heap memory: bulk NUL scan over whole region slices (the
+        # PR-4 fast path) instead of one bounds-checked load per byte.
+        # ``terminated`` is True only when a NUL was actually read
+        # before the cap / a fault, so misses (unreadable byte, string
+        # longer than MAX_STRING_SCAN) return None exactly as the
+        # byte-at-a-time loop did.
+        payload, terminated, _fault = space.scan_cstring(pointer, MAX_STRING_SCAN)
+        return len(payload) if terminated else None
 
     # ------------------------------------------------------------------
     # pointer / array checks (Figure 3 types)

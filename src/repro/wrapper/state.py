@@ -19,6 +19,11 @@ from typing import Optional
 from repro.memory import NULL
 from repro.sandbox.outcome import CallOutcome
 
+#: Default bound on the violation log kept by the LOGGING policy; a
+#: long-running hardened application under attack must not grow memory
+#: without limit just because it logs.
+DEFAULT_LOG_CAP = 1024
+
 
 @dataclass
 class WrapperState:
@@ -28,12 +33,18 @@ class WrapperState:
         dir_table: DIR* values returned by opendir and not yet closed.
         file_table: FILE* values returned by fopen/fdopen/freopen/
             tmpfile and not yet fclosed.
-        log: violation log records (used by the logging wrapper).
+        log: violation log records (used by the logging wrapper),
+            bounded to the most recent ``max_log`` entries.
+        max_log: ring-buffer capacity for ``log``; 0 means unbounded
+            (the pre-PR-9 behaviour, for tests that inspect full logs).
+        log_dropped: count of entries evicted once the ring was full.
     """
 
     dir_table: set[int] = field(default_factory=set)
     file_table: set[int] = field(default_factory=set)
     log: list[str] = field(default_factory=list)
+    max_log: int = DEFAULT_LOG_CAP
+    log_dropped: int = 0
 
     # -- interception ----------------------------------------------------
     def observe_call(self, name: str, args: tuple, outcome: CallOutcome) -> None:
@@ -77,6 +88,11 @@ class WrapperState:
         return s != NULL or runtime.strtok_state != NULL
 
     def record_violation(self, function: str, detail: str) -> None:
+        if self.max_log > 0 and len(self.log) >= self.max_log:
+            # Ring semantics on a plain list (the log stays directly
+            # comparable in tests): evict the oldest, count the drop.
+            del self.log[0]
+            self.log_dropped += 1
         self.log.append(f"{function}: {detail}")
 
     def seed_file(self, pointer: int) -> None:

@@ -31,12 +31,20 @@ from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sandbox import CallOutcome, CallStatus, Sandbox
 from repro.typelattice.instances import TypeInstance
 from repro.wrapper.checks import CheckConfig, CheckLibrary
+from repro.wrapper.program import (
+    DEFAULT_REVALIDATE_CAP,
+    MINIMAL_CHECKED,
+    CheckProgram,
+    ProgramContext,
+    program_for,
+)
 from repro.wrapper.relational import relational_violation
-from repro.wrapper.state import WrapperState
+from repro.wrapper.state import DEFAULT_LOG_CAP, WrapperState
 
 #: Types whose check is cheap enough for the MINIMAL wrapper: it only
-#: prevents wild pointers, not content-level problems.
-_MINIMAL_CHECKED = frozenset({"NULL", "FUNCPTR", "FUNCPTR_NULL"})
+#: prevents wild pointers, not content-level problems.  (Definition
+#: lives in repro.wrapper.program so the compiler shares it.)
+_MINIMAL_CHECKED = MINIMAL_CHECKED
 
 
 class WrapperPolicy(enum.Enum):
@@ -58,6 +66,12 @@ class WrapperStats:
     check_seconds: float = 0.0
     library_seconds: float = 0.0
     per_function: dict[str, int] = field(default_factory=dict)
+    #: compiled-checker economics (PR 9)
+    programs_compiled: int = 0
+    program_shares: int = 0
+    revalidate_hits: int = 0
+    revalidate_misses: int = 0
+    batched_calls: int = 0
 
     def record_call(self, name: str) -> None:
         self.calls += 1
@@ -76,6 +90,9 @@ class WrapperLibrary:
         wrap_safe: bool = False,
         step_budget: int = 1_000_000,
         telemetry=NULL_TELEMETRY,
+        compiled: bool = True,
+        revalidate_cache: int = DEFAULT_REVALIDATE_CAP,
+        max_log_entries: int = DEFAULT_LOG_CAP,
     ) -> None:
         self.declarations = declarations
         self.policy = policy
@@ -83,8 +100,17 @@ class WrapperLibrary:
         self.relational = relational
         self.wrap_safe = wrap_safe
         self.telemetry = telemetry
-        self.state = WrapperState()
+        self.compiled = compiled
+        self.state = WrapperState(max_log=max_log_entries)
         self.stats = WrapperStats()
+        #: per-function compiled programs (shared process-wide through
+        #: repro.wrapper.program's content-addressed cache)
+        self._programs: dict[str, CheckProgram] = {}
+        #: the reusable check context; its revalidation cache survives
+        #: across calls while the runtime's mapping generation holds
+        self._context = ProgramContext(
+            self.state, self.check_config, cache_cap=revalidate_cache
+        )
         self.sandbox = Sandbox(step_budget=step_budget, telemetry=telemetry)
         #: assertions enabled anywhere force state interception
         self.tracked_assertions: frozenset[str] = frozenset(
@@ -144,7 +170,108 @@ class WrapperLibrary:
         return self._forward(spec, args, runtime, name)
 
     # ------------------------------------------------------------------
+    # batched / check-only entry points (PR 9)
+    # ------------------------------------------------------------------
+    def validate(
+        self, name: str, args: Sequence, runtime: LibcRuntime
+    ) -> Optional[str]:
+        """Run only the prefix checks for ``name``: the violation that
+        would reject the call, or None when it would be forwarded.
+
+        Never executes the library function, so it is safe to run
+        against live state (no heap/file mutations) — the primitive
+        behind the service's batch ``validate`` op.
+        """
+        declaration = self.declarations.get(name)
+        if declaration is None or self.policy is WrapperPolicy.MEASURE:
+            return None
+        if (
+            not declaration.unsafe
+            and not declaration.scenario_unsafe
+            and not self.wrap_safe
+        ):
+            return None
+        started = time.perf_counter()
+        try:
+            return self._check_arguments(declaration, args, runtime, name)
+        finally:
+            self.stats.check_seconds += time.perf_counter() - started
+
+    def validate_many(
+        self, calls: Sequence[tuple[str, Sequence]], runtime: LibcRuntime
+    ) -> list[Optional[str]]:
+        """Check-only twin of :meth:`call_many`."""
+        with self.telemetry.span("wrapper.validate_many", count=len(calls)):
+            return [self.validate(name, args, runtime) for name, args in calls]
+
+    def call_many(
+        self, calls: Sequence[tuple[str, Sequence]], runtime: LibcRuntime
+    ) -> list[CallOutcome]:
+        """Invoke a batch of ``(name, args)`` calls through the wrapper.
+
+        One entry point for many calls amortizes per-request costs all
+        the way up the stack: the service's ``validate`` op admits a
+        whole batch under a single admission ticket, and the compiled
+        checker's revalidation cache stays warm across the batch.
+        """
+        self.stats.batched_calls += len(calls)
+        self.telemetry.counter("wrapper.batch_calls").inc()
+        with self.telemetry.span("wrapper.batch", count=len(calls)):
+            return [self.call(name, args, runtime) for name, args in calls]
+
+    # ------------------------------------------------------------------
     def _check_arguments(
+        self,
+        declaration: FunctionDeclaration,
+        args: Sequence,
+        runtime: LibcRuntime,
+        name: str,
+    ) -> Optional[str]:
+        if self.compiled:
+            return self._check_arguments_compiled(declaration, args, runtime, name)
+        return self._check_arguments_interpreted(declaration, args, runtime, name)
+
+    def _program_for(self, name: str, declaration: FunctionDeclaration) -> CheckProgram:
+        program = self._programs.get(name)
+        if program is None:
+            program, shared = program_for(
+                declaration,
+                self.check_config,
+                minimal=self.policy is WrapperPolicy.MINIMAL,
+                relational=self.relational,
+            )
+            self._programs[name] = program
+            if shared:
+                self.stats.program_shares += 1
+            else:
+                self.stats.programs_compiled += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "wrapper.programs", result="shared" if shared else "compiled"
+                ).inc()
+        return program
+
+    def _check_arguments_compiled(
+        self,
+        declaration: FunctionDeclaration,
+        args: Sequence,
+        runtime: LibcRuntime,
+        name: str,
+    ) -> Optional[str]:
+        program = self._program_for(name, declaration)
+        ctx = self._context
+        ctx.bind(runtime)
+        ctx.checks_performed = 0
+        ctx.revalidate_hits = 0
+        ctx.revalidate_misses = 0
+        try:
+            return program.run(args, ctx)
+        finally:
+            self.stats.checks += ctx.checks_performed
+            self.stats.revalidate_hits += ctx.revalidate_hits
+            self.stats.revalidate_misses += ctx.revalidate_misses
+
+    def _check_arguments_interpreted(
         self,
         declaration: FunctionDeclaration,
         args: Sequence,

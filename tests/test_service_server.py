@@ -57,7 +57,7 @@ class TestEndpoints:
         assert status["functions"] > 100
         assert set(status["ops"]) == {
             "ballista", "declaration", "harden", "history", "inject",
-            "metrics", "status",
+            "metrics", "status", "validate",
             "worker.register", "worker.lease", "worker.heartbeat",
             "worker.result", "worker.complete",
             "fleet.submit", "fleet.collect", "fleet.forget", "fleet.status",
@@ -111,6 +111,50 @@ class TestEndpoints:
         assert "# TYPE service_requests_total counter" in body
         assert 'service_requests_total{code="OK",op="status"}' in body
         assert "service_request_seconds" in body
+
+    def test_validate_batch(self, client):
+        result = client.validate(
+            [
+                {"function": "strlen", "args": [{"cstring": "hello"}]},
+                {"function": "strlen", "args": [{"null": True}]},
+                {"function": "strlen", "args": [{"invalid": True}]},
+            ]
+        )
+        assert result["batch"] == 3
+        ok_row, null_row, wild_row = result["calls"]
+        assert ok_row["ok"] is True and ok_row["violation"] is None
+        assert null_row["ok"] is False and "arg 0" in null_row["violation"]
+        assert wild_row["ok"] is False
+        assert result["violations"] == 2
+        assert result["wrapper"]["checks"] >= 3
+
+    def test_validate_execute_forwards_admitted_calls(self, client):
+        result = client.validate(
+            [
+                {"function": "strlen", "args": [{"cstring": "hello"}]},
+                {"function": "strlen", "args": [{"null": True}]},
+            ],
+            execute=True,
+        )
+        good, rejected = result["calls"]
+        assert good["status"] == "RETURNED" and good["return_value"] == 5
+        # The NULL call was rejected by the prefix code, not executed:
+        # it still RETURNED, with the declared error value and errno.
+        assert rejected["status"] == "RETURNED"
+        assert rejected["errno"] is not None
+        assert result["violations"] == 1
+
+    def test_validate_rejects_malformed_params(self, client):
+        for params in (
+            {},
+            {"calls": []},
+            {"calls": [{"args": []}]},
+            {"calls": [{"function": "strlen", "args": ["text"]}]},
+            {"calls": [{"function": "strlen", "args": [{"bogus": 1}]}]},
+        ):
+            with pytest.raises(ServiceError) as err:
+                client.call("validate", params)
+            assert err.value.code == ErrorCode.INVALID_PARAMS
 
 
 class TestTypedErrors:
