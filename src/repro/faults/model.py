@@ -255,12 +255,15 @@ def scenario_sample(pool: Sequence, cap: int = SCENARIO_VECTOR_CAP) -> list:
     """Deterministic stride sample of ``pool`` down to ``cap`` items.
 
     Shared by the injector and the benches so "which vectors run
-    under a scenario" has exactly one definition.
+    under a scenario" has exactly one definition.  Delegates to the
+    one deterministic-draw primitive,
+    :func:`repro.injector.sampling.stride_sample` (deferred import:
+    ``repro.injector`` imports this module at load time); the draw is
+    unchanged, so faulted digests and scenario evidence are stable.
     """
-    if len(pool) <= cap:
-        return list(pool)
-    stride = len(pool) // cap
-    return [pool[i * stride] for i in range(cap)]
+    from repro.injector.sampling import stride_sample
+
+    return stride_sample(pool, cap)
 
 
 def format_parameter_index(prototype) -> Optional[int]:

@@ -70,6 +70,7 @@ def execute_function(
     attempt: int = 1,
     worker: str = "",
     fault_models: tuple[str, ...] = (),
+    sampling: "Optional[str]" = None,
 ) -> FunctionResult:
     """Run one function's injector under the campaign's per-task seed
     and return its wire-encoded outcome (never raises)."""
@@ -81,7 +82,8 @@ def execute_function(
 
         reseed(seed, name)
         payload = _inject_payload(
-            name, max_vectors=max_vectors, fault_models=fault_models
+            name, max_vectors=max_vectors, fault_models=fault_models,
+            sampling=sampling,
         )
     except BaseException:
         return FunctionResult(
@@ -120,7 +122,7 @@ def execute_shard(
     ):
         result = execute_function(
             name, digest, shard.seed, shard.max_vectors, attempt, worker,
-            shard.fault_models,
+            shard.fault_models, shard.sampling,
         )
         results.append(result)
         if on_result is not None:

@@ -1,0 +1,848 @@
+"""Statistical vector sampling with confidence-bounded early stopping.
+
+Exhaustive campaigns enumerate every vector of a compiled
+:class:`~repro.injector.plan.InjectionPlan` even though the Ballista
+methodology only needs the per-argument *robust type* to converge.
+This module adds the iterative-statistical mode DAVOS names as its
+primary campaign speed-up: draw vectors under a deterministic seeded
+schedule, keep per-argument posteriors over the lattice verdicts, and
+stop once every argument's computed robust type has been stable for
+enough consecutive draws to bound the probability of a late flip.
+
+The schedule has two phases:
+
+1. **Mandatory sweeps** — every vector that differs from the plan's
+   benign tuple in at most one slot runs first, in plan order.  These
+   are the vectors the robust type computation most depends on (each
+   template is exercised once against benign co-arguments), and for
+   capped plans they are literally the plan prefix, so the sampled
+   prefix replays the exhaustive one.
+2. **Adaptive draws** — the remaining vectors run in a seeded-shuffle
+   order derived from ``(policy seed, plan digest, function name)``.
+   Every ``check_every`` draws the robust types are recomputed from
+   the accumulated observations; an argument whose rendered robust
+   type did not change accumulates *stable draws*, and the run stops
+   once every argument has at least :func:`stable_draws_required`
+   of them (and ``min_samples`` adaptive draws have run).
+
+The stopping rule is the Beta/rule-of-three bound: if a fraction
+``epsilon`` of the remaining vectors would change an argument's
+verdict, the chance that ``n`` uniform draws all miss them is
+``(1 - epsilon) ** n``; requiring that to fall below ``1 -
+confidence`` gives ``n >= ln(1 - confidence) / ln(1 - epsilon)``.
+:func:`achieved_confidence` reports the bound actually reached.
+
+Plans too small for sampling to win (total vectors within the
+mandatory + ``min_samples`` + required-stable budget) fall back to
+exhaustive enumeration automatically — the evidence records which
+mode ran, so provenance is never ambiguous.
+
+Everything is deterministic: the draw order is a pure function of the
+policy and the plan, so a sampled campaign is exactly as reproducible
+(and as resumable, and as fleet-shippable) as an exhaustive one.  The
+policy's identity (:func:`sampling_fingerprint`) folds into the
+campaign outcome digest *only when armed*, keeping exhaustive digests
+byte-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+#: Bumped whenever schedule derivation, posterior bookkeeping, or the
+#: stopping rule change; folded into the campaign outcome digest and
+#: the fleet wire fingerprints whenever sampling is armed.
+SAMPLING_VERSION = 1
+
+#: How the per-function draw order is derived; part of the
+#: fingerprint so a seed-policy change can never alias cached runs.
+SEED_POLICY = "sha256(seed,plan-digest,function)/splitmix64-v1"
+
+#: Default stopping confidence (the ``--confidence`` knob).
+DEFAULT_CONFIDENCE = 0.99
+
+#: Default verdict-changing draw rate the bound protects against: the
+#: run stops when draws rule out (at ``confidence``) that more than
+#: this fraction of the unseen vectors would flip a robust type.
+#: Rare flip vectors below this rate are the rescue bursts' job: the
+#: run cannot stop until every never-returning ``(argument,
+#: template)`` pair has been probed with its best-ranked rescue
+#: candidates, so the uniform bound only has to catch diffuse flips.
+DEFAULT_EPSILON = 0.12
+
+#: Rescue-burst depth: each never-succeeding ``(argument, template)``
+#: pair is probed with at most this many top-ranked vectors from its
+#: plan row before round two reconsiders it.
+BURST_CAP = 3
+
+#: Round-two burst depth for error-returning candidates: top-ranked
+#: distance-2 entries of the pair's row (degenerate and
+#: high-success-rate co-argument nudges first).
+WIDE_BURST_CAP = 12
+
+#: Minimum adaptive draws before the stopping rule may fire.
+DEFAULT_MIN_SAMPLES = 8
+
+#: Robust types are recomputed every this many adaptive draws.
+DEFAULT_CHECK_EVERY = 8
+
+_MASK64 = (1 << 64) - 1
+
+_MODES = ("adaptive",)
+
+
+class SamplingSpecError(ValueError):
+    """A sampling spec string that does not parse or validate."""
+
+
+# ----------------------------------------------------------------------
+# policy: spec grammar, canonical form, fingerprint
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """One fully-resolved sampling policy.
+
+    The canonical string form (:meth:`spec`) spells out every knob so
+    manifests, shard specs, and ``--json`` output are self-describing;
+    :func:`resolve_sampling` accepts the compact user form with any
+    subset of keys.
+    """
+
+    mode: str = "adaptive"
+    confidence: float = DEFAULT_CONFIDENCE
+    epsilon: float = DEFAULT_EPSILON
+    min_samples: int = DEFAULT_MIN_SAMPLES
+    check_every: int = DEFAULT_CHECK_EVERY
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise SamplingSpecError(
+                f"unknown sampling mode {self.mode!r} (known: {', '.join(_MODES)})"
+            )
+        if not 0.5 <= self.confidence < 1.0:
+            raise SamplingSpecError(
+                f"confidence must be in [0.5, 1.0), got {self.confidence!r}"
+            )
+        if not 0.0 < self.epsilon < 1.0:
+            raise SamplingSpecError(
+                f"epsilon must be in (0.0, 1.0), got {self.epsilon!r}"
+            )
+        if self.min_samples < 0:
+            raise SamplingSpecError(
+                f"min_samples must be >= 0, got {self.min_samples!r}"
+            )
+        if self.check_every < 1:
+            raise SamplingSpecError(
+                f"check_every must be >= 1, got {self.check_every!r}"
+            )
+        if self.seed < 0:
+            raise SamplingSpecError(f"seed must be >= 0, got {self.seed!r}")
+
+    def spec(self) -> str:
+        """The canonical, fully-explicit spec string."""
+        return (
+            f"{self.mode}"
+            f":confidence={_render_float(self.confidence)}"
+            f":epsilon={_render_float(self.epsilon)}"
+            f":min_samples={self.min_samples}"
+            f":check_every={self.check_every}"
+            f":seed={self.seed}"
+        )
+
+    @property
+    def required_stable_draws(self) -> int:
+        return stable_draws_required(self.confidence, self.epsilon)
+
+
+def _render_float(value: float) -> str:
+    text = repr(float(value))
+    return text[:-2] if text.endswith(".0") else text
+
+
+_FLOAT_KEYS = {"confidence", "epsilon"}
+_INT_KEYS = {"min_samples", "check_every", "seed"}
+
+
+def _parse_spec(text: str) -> SamplingPolicy:
+    tokens = [t.strip() for t in text.strip().split(":")]
+    if not tokens or not tokens[0]:
+        raise SamplingSpecError(f"empty sampling spec: {text!r}")
+    mode = tokens[0]
+    values: dict[str, object] = {}
+    for token in tokens[1:]:
+        if not token:
+            continue
+        key, sep, raw = token.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if not sep or not key or not raw:
+            raise SamplingSpecError(
+                f"sampling spec token {token!r} is not key=value (in {text!r})"
+            )
+        if key in _FLOAT_KEYS:
+            try:
+                values[key] = float(raw)
+            except ValueError:
+                raise SamplingSpecError(
+                    f"sampling spec {key}={raw!r} is not a number"
+                ) from None
+        elif key in _INT_KEYS:
+            try:
+                values[key] = int(raw)
+            except ValueError:
+                raise SamplingSpecError(
+                    f"sampling spec {key}={raw!r} is not an integer"
+                ) from None
+        else:
+            raise SamplingSpecError(
+                f"unknown sampling spec key {key!r} (known: "
+                f"{', '.join(sorted(_FLOAT_KEYS | _INT_KEYS))})"
+            )
+    return SamplingPolicy(mode=mode, **values)  # type: ignore[arg-type]
+
+
+SamplingSpec = Union[None, str, SamplingPolicy]
+
+
+def resolve_sampling(value: SamplingSpec) -> Optional[SamplingPolicy]:
+    """Resolve a user-facing sampling spec to a policy (or None).
+
+    Accepts None / "" (sampling unarmed), a spec string like
+    ``"adaptive:confidence=0.999:seed=7"``, or an already-resolved
+    :class:`SamplingPolicy`.
+    """
+    if value is None:
+        return None
+    if isinstance(value, SamplingPolicy):
+        return value
+    if isinstance(value, str):
+        if not value.strip():
+            return None
+        return _parse_spec(value)
+    raise SamplingSpecError(
+        f"sampling spec must be a string or SamplingPolicy, got {type(value).__name__}"
+    )
+
+
+def canonical_sampling_spec(value: SamplingSpec) -> Optional[str]:
+    """The canonical string form of a spec (None when unarmed).
+
+    Canonical strings are what travels in frozen configs, campaign
+    manifests, and fleet shard specs: fully explicit and picklable.
+    """
+    policy = resolve_sampling(value)
+    return None if policy is None else policy.spec()
+
+
+def sampling_fingerprint(value: SamplingSpec) -> dict:
+    """The digest-ready identity of an armed policy.
+
+    Folded into :func:`repro.campaign.digest.outcome_digest` and the
+    fleet wire fingerprints only when sampling is armed, so exhaustive
+    digests never move.
+    """
+    policy = resolve_sampling(value)
+    if policy is None:
+        raise SamplingSpecError("sampling_fingerprint requires an armed policy")
+    return {
+        "version": SAMPLING_VERSION,
+        "seed_policy": SEED_POLICY,
+        "mode": policy.mode,
+        "confidence": policy.confidence,
+        "epsilon": policy.epsilon,
+        "min_samples": policy.min_samples,
+        "check_every": policy.check_every,
+        "seed": policy.seed,
+    }
+
+
+# ----------------------------------------------------------------------
+# the stopping bound
+# ----------------------------------------------------------------------
+
+
+def stable_draws_required(confidence: float, epsilon: float) -> int:
+    """Consecutive stable draws needed to bound late flips.
+
+    Smallest ``n`` with ``(1 - epsilon) ** n <= 1 - confidence`` — the
+    rule-of-three / Beta(1, n+1) upper bound on the rate of
+    verdict-changing vectors among the draws not yet taken.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise SamplingSpecError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    if not 0.0 < confidence < 1.0:
+        raise SamplingSpecError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    return max(1, math.ceil(math.log(1.0 - confidence) / math.log(1.0 - epsilon)))
+
+
+def achieved_confidence(stable_draws: int, epsilon: float) -> float:
+    """The confidence actually reached after ``stable_draws`` clean
+    draws: ``1 - (1 - epsilon) ** stable_draws``."""
+    if stable_draws <= 0:
+        return 0.0
+    return 1.0 - (1.0 - epsilon) ** stable_draws
+
+
+# ----------------------------------------------------------------------
+# deterministic draws (shared with repro.faults.scenario_sample)
+# ----------------------------------------------------------------------
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def schedule_seed(seed: int, *material: object) -> int:
+    """A 64-bit schedule seed from the policy seed plus arbitrary
+    identity material (plan digest, function name, ...)."""
+    digest = hashlib.sha256(repr((int(seed),) + material).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def draw_order(count: int, seed: int) -> list[int]:
+    """A deterministic permutation of ``range(count)``.
+
+    Sort-by-hash under splitmix64: stable across platforms and Python
+    versions (no ``random`` module, no ambient state).
+    """
+    seed &= _MASK64
+    return sorted(range(count), key=lambda i: (_splitmix64(seed ^ i), i))
+
+
+def stride_sample(pool: Sequence, cap: int) -> list:
+    """Deterministic stride sample of ``pool`` down to ``cap`` items.
+
+    The one deterministic-draw primitive shared by the faults scenario
+    sweep (:func:`repro.faults.model.scenario_sample`) and the plan
+    compiler's stratified fallback: evenly spaced draws in pool order,
+    identical to the historical ad-hoc stride samplers.
+    """
+    items = list(pool)
+    if cap <= 0 or len(items) <= cap:
+        return items
+    stride = len(items) // cap
+    return [items[index * stride] for index in range(cap)]
+
+
+# ----------------------------------------------------------------------
+# per-function sampling evidence
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArgumentSamplingEvidence:
+    """What sampling learned about one argument position."""
+
+    #: Distinct template indices observed at this position.
+    templates: int
+    #: Posterior verdict counts over executed vectors.
+    crashes: int
+    hangs: int
+    passes: int
+    #: Consecutive stable draws at stop time (0 in exhaustive mode).
+    stable_draws: int
+    #: Achieved stability confidence (1.0 in exhaustive mode).
+    confidence: float
+
+
+@dataclass(frozen=True)
+class SamplingEvidence:
+    """Sampled-vs-exhaustive provenance for one function's report."""
+
+    #: ``"sampled"`` or ``"exhaustive"`` (small-product fallback).
+    mode: str
+    #: The canonical policy spec that produced this schedule.
+    policy: str
+    vectors_total: int
+    vectors_run: int
+    vectors_skipped: int
+    #: The policy's target confidence.
+    confidence: float
+    arguments: tuple[ArgumentSamplingEvidence, ...] = ()
+
+    @property
+    def sampled(self) -> bool:
+        return self.mode == "sampled"
+
+
+# ----------------------------------------------------------------------
+# the sampler
+# ----------------------------------------------------------------------
+
+
+class VectorSampler:
+    """Drives one function's vector schedule under a sampling policy.
+
+    The injector iterates :meth:`schedule` (``(plan index, ladder
+    extend_to)`` pairs), calls :meth:`observe` after each executed
+    vector, and stops as soon as it returns True.
+
+    The adaptive phase alternates two draw sources:
+
+    * **uniform draws** from the seeded shuffle of the non-mandatory
+      vectors — the source the stopping bound reasons about;
+    * **rescue bursts** — the robust type of an argument flips
+      exactly when a fundamental that never *succeeded* (it crashed,
+      or only ever returned with an error) turns out to succeed under
+      some co-argument combination (``strncat(dst, NULL, 0)`` is the
+      canonical case; ``fgets(garbage, -2, stream)`` rescues a
+      stream that sweeps only saw gracefully reject), because the
+      robust type anchors feasibility on the SUCCESS set.  So each
+      never-succeeding ``(argument, template)`` pair gets one burst
+      of up to
+      ``BURST_CAP`` draws from its own row of the plan, ranked by
+      co-argument degeneracy (NULL, then zero, then negative counts
+      — the values that make a callee skip the garbage argument),
+      distance from the benign tuple, and the co-arguments'
+      posterior pass rates.  NULL templates burst first: the lattice's
+      ``*_NULL`` unified types make NULL the distinguished rescue
+      case.  A rescue flips the rendered robust type, which resets
+      the stability counters and keeps the run alive until the new
+      verdict is stable in its own right.
+
+    Candidates still never-succeeding after their capped burst get a
+    second, *wide* burst — every distance-2 row entry — when they are
+    plausibly rescuable: they returned with an error during sweeps (a
+    graceful rejection one co-argument nudge away from success, like
+    ``fgets(buf, 1, stale_stream)``), or they are stateful adaptive
+    arrays whose returning-set membership feeds blame-by-elimination.
+    Pairs that only ever crashed and have no such signal keep just the
+    capped burst: degenerate co-arguments are their only realistic
+    rescue, and those were already ranked first.
+
+    Stability alone is not enough to stop: the run also has to have
+    dispensed every rescue burst (both rounds), because the flip
+    vectors bursts hunt are exactly the ones rare enough to slip under
+    the uniform bound.  Once stability is met, any remaining bursts
+    drain back-to-back (no interleaved uniform draws) so the coverage
+    guarantee costs only the burst entries themselves.
+
+    **Escalation.**  Adaptive-array templates carry order-dependent
+    state (their size grows under fault feedback), so the evidence a
+    vector produces depends on which row entries ran before it.  For
+    *capped* plans the sweeps are the plan prefix, the sampled
+    mandatory phase replays it exactly, and the arrays reach the same
+    absorbed sizes — post-sweep draws then observe the same
+    fundamentals exhaustive enumeration would.  For *uncapped* plans
+    exhaustive order is the raw cross product, where pre-sweep row
+    entries run at initial array state; no subsample can reproduce
+    that trajectory.  When a post-sweep draw of an uncapped plan
+    flips a stateful pair's anchor or blame evidence (first return,
+    or first success), the sampler therefore *escalates*: it stops
+    immediately and the injector reruns the function exhaustively
+    from restored template state, so the reported verdict is the
+    exhaustive one by construction.  The spent draws are charged to
+    the report's ``vectors_run`` — escalation is honest about its
+    cost.
+    """
+
+    def __init__(
+        self,
+        policy: SamplingPolicy,
+        plan,
+        function_name: str,
+        stateful: Optional[Sequence[Sequence[bool]]] = None,
+    ) -> None:
+        self.policy = policy
+        self.plan = plan
+        vectors = plan.vectors
+        total = len(vectors)
+        self.arity = plan.arity
+        benign = plan.benign
+        if stateful is None:
+            stateful = [[False] * len(row) for row in plan.shape]
+        self._stateful = stateful
+        self._mandatory = [
+            index
+            for index, vector in enumerate(vectors)
+            if sum(1 for slot, t in enumerate(vector) if t != benign[slot]) <= 1
+        ]
+        self.required = policy.required_stable_draws
+        budget = len(self._mandatory) + policy.min_samples + self.required
+        #: Small-product fallback: when sampling cannot finish earlier
+        #: than exhaustive enumeration, run the plan order verbatim.
+        self.exhaustive = self.arity == 0 or total <= budget
+        if self.exhaustive:
+            self._uniform: list[int] = []
+        else:
+            chosen = set(self._mandatory)
+            rest = [index for index in range(total) if index not in chosen]
+            seed = schedule_seed(policy.seed, plan.digest, function_name)
+            self._uniform = [rest[p] for p in draw_order(len(rest), seed)]
+        self.mandatory_count = len(self._mandatory)
+        #: posterior ledger: per argument, template index -> [crash,
+        #: hang, error, success] counts over executed vectors.
+        self.posteriors: list[dict[int, list[int]]] = [
+            {} for _ in range(self.arity)
+        ]
+        self.stable_draws = [0] * self.arity
+        self._last_renders: Optional[tuple[str, ...]] = None
+        self._draws_since_check = 0
+        self.executed = 0
+        self._executed_indices: set[int] = set()
+        self._stop = False
+        self._stability_met = False
+        #: Set when a stateful pair's evidence flipped post-sweep on an
+        #: uncapped plan: the injector must rerun exhaustively.
+        self.escalated = False
+        self._uniform_pos = 0
+        self._rows: Optional[list[dict[int, list[int]]]] = None
+        self._candidates: Optional[list[tuple[int, int]]] = None
+        self._candidate_pos = 0
+        self._round = 1
+        self._burst: list[int] = []
+        self._burst_pair: Optional[tuple[int, int]] = None
+        #: Pairs that appeared in an unattributed (wild) crash: their
+        #: returning-set membership decides blame-by-elimination, so a
+        #: never-returning one gets a full-row round-2 burst.
+        self._unattributed: set[tuple[int, int]] = set()
+        self._full_row: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    def schedule(self):
+        """Yield ``(plan index, extend_to)`` until stopped or drained.
+
+        Mandatory sweeps run in plan order with real snapshot-ladder
+        prefix reuse (for capped plans they are the plan prefix);
+        adaptive draws jump around the plan, so they run without
+        prefix preparation (existing ladder rungs still serve hits).
+        """
+        if self.exhaustive:
+            reuse = self.plan.reuse
+            for index in range(len(self.plan.vectors)):
+                yield index, reuse[index]
+            return
+        mandatory = self._mandatory
+        for position, index in enumerate(mandatory):
+            if position + 1 < len(mandatory):
+                extend_to = self._shared_prefix(index, mandatory[position + 1])
+            else:
+                extend_to = 0
+            yield index, extend_to
+            if self._stop:
+                return
+        targeted_turn = False
+        while not self._stop:
+            if self._stability_met:
+                # Only the burst-coverage gate is still open: drain
+                # the remaining rescue candidates without paying for
+                # interleaved uniform draws.
+                index = self._next_targeted()
+            else:
+                index = self._next_targeted() if targeted_turn else None
+                if index is None:
+                    index = self._next_uniform()
+                if index is None and not targeted_turn:
+                    index = self._next_targeted()
+                targeted_turn = not targeted_turn
+            if index is None:
+                return
+            yield index, 0
+
+    def _shared_prefix(self, a: int, b: int) -> int:
+        this, following = self.plan.vectors[a], self.plan.vectors[b]
+        shared = 0
+        while shared < len(this) and this[shared] == following[shared]:
+            shared += 1
+        return shared
+
+    # ------------------------------------------------------------------
+    # draw sources
+    # ------------------------------------------------------------------
+
+    def _next_uniform(self) -> Optional[int]:
+        while self._uniform_pos < len(self._uniform):
+            index = self._uniform[self._uniform_pos]
+            self._uniform_pos += 1
+            if index not in self._executed_indices:
+                return index
+        return None
+
+    def _next_targeted(self) -> Optional[int]:
+        while True:
+            while self._burst:
+                index = self._burst.pop(0)
+                if index in self._executed_indices:
+                    continue
+                pair = self._burst_pair
+                if pair is not None and (
+                    self._returned(*pair)
+                    if pair in self._full_row
+                    else self._successes(*pair) > 0
+                ):
+                    # Rescued mid-burst: the rest of the row proves
+                    # nothing new.
+                    self._burst = []
+                    break
+                return index
+            pair = self._next_candidate()
+            if pair is None:
+                return None
+            self._start_burst(pair)
+
+    def _successes(self, slot: int, template_index: int) -> int:
+        counts = self.posteriors[slot].get(template_index)
+        return 0 if counts is None else counts[3]
+
+    def _success_rate(self, slot: int, template_index: int) -> float:
+        counts = self.posteriors[slot].get(template_index)
+        if counts is None:
+            return 0.5
+        total = sum(counts)
+        return (counts[3] + 1.0) / (total + 2.0)
+
+    def _degeneracy(self, slot: int, template_index: int) -> int:
+        """How likely this template is to *rescue* a co-argument.
+
+        Every rescue observed on the catalog shares one trait: the
+        rescuing co-argument is a degenerate value — NULL, a zero
+        count, or a negative count — that makes the callee skip
+        touching the garbage argument entirely (``strncat(dst, NULL,
+        0)``, ``fgets(garbage, -2, stream)``, ``setvbuf(garbage,
+        NULL, ...)``).  Lower is more degenerate.
+        """
+        render = self.plan.shape[slot][template_index]
+        if render == "NULL":
+            return 0
+        if "ZERO" in render:
+            return 1
+        if "=-" in render:
+            return 2
+        return 3
+
+    def _returned(self, slot: int, template_index: int) -> bool:
+        counts = self.posteriors[slot].get(template_index)
+        return counts is not None and (counts[2] + counts[3]) > 0
+
+    def _next_candidate(self) -> Optional[tuple[int, int]]:
+        if self._candidates is None:
+            # Built once, after the sweeps have observed every
+            # template: never-succeeding pairs, NULL templates first.
+            shape = self.plan.shape
+            pairs = [
+                (slot, template_index)
+                for slot in range(self.arity)
+                for template_index in sorted(self.posteriors[slot])
+                if self.posteriors[slot][template_index][3] == 0
+            ]
+            pairs.sort(
+                key=lambda pair: (shape[pair[0]][pair[1]] != "NULL", pair)
+            )
+            self._candidates = pairs
+        while True:
+            while self._candidate_pos < len(self._candidates):
+                pair = self._candidates[self._candidate_pos]
+                self._candidate_pos += 1
+                if self._successes(*pair) == 0:
+                    return pair
+            if self._round != 1:
+                return None
+            # Round two, only for unresolved candidates with a rescue
+            # signal.  Graceful error returners (a co-argument nudge
+            # from success) get every distance-2 entry of their row;
+            # never-returning pairs charged by an unattributed crash
+            # (their returning-set membership decides blame-by-
+            # elimination) get their whole remaining row, because the
+            # return that clears them can hide at any distance
+            # (``freopen(NULL, garbage_mode, stale)`` returns).
+            self._round = 2
+            survivors = []
+            for pair in self._candidates:
+                if self._successes(*pair) != 0:
+                    continue
+                if self._returned(*pair):
+                    survivors.append(pair)
+                elif pair in self._unattributed and self._stateful[pair[0]][pair[1]]:
+                    survivors.append(pair)
+                    self._full_row.add(pair)
+            self._candidates = survivors
+            self._candidate_pos = 0
+
+    def _start_burst(self, pair: tuple[int, int]) -> None:
+        if self._rows is None:
+            rows: list[dict[int, list[int]]] = [{} for _ in range(self.arity)]
+            for index, vector in enumerate(self.plan.vectors):
+                for slot, template_index in enumerate(vector):
+                    rows[slot].setdefault(template_index, []).append(index)
+            self._rows = rows
+        slot, template_index = pair
+        benign = self.plan.benign
+        vectors = self.plan.vectors
+        entries = [
+            index
+            for index in self._rows[slot].get(template_index, [])
+            if index not in self._executed_indices
+        ]
+
+        def rank(index: int) -> tuple:
+            vector = vectors[index]
+            distance = sum(
+                1 for s, t in enumerate(vector) if t != benign[s]
+            )
+            degeneracy = min(
+                (
+                    self._degeneracy(s, vector[s])
+                    for s in range(self.arity)
+                    if s != slot and vector[s] != benign[s]
+                ),
+                default=3,
+            )
+            score = sum(
+                self._success_rate(s, vector[s])
+                for s in range(self.arity)
+                if s != slot
+            )
+            return (degeneracy, distance, -score, index)
+
+        entries.sort(key=rank)
+        if self._round == 1:
+            self._burst = entries[:BURST_CAP]
+        elif pair in self._full_row:
+            self._burst = entries
+        else:
+            self._burst = [
+                index
+                for index in entries
+                if sum(
+                    1
+                    for s, t in enumerate(vectors[index])
+                    if t != benign[s]
+                )
+                <= 2
+            ][:WIDE_BURST_CAP]
+        self._burst_pair = pair
+
+    @property
+    def _targets_drained(self) -> bool:
+        """Every rescue candidate has had both burst rounds dispensed."""
+        return (
+            self._round == 2
+            and self._candidates is not None
+            and self._candidate_pos >= len(self._candidates)
+            and not self._burst
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, index: int, record, robust_renders) -> bool:
+        """Account one executed vector; True means stop drawing.
+
+        ``robust_renders`` is a zero-argument callable producing the
+        current per-argument robust-type renders — only invoked on
+        check boundaries, so the (lattice-sized) recomputation cost is
+        paid every ``check_every`` draws, not every vector.
+        """
+        self.executed += 1
+        self._executed_indices.add(index)
+        vector = self.plan.vectors[index]
+        result = record.observation.result.name
+        if result == "FAILURE":
+            bucket = 1 if record.hung else 0
+            if record.observation.blamed_argument is None:
+                for slot, template_index in enumerate(vector):
+                    self._unattributed.add((slot, template_index))
+        elif result == "SUCCESS":
+            bucket = 3
+        else:
+            bucket = 2
+        if (
+            bucket >= 2
+            and not self.exhaustive
+            and not self.plan.capped
+            and self.executed > self.mandatory_count
+        ):
+            # Post-sweep flip of a stateful pair's evidence on an
+            # uncapped plan: the exhaustive trajectory ran this row's
+            # pre-sweep entries at initial array state, which no
+            # subsample reproduces.  Hand the function back for a
+            # clean exhaustive rerun.
+            for slot, template_index in enumerate(vector):
+                if not self._stateful[slot][template_index]:
+                    continue
+                counts = self.posteriors[slot].get(template_index)
+                returned = counts is not None and (counts[2] + counts[3]) > 0
+                succeeded = counts is not None and counts[3] > 0
+                if not returned or (bucket == 3 and not succeeded):
+                    self.escalated = True
+        for slot, template_index in enumerate(vector):
+            counts = self.posteriors[slot].setdefault(
+                template_index, [0, 0, 0, 0]
+            )
+            counts[bucket] += 1
+        if self.escalated:
+            self._stop = True
+            return True
+        if self.exhaustive:
+            return False
+        adaptive_draws = self.executed - self.mandatory_count
+        if adaptive_draws < self.policy.min_samples:
+            return False
+        self._draws_since_check += 1
+        if self._draws_since_check < self.policy.check_every:
+            return False
+        self._draws_since_check = 0
+        renders = tuple(robust_renders())
+        if self._last_renders is None:
+            self._last_renders = renders
+            return False
+        for slot in range(self.arity):
+            if renders[slot] == self._last_renders[slot]:
+                self.stable_draws[slot] += self.policy.check_every
+            else:
+                self.stable_draws[slot] = 0
+        self._last_renders = renders
+        self._stability_met = all(
+            draws >= self.required for draws in self.stable_draws
+        )
+        if self._stability_met and self._targets_drained:
+            self._stop = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def evidence(self) -> SamplingEvidence:
+        """Provenance for the report, in whichever mode actually ran."""
+        total = len(self.plan.vectors)
+        arguments = []
+        for slot in range(self.arity):
+            counts = self.posteriors[slot]
+            crashes = sum(c[0] for c in counts.values())
+            hangs = sum(c[1] for c in counts.values())
+            passes = sum(c[2] + c[3] for c in counts.values())
+            if self.exhaustive:
+                stable, confidence = 0, 1.0
+            else:
+                stable = self.stable_draws[slot]
+                confidence = round(
+                    achieved_confidence(stable, self.policy.epsilon), 6
+                )
+            arguments.append(
+                ArgumentSamplingEvidence(
+                    templates=len(counts),
+                    crashes=crashes,
+                    hangs=hangs,
+                    passes=passes,
+                    stable_draws=stable,
+                    confidence=confidence,
+                )
+            )
+        return SamplingEvidence(
+            mode="exhaustive" if self.exhaustive else "sampled",
+            policy=self.policy.spec(),
+            vectors_total=total,
+            vectors_run=self.executed,
+            vectors_skipped=total - self.executed,
+            confidence=self.policy.confidence,
+            arguments=tuple(arguments),
+        )

@@ -197,9 +197,15 @@ def flatten_metrics(payload: object, prefix: str = "") -> dict[str, float]:
     the path segment, so Table-2 rows land as
     ``rows.strcpy.checking_overhead_pct``.  Booleans and non-numeric
     leaves are dropped — the ledger stores measurements, not flags.
+    A dict carrying a truthy ``baseline_only`` flag is skipped whole:
+    the bench marked its numbers as context (e.g. a GIL-bound thread
+    leg, or a process fleet that degenerated to one effective job),
+    so they must never become gateable series.
     """
     out: dict[str, float] = {}
     if isinstance(payload, dict):
+        if payload.get("baseline_only"):
+            return out
         for key, value in payload.items():
             path = f"{prefix}.{key}" if prefix else str(key)
             out.update(flatten_metrics(value, path))
@@ -435,8 +441,10 @@ class Ledger:
         fleet_mode = str(getattr(result, "fleet_mode", "serial"))
         workers = int(getattr(result, "workers", 1))
         fault_models = tuple(getattr(result, "fault_models", ()))
-        # Armed fault models join the key only when present so every
-        # pre-existing (unfaulted) run keeps its dedup identity.
+        sampling = getattr(result, "sampling", None)
+        # Armed fault models and sampling policies join the key only
+        # when present so every pre-existing (unfaulted, exhaustive)
+        # run keeps its dedup identity.
         key_parts = [
             "campaign",
             result.campaign,
@@ -446,6 +454,8 @@ class Ledger:
         ]
         if fault_models:
             key_parts.append(list(fault_models))
+        if sampling:
+            key_parts.append(str(sampling))
         key = _content_key(*key_parts)
         extra = {
             "campaign": result.campaign,
@@ -463,6 +473,8 @@ class Ledger:
                 k: round(v, 6) for k, v in result.phase_timings.items()
             },
         }
+        if sampling:
+            extra["sampling"] = str(sampling)
         if fault_models:
             extra["fault_models"] = list(fault_models)
             extra["scenario_unsafe"] = {
@@ -511,6 +523,10 @@ class Ledger:
             # the armed model set): scenario sweeps run extra calls,
             # so their counts must never gate against unfaulted runs.
             series = f"campaign.{fnset}"
+            if sampling:
+                # Sampled campaigns run fewer calls by design, so their
+                # totals gate in a separate series from exhaustive runs.
+                series += f".sampled-{_content_key(str(sampling))[:8]}"
             if fault_models:
                 series += f".faults-{_content_key(list(fault_models))[:8]}"
                 evidence = [

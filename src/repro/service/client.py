@@ -178,6 +178,7 @@ class ServiceClient:
         policy: str = "robust",
         execute: bool = False,
         fault_models: Optional[list[str]] = None,
+        sampling: Optional[str] = None,
         **kw,
     ) -> dict:
         """Batch-validate ``[{"function", "args"}, ...]`` in one
@@ -190,6 +191,8 @@ class ServiceClient:
         }
         if fault_models is not None:
             params["fault_models"] = list(fault_models)
+        if sampling is not None:
+            params["sampling"] = sampling
         return self.call("validate", params, **kw)
 
     def status(self, **kw) -> dict:

@@ -75,6 +75,14 @@ POINTER_FAMILIES = ("ptr", "file", "dir", "string", "funcptr")
 #: One compiled step: ``(args, ctx) -> violation | None``.
 Step = Callable[[Sequence, "ProgramContext"], Optional[str]]
 
+#: Step cost classes (see :meth:`CheckProgram.run`): every compiled
+#: step is tagged with the class of work it performs so the optional
+#: cost-counting run path can attribute per-call checking cost.
+STEP_KINDS = (
+    "pass", "array", "null", "string", "scalar", "funcptr", "handler",
+    "minimal", "assertion", "relational",
+)
+
 #: ARRAY-family fusion table: name -> (read, write, allow_null).
 _ARRAY_SPECS: dict[str, tuple[bool, bool, bool]] = {
     "R_ARRAY": (True, False, False),
@@ -211,15 +219,38 @@ class CheckProgram:
     #: the OPEN_FILE handler, exactly as the interpreter sets
     #: ``active_assertions`` before dispatching).
     assertions: tuple[str, ...]
-    steps: tuple[Step, ...]
+    #: ``(arity_bound, step, kind)`` triples; ``kind`` is one of
+    #: :data:`STEP_KINDS` and is only consulted by the cost-counting
+    #: run path.
+    steps: tuple[tuple[int, Step, str], ...]
 
-    def run(self, args: Sequence, ctx: ProgramContext) -> Optional[str]:
-        """Evaluate every step; first violation wins."""
+    def run(
+        self,
+        args: Sequence,
+        ctx: ProgramContext,
+        costs: Optional[dict] = None,
+    ) -> Optional[str]:
+        """Evaluate every step; first violation wins.
+
+        ``costs`` is an optional ``{kind: executions}`` accumulator
+        (see :data:`STEP_KINDS`).  The default path is untouched when
+        it is None — cost accounting is a separate loop, so disabled
+        collection adds zero per-step work.
+        """
         ctx.active_assertions = self.assertions
         nargs = len(args)
-        for arity_bound, step in self.steps:
+        if costs is None:
+            for arity_bound, step, _kind in self.steps:
+                if arity_bound >= nargs:
+                    continue
+                violation = step(args, ctx)
+                if violation is not None:
+                    return violation
+            return None
+        for arity_bound, step, kind in self.steps:
             if arity_bound >= nargs:
                 continue
+            costs[kind] = costs.get(kind, 0) + 1
             violation = step(args, ctx)
             if violation is not None:
                 return violation
@@ -495,6 +526,26 @@ def program_key(
     )
 
 
+def _argument_kind(robust) -> str:
+    """The cost class of one argument check (see :data:`STEP_KINDS`)."""
+    name = robust.name
+    if name in _PASS_TYPES:
+        return "pass"
+    if name in _ARRAY_SPECS:
+        return "array"
+    if name == "NULL":
+        return "null"
+    if name in (
+        "CSTRING", "CSTRING_NULL", "WRITABLE_STRING", "WRITABLE_STRING_NULL"
+    ):
+        return "string"
+    if name in _SCALAR_PREDICATES:
+        return "scalar"
+    if name in ("FUNCPTR", "FUNCPTR_NULL"):
+        return "funcptr"
+    return "handler"
+
+
 def compile_program(
     declaration: FunctionDeclaration,
     config: CheckConfig,
@@ -504,26 +555,28 @@ def compile_program(
 ) -> CheckProgram:
     """Compile one declaration into a flattened check program."""
     key = program_key(declaration, config, minimal=minimal, relational=relational)
-    steps: list[tuple[int, Step]] = []
+    steps: list[tuple[int, Step, str]] = []
     for index, argument in enumerate(declaration.arguments):
         robust = argument.robust_type
         if minimal and robust.name not in MINIMAL_CHECKED:
             compiled = _compile_minimal(index, robust)
+            kind = "minimal"
         else:
             compiled = _compile_argument(index, robust)
+            kind = _argument_kind(robust)
         if compiled is not None:
             # Arity bound: the interpreter zips arguments with the
             # call's args, silently skipping declared arguments beyond
             # the args actually passed.
-            steps.append((index, compiled))
+            steps.append((index, compiled, kind))
     for assertion in declaration.assertions:
         compiled = _compile_assertion(assertion, declaration)
         if compiled is not None:
-            steps.append((-1, compiled))
+            steps.append((-1, compiled, "assertion"))
     if relational and not minimal:
         compiled = _compile_relational(declaration.name)
         if compiled is not None:
-            steps.append((-1, compiled))
+            steps.append((-1, compiled, "relational"))
     digest = hashlib.sha256(
         repr((PROGRAM_VERSION, key)).encode("utf-8")
     ).hexdigest()

@@ -72,6 +72,11 @@ class WrapperStats:
     revalidate_hits: int = 0
     revalidate_misses: int = 0
     batched_calls: int = 0
+    #: per-step-class check executions (see
+    #: :data:`repro.wrapper.program.STEP_KINDS`); populated only when
+    #: the library was built with ``collect_step_costs=True`` — the
+    #: default run path never touches it.
+    step_costs: dict[str, int] = field(default_factory=dict)
 
     def record_call(self, name: str) -> None:
         self.calls += 1
@@ -93,6 +98,7 @@ class WrapperLibrary:
         compiled: bool = True,
         revalidate_cache: int = DEFAULT_REVALIDATE_CAP,
         max_log_entries: int = DEFAULT_LOG_CAP,
+        collect_step_costs: bool = False,
     ) -> None:
         self.declarations = declarations
         self.policy = policy
@@ -101,6 +107,7 @@ class WrapperLibrary:
         self.wrap_safe = wrap_safe
         self.telemetry = telemetry
         self.compiled = compiled
+        self.collect_step_costs = collect_step_costs
         self.state = WrapperState(max_log=max_log_entries)
         self.stats = WrapperStats()
         #: per-function compiled programs (shared process-wide through
@@ -264,12 +271,22 @@ class WrapperLibrary:
         ctx.checks_performed = 0
         ctx.revalidate_hits = 0
         ctx.revalidate_misses = 0
+        costs = {} if self.collect_step_costs else None
         try:
-            return program.run(args, ctx)
+            return program.run(args, ctx, costs)
         finally:
             self.stats.checks += ctx.checks_performed
             self.stats.revalidate_hits += ctx.revalidate_hits
             self.stats.revalidate_misses += ctx.revalidate_misses
+            if costs:
+                step_costs = self.stats.step_costs
+                emit = self.telemetry.enabled
+                for kind, count in costs.items():
+                    step_costs[kind] = step_costs.get(kind, 0) + count
+                    if emit:
+                        self.telemetry.counter(
+                            "wrapper.step_cost", kind=kind
+                        ).inc(count)
 
     def _check_arguments_interpreted(
         self,

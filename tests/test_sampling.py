@@ -1,0 +1,345 @@
+"""Tests for adaptive statistical vector sampling (`--sampling`).
+
+Covers the spec grammar and fingerprint, the deterministic draw
+primitives, sampled-vs-exhaustive golden equivalence over a
+20-function catalog slice, digest anti-aliasing, outcome-store
+round-trips of sampling evidence, fleet wire transport, and
+resume-after-kill of a sampled campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignRunner, load_manifest
+from repro.campaign.digest import outcome_digest
+from repro.campaign.store import report_from_payload, report_to_payload
+from repro.fleet import ShardSpec, build_shards, fleet_fingerprints
+from repro.injector import (
+    SAMPLING_VERSION,
+    FaultInjector,
+    SamplingPolicy,
+    SamplingSpecError,
+    VectorSampler,
+    canonical_sampling_spec,
+    resolve_sampling,
+    sampling_fingerprint,
+    stride_sample,
+)
+from repro.injector.plan import clear_plan_cache, compile_plan, plan_shape
+from repro.injector.sampling import draw_order, schedule_seed
+from repro.libc.catalog import BY_NAME
+
+#: Cheap, shape-diverse catalog slice for the golden equivalence test:
+#: scalars, strings, arrays, FILE*, adaptive-state generators.
+GOLDEN_FUNCTIONS = [
+    "abs", "asctime", "atoi", "fclose", "fopen", "fputs", "getenv",
+    "gmtime", "isalpha", "labs", "memset", "qsort", "rewind", "sprintf",
+    "strcat", "strchr", "strcpy", "strlen", "strtok", "tolower",
+]
+
+
+# ----------------------------------------------------------------------
+# spec grammar + fingerprint
+# ----------------------------------------------------------------------
+
+
+class TestSamplingSpec:
+    def test_none_means_exhaustive(self):
+        assert canonical_sampling_spec(None) is None
+        assert canonical_sampling_spec("") is None
+        assert resolve_sampling(None) is None
+        assert resolve_sampling("  ") is None
+
+    def test_default_spec_is_canonical_and_stable(self):
+        spec = canonical_sampling_spec("adaptive")
+        assert spec.startswith("adaptive:confidence=0.99")
+        assert canonical_sampling_spec(spec) == spec
+
+    def test_keys_override_and_later_wins(self):
+        spec = canonical_sampling_spec("adaptive:confidence=0.9:confidence=0.95")
+        assert ":confidence=0.95:" in spec
+
+    @pytest.mark.parametrize("bad", [
+        "unknown_mode", "adaptive:confidence=2.0", "adaptive:confidence=x",
+        "adaptive:nope=1", "adaptive:min_samples=-1", "adaptive:check_every=0",
+        "adaptive:seed=-3", "adaptive:epsilon=0",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(SamplingSpecError):
+            canonical_sampling_spec(bad)
+
+    def test_fingerprint_covers_policy_and_version(self):
+        policy = resolve_sampling("adaptive")
+        assert isinstance(policy, SamplingPolicy)
+        fp = sampling_fingerprint(policy)
+        assert fp["version"] == SAMPLING_VERSION
+        assert fp["mode"] == policy.mode
+        assert fp["confidence"] == policy.confidence
+        assert sampling_fingerprint("adaptive:confidence=0.95") != fp
+        with pytest.raises(SamplingSpecError):
+            sampling_fingerprint(None)
+
+
+# ----------------------------------------------------------------------
+# deterministic draws
+# ----------------------------------------------------------------------
+
+
+class TestDeterministicDraws:
+    def test_stride_sample_matches_historical_semantics(self):
+        pool = list(range(100))
+        assert stride_sample(pool, 24) == [i * 4 for i in range(24)]
+        assert stride_sample(pool, 200) == pool
+        assert stride_sample([], 5) == []
+
+    def test_scenario_sample_delegates_identically(self):
+        from repro.faults.model import SCENARIO_VECTOR_CAP, scenario_sample
+
+        pool = list(range(97))
+        assert scenario_sample(pool) == stride_sample(pool, SCENARIO_VECTOR_CAP)
+
+    def test_schedule_seed_is_a_pure_function(self):
+        a = schedule_seed(0, "digest-a", "strcpy")
+        assert a == schedule_seed(0, "digest-a", "strcpy")
+        assert a != schedule_seed(1, "digest-a", "strcpy")
+        assert a != schedule_seed(0, "digest-b", "strcpy")
+        assert a != schedule_seed(0, "digest-a", "memcpy")
+
+    def test_draw_order_is_a_permutation(self):
+        order = draw_order(100, 12345)
+        assert sorted(order) == list(range(100))
+        assert order == draw_order(100, 12345)
+        assert order != draw_order(100, 54321)
+
+
+# ----------------------------------------------------------------------
+# golden equivalence: sampled robust types == exhaustive robust types
+# ----------------------------------------------------------------------
+
+
+class TestGoldenEquivalence:
+    def test_twenty_function_catalog_slice(self):
+        for name in GOLDEN_FUNCTIONS:
+            clear_plan_cache()
+            exhaustive = FaultInjector(BY_NAME[name]).run()
+            clear_plan_cache()
+            sampled = FaultInjector(BY_NAME[name], sampling="adaptive").run()
+            assert (
+                [r.robust.render() for r in exhaustive.robust_types]
+                == [r.robust.render() for r in sampled.robust_types]
+            ), name
+            assert exhaustive.sampling is None
+            assert sampled.sampling is not None
+            assert sampled.sampling.mode in (
+                "sampled", "exhaustive", "escalated"
+            )
+            assert sampled.sampling.vectors_total == exhaustive.vectors_run
+
+    def test_sampling_is_deterministic(self):
+        clear_plan_cache()
+        first = FaultInjector(BY_NAME["strcpy"], sampling="adaptive").run()
+        clear_plan_cache()
+        second = FaultInjector(BY_NAME["strcpy"], sampling="adaptive").run()
+        assert first == second
+
+    def test_small_cross_products_fall_back_to_exhaustive(self):
+        report = FaultInjector(BY_NAME["abs"], sampling="adaptive").run()
+        assert report.sampling.mode == "exhaustive"
+        assert report.sampling.vectors_run == report.sampling.vectors_total
+        assert report.sampling.vectors_skipped == 0
+
+    def test_seed_changes_the_draw_schedule(self):
+        policy_a = resolve_sampling("adaptive")
+        policy_b = resolve_sampling("adaptive:seed=7")
+        seed_a = schedule_seed(policy_a.seed, "plan-digest", "strcpy")
+        seed_b = schedule_seed(policy_b.seed, "plan-digest", "strcpy")
+        assert draw_order(24, seed_a) != draw_order(24, seed_b)
+
+
+# ----------------------------------------------------------------------
+# digest anti-aliasing
+# ----------------------------------------------------------------------
+
+
+class TestDigestAntiAliasing:
+    def test_exhaustive_digest_is_byte_stable_when_unarmed(self):
+        spec = BY_NAME["strcpy"]
+        assert outcome_digest(spec) == outcome_digest(spec, sampling=None)
+
+    def test_sampled_never_aliases_exhaustive_or_other_policies(self):
+        spec = BY_NAME["strcpy"]
+        plain = outcome_digest(spec)
+        sampled = outcome_digest(spec, sampling="adaptive")
+        tighter = outcome_digest(spec, sampling="adaptive:confidence=0.999")
+        assert len({plain, sampled, tighter}) == 3
+
+    def test_equivalent_specs_share_a_digest(self):
+        spec = BY_NAME["strcpy"]
+        assert outcome_digest(spec, sampling="adaptive") == outcome_digest(
+            spec, sampling=canonical_sampling_spec("adaptive")
+        )
+
+
+# ----------------------------------------------------------------------
+# store round-trip
+# ----------------------------------------------------------------------
+
+
+class TestStoreRoundTrip:
+    def test_sampled_report_round_trips_with_evidence(self):
+        spec = BY_NAME["strcpy"]
+        report = FaultInjector(spec, sampling="adaptive").run()
+        assert report.sampling is not None
+        payload = json.loads(
+            json.dumps(report_to_payload(report, spec.prototype))
+        )
+        assert report_from_payload(payload) == report
+
+    def test_exhaustive_payload_has_no_sampling_key(self):
+        spec = BY_NAME["abs"]
+        report = FaultInjector(spec).run()
+        payload = report_to_payload(report, spec.prototype)
+        assert "sampling" not in payload
+        assert report_from_payload(payload).sampling is None
+
+
+# ----------------------------------------------------------------------
+# fleet wire
+# ----------------------------------------------------------------------
+
+
+class TestFleetWire:
+    def test_shard_round_trips_sampling(self):
+        shard = ShardSpec.build(
+            shard_id="camp/0", campaign="camp", seed=1, max_vectors=24,
+            functions=["strcpy"], digests=["d-strcpy"],
+            sampling="adaptive:confidence=0.99",
+        )
+        wired = ShardSpec.decode(json.loads(json.dumps(shard.encode())))
+        assert wired == shard
+        assert wired.sampling == "adaptive:confidence=0.99"
+
+    def test_sampling_changes_the_shard_digest(self):
+        plain = ShardSpec.build(
+            shard_id="camp/0", campaign="camp", seed=1, max_vectors=24,
+            functions=["strcpy"], digests=["d"],
+        )
+        armed = ShardSpec.build(
+            shard_id="camp/0", campaign="camp", seed=1, max_vectors=24,
+            functions=["strcpy"], digests=["d"], sampling="adaptive",
+        )
+        assert plain.sampling is None
+        assert plain.digest() != armed.digest()
+
+    def test_fleet_fingerprints_pin_sampling_version(self):
+        assert fleet_fingerprints()["sampling"] == SAMPLING_VERSION
+
+    def test_build_shards_stamps_sampling(self):
+        shards = build_shards(
+            ["strcpy", "memcpy"], {"strcpy": "d1", "memcpy": "d2"}, 2,
+            campaign="camp", seed=3, max_vectors=24, sampling="adaptive",
+        )
+        assert shards and all(s.sampling == "adaptive" for s in shards)
+
+
+# ----------------------------------------------------------------------
+# sampled campaigns: identity threading + resume-after-kill
+# ----------------------------------------------------------------------
+
+
+class TestSampledCampaigns:
+    FNS = ["abs", "labs", "strlen"]
+
+    def test_config_canonicalizes_and_manifest_records(self, tmp_path):
+        config = CampaignConfig(cache_dir=tmp_path, sampling="adaptive")
+        runner = CampaignRunner(self.FNS, config)
+        canonical = canonical_sampling_spec("adaptive")
+        # The runner eagerly canonicalizes the frozen config so every
+        # downstream consumer (digests, manifest, shards) agrees.
+        assert runner.config.sampling == canonical
+        result = runner.run()
+        assert result.failed == {}
+        assert result.sampling == canonical
+        manifest = load_manifest(tmp_path)
+        assert manifest["sampling"] == canonical
+
+    def test_resume_after_simulated_kill(self, tmp_path):
+        baseline = CampaignRunner(
+            self.FNS, CampaignConfig(sampling="adaptive")
+        ).run()
+        interrupted = CampaignRunner(
+            self.FNS[:2], CampaignConfig(cache_dir=tmp_path, sampling="adaptive")
+        ).run()
+        assert interrupted.ran == 2
+
+        resumed = CampaignRunner(
+            self.FNS,
+            CampaignConfig(cache_dir=tmp_path, resume=True, sampling="adaptive"),
+        ).run()
+        statuses = {n: o.status for n, o in resumed.outcomes.items()}
+        assert statuses == {"abs": "cached", "labs": "cached", "strlen": "ran"}
+        assert resumed.reports == baseline.reports
+        for report in resumed.reports.values():
+            assert report.sampling is not None
+
+    def test_sampled_cache_never_serves_an_exhaustive_campaign(self, tmp_path):
+        CampaignRunner(
+            self.FNS, CampaignConfig(cache_dir=tmp_path, sampling="adaptive")
+        ).run()
+        plain = CampaignRunner(
+            self.FNS, CampaignConfig(cache_dir=tmp_path)
+        ).run()
+        assert plain.cache_hits == 0
+        assert all(r.sampling is None for r in plain.reports.values())
+
+
+# ----------------------------------------------------------------------
+# sampler unit behavior
+# ----------------------------------------------------------------------
+
+
+class TestVectorSampler:
+    def test_exhaustive_below_threshold(self):
+        injector = FaultInjector(BY_NAME["abs"])
+        templates = [
+            [t for g in gens for t in g.templates()]
+            for gens in injector.generators
+        ]
+        plan = compile_plan(plan_shape(templates), injector.max_vectors)
+        policy = resolve_sampling("adaptive")
+        sampler = VectorSampler(policy, plan, "abs")
+        assert sampler.exhaustive
+
+    def test_ledger_series_key_separates_sampled_runs(self, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        result = CampaignRunner(
+            ["abs"], CampaignConfig(sampling="adaptive")
+        ).run()
+        plain = CampaignRunner(["abs"], CampaignConfig()).run()
+        ledger = Ledger(tmp_path / "ledger.sqlite")
+        ledger.ingest_campaign(result)
+        ledger.ingest_campaign(plain)
+        series = {bench for bench, _metric in ledger.bench_series()}
+        sampled_series = {s for s in series if ".sampled-" in s}
+        assert sampled_series, series
+        assert series - sampled_series, series
+
+
+class TestFlattenMetricsHonesty:
+    def test_baseline_only_rows_never_become_series(self):
+        from repro.obs.ledger import flatten_metrics
+
+        payload = {
+            "modes": [
+                {"fleet_mode": "serial", "seconds": 2.0, "speedup": 1.0},
+                {"fleet_mode": "threads", "seconds": 1.5, "speedup": 1.3,
+                 "baseline_only": True},
+            ],
+            "functions": 20,
+        }
+        flat = flatten_metrics(payload)
+        assert "modes.serial.seconds" in flat
+        assert not any(k.startswith("modes.threads") for k in flat)
+        assert flat["functions"] == 20.0

@@ -225,10 +225,11 @@ class TestSingleFlight:
         real = handlers_mod._run_injection
         runs = []
 
-        def counting(name, telemetry=None, max_vectors=1200, fault_models=()):
+        def counting(name, telemetry=None, max_vectors=1200, fault_models=(),
+                 sampling=None):
             runs.append(name)
             time.sleep(0.2)  # hold the flight open for the waiters
-            return real(name, telemetry, max_vectors, fault_models)
+            return real(name, telemetry, max_vectors, fault_models, sampling)
 
         monkeypatch.setattr(handlers_mod, "_run_injection", counting)
         handle = serve_in_thread(

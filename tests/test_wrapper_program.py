@@ -367,3 +367,52 @@ class TestBatchEntryPoints:
         )
         assert results[0] is not None
         assert results[1] is None
+
+
+class TestStepCosts:
+    """Per-step-class cost counters (``WrapperStats.step_costs``)."""
+
+    def _exercise(self, declarations86, **kwargs):
+        wrapper = WrapperLibrary(declarations86, compiled=True, **kwargs)
+        runtime = standard_runtime()
+        source = runtime.space.alloc_cstring(b"hello").base
+        buffer = runtime.space.map_region(64).base
+        wrapper.call("strcpy", [buffer, source], runtime)
+        wrapper.call("memset", [buffer, 0, 64], runtime)
+        wrapper.call("strlen", [source], runtime)
+        return wrapper
+
+    def test_disabled_by_default_and_untouched(self, declarations86):
+        wrapper = self._exercise(declarations86)
+        assert wrapper.collect_step_costs is False
+        assert wrapper.stats.step_costs == {}
+
+    def test_collects_per_class_counts(self, declarations86):
+        from repro.wrapper.program import STEP_KINDS
+
+        wrapper = self._exercise(declarations86, collect_step_costs=True)
+        costs = wrapper.stats.step_costs
+        assert costs, "no step costs collected"
+        assert set(costs) <= set(STEP_KINDS)
+        assert all(
+            isinstance(count, int) and count > 0 for count in costs.values()
+        )
+
+    def test_collection_does_not_change_decisions(self, declarations86):
+        plain = self._exercise(declarations86)
+        counted = self._exercise(declarations86, collect_step_costs=True)
+        assert counted.stats.checks == plain.stats.checks
+        assert counted.stats.violations == plain.stats.violations
+        assert counted.stats.forwarded == plain.stats.forwarded
+
+    def test_exported_through_telemetry(self, declarations86):
+        from repro.obs import Telemetry
+        from repro.obs.metrics import render_prometheus
+
+        telemetry = Telemetry()
+        wrapper = self._exercise(
+            declarations86, collect_step_costs=True, telemetry=telemetry
+        )
+        assert wrapper.stats.step_costs
+        rendered = render_prometheus(telemetry.registry)
+        assert "wrapper_step_cost" in rendered
